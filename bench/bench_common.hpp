@@ -1,0 +1,95 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Every bench binary accepts:
+//   --runs=N     replications per cell (default: the paper's count, or a
+//                reduced default where noted for wall-clock sanity)
+//   --quick      tiny smoke configuration (1 run, short sims)
+//   --seed=S     base seed
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "net/network.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace eend::bench {
+
+enum class Metric { Delivery, Goodput, TransmitEnergy };
+
+inline const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::Delivery: return "delivery ratio";
+    case Metric::Goodput: return "energy goodput (bit/J)";
+    case Metric::TransmitEnergy: return "transmit energy (J)";
+  }
+  return "?";
+}
+
+inline SampleStats pick(const core::ExperimentResult& r, Metric m) {
+  switch (m) {
+    case Metric::Delivery: return r.delivery_ratio;
+    case Metric::Goodput: return r.goodput_bit_per_j;
+    case Metric::TransmitEnergy: return r.transmit_energy_j;
+  }
+  return {};
+}
+
+/// Run a (stack x rate) sweep and print one table per metric: rows = rate,
+/// one column per stack, cells = "mean +- ci95".
+inline void sweep_and_print(std::ostream& os, const std::string& title,
+                            const net::ScenarioConfig& scenario,
+                            const std::vector<net::StackSpec>& stacks,
+                            const std::vector<double>& rates,
+                            std::size_t runs, std::uint64_t seed,
+                            const std::vector<Metric>& metrics,
+                            int precision = 3) {
+  // results[stack][rate]
+  std::vector<std::vector<core::ExperimentResult>> results;
+  results.reserve(stacks.size());
+  for (const auto& stack : stacks) {
+    core::ExperimentConfig cfg;
+    cfg.scenario = scenario;
+    cfg.stack = stack;
+    cfg.runs = runs;
+    cfg.base_seed = seed;
+    results.push_back(core::sweep_rates(cfg, rates));
+    std::cerr << "  [" << title << "] " << stack.label << " done\n";
+  }
+
+  for (Metric m : metrics) {
+    std::vector<std::string> header{"rate (pkt/s)"};
+    for (const auto& s : stacks) header.push_back(s.label);
+    Table t(std::move(header));
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      std::vector<std::string> row{Table::num(rates[ri], 1)};
+      for (std::size_t si = 0; si < stacks.size(); ++si) {
+        const auto stats = pick(results[si][ri], m);
+        row.push_back(
+            Table::num_ci(stats.mean, stats.ci95_half_width, precision));
+      }
+      t.add_row(std::move(row));
+    }
+    print_table(os, title + " — " + metric_name(m), t);
+  }
+}
+
+inline std::vector<double> parse_rates(const Flags& flags,
+                                       std::vector<double> def) {
+  if (!flags.has("rates")) return def;
+  std::vector<double> out;
+  const std::string s = flags.get("rates", "");
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(std::stod(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace eend::bench

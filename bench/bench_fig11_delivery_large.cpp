@@ -1,0 +1,38 @@
+// Figure 11 — delivery ratio, large networks (200 nodes, 1300x1300 m^2,
+// 20 CBR flows, Cabletron). Paper uses 10 runs; default here is 5 for
+// wall-clock sanity (--runs=10 restores the paper's count).
+//
+// Shape targets: the idle-first stacks (TITAN-PC, DSR-ODPM-PC) hold near
+// 1.0 across 2-6 pkt/s; joint optimization (DSRH, DSDVH) degrades beyond
+// ~3.5 pkt/s with larger variance; DSR-Active's delivery suffers at scale.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+
+  auto scenario = net::ScenarioConfig::large_network();
+  if (quick) scenario.duration_s = 120.0;
+
+  const std::vector<net::StackSpec> stacks = {
+      net::StackSpec::titan_pc(),         net::StackSpec::dsr_odpm_pc(),
+      net::StackSpec::dsdvh_odpm_psm(),   net::StackSpec::dsrh_odpm_norate(),
+      net::StackSpec::dsrh_odpm_rate(),   net::StackSpec::dsr_odpm(),
+      net::StackSpec::dsr_active()};
+
+  const auto rates = bench::parse_rates(
+      flags, quick ? std::vector<double>{4}
+                   : std::vector<double>{2, 3.5, 5, 6});
+  const auto runs = static_cast<std::size_t>(
+      flags.get_int("runs", quick ? 1 : 3));
+
+  bench::sweep_and_print(
+      std::cout, "Figure 11 — delivery ratio, 1300x1300 m^2 (200 nodes)",
+      scenario, stacks, rates, runs,
+      static_cast<std::uint64_t>(flags.get_int("seed", 1)),
+      {bench::Metric::Delivery}, 3);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 13 — energy goodput for low traffic rates (2-5 pkt/s) on the 7x7
+// hypothetical-Cabletron grid with PERFECT sleep scheduling.
+//
+// Shape target: all stacks cluster together (sleep power dominates and is
+// identical); only DSR-Active — which idles instead of sleeping — sits far
+// below. Goodput rises roughly linearly with rate.
+#include "bench_grid_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const std::vector<net::StackSpec> stacks = {
+      net::StackSpec::titan_pc_perfect(),
+      net::StackSpec::dsrh_norate_perfect(),
+      net::StackSpec::mtpr_perfect(),
+      net::StackSpec::mtpr_plus_perfect(),
+      net::StackSpec::dsr_perfect(),
+      net::StackSpec::dsr_active()};
+  bench::run_grid_figure(
+      "Figure 13 — hypothetical card, low rates, perfect sleep scheduling",
+      stacks, {2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}, flags);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 14 — energy goodput for low traffic rates (2-5 pkt/s) on the 7x7
+// hypothetical-Cabletron grid with ODPM sleep scheduling.
+//
+// Shape target: everyone drops well below the perfect-scheduling levels of
+// Fig. 13 (active nodes idle at Pidle awaiting traffic); TITAN-PC leads
+// because it concentrates flows on the fewest relays.
+#include "bench_grid_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const std::vector<net::StackSpec> stacks = {
+      net::StackSpec::titan_pc(),
+      net::StackSpec::dsrh_odpm_norate(),
+      net::StackSpec::mtpr_odpm(),
+      net::StackSpec::mtpr_plus_odpm(),
+      net::StackSpec::dsr_odpm(),
+      net::StackSpec::dsr_active()};
+  bench::run_grid_figure(
+      "Figure 14 — hypothetical card, low rates, ODPM scheduling", stacks,
+      {2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}, flags);
+  return 0;
+}

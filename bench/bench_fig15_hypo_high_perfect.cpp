@@ -1,0 +1,23 @@
+// Figure 15 — energy goodput for high traffic rates (50-200 pkt/s) on the
+// 7x7 hypothetical-Cabletron grid with PERFECT sleep scheduling.
+//
+// Shape target: with idling gone and data dominating, the power-control
+// stacks (MTPR, MTPR+, DSRH) overtake TITAN-PC — long min-hop links get
+// expensive as the rate grows (the paper's Fig. 15 crossover).
+#include "bench_grid_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const std::vector<net::StackSpec> stacks = {
+      net::StackSpec::titan_pc_perfect(),
+      net::StackSpec::dsrh_norate_perfect(),
+      net::StackSpec::mtpr_perfect(),
+      net::StackSpec::mtpr_plus_perfect(),
+      net::StackSpec::dsr_perfect(),
+      net::StackSpec::dsr_active()};
+  bench::run_grid_figure(
+      "Figure 15 — hypothetical card, high rates, perfect sleep scheduling",
+      stacks, {50.0, 100.0, 150.0, 200.0}, flags);
+  return 0;
+}

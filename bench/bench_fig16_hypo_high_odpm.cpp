@@ -1,0 +1,23 @@
+// Figure 16 — energy goodput for high traffic rates (50-200 pkt/s) on the
+// 7x7 hypothetical-Cabletron grid with ODPM sleep scheduling.
+//
+// Shape target: once idling costs return, TITAN-PC outperforms the
+// power-control-first stacks below 200 pkt/s, and the gap at 200 pkt/s is
+// much narrower than under perfect scheduling (Fig. 15).
+#include "bench_grid_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const std::vector<net::StackSpec> stacks = {
+      net::StackSpec::titan_pc(),
+      net::StackSpec::dsrh_odpm_norate(),
+      net::StackSpec::mtpr_odpm(),
+      net::StackSpec::mtpr_plus_odpm(),
+      net::StackSpec::dsr_odpm(),
+      net::StackSpec::dsr_active()};
+  bench::run_grid_figure(
+      "Figure 16 — hypothetical card, high rates, ODPM scheduling", stacks,
+      {50.0, 100.0, 150.0, 200.0}, flags);
+  return 0;
+}

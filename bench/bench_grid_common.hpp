@@ -1,0 +1,54 @@
+// Shared driver for the §5.2.3 hypothetical-card grid figures (13-16):
+// run the base-rate (2 pkt/s) simulation per stack, freeze routes, and
+// print the analytic goodput series (Kbit/J, as the paper plots).
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/grid_study.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace eend::bench {
+
+inline void run_grid_figure(const std::string& title,
+                            const std::vector<net::StackSpec>& stacks,
+                            const std::vector<double>& rates,
+                            const Flags& flags) {
+  auto scenario = net::ScenarioConfig::hypothetical_grid();
+  scenario.rate_pps = flags.get_double("base-rate", 2.0);
+  scenario.duration_s =
+      flags.get_double("duration", flags.get_bool("quick", false) ? 120.0
+                                                                  : 900.0);
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::vector<core::GridSeries> series;
+  series.reserve(stacks.size());
+  for (const auto& stack : stacks) {
+    series.push_back(core::grid_series(scenario, stack, rates));
+    std::cerr << "  [" << title << "] " << stack.label << " done ("
+              << series.back().active_nodes.size() << " active nodes)\n";
+  }
+
+  std::vector<std::string> header{"rate (pkt/s)"};
+  for (const auto& s : series) header.push_back(s.label);
+  Table t(std::move(header));
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    std::vector<std::string> row{Table::num(rates[ri], 1)};
+    for (const auto& s : series)
+      row.push_back(Table::num(s.points[ri].goodput_bit_per_j / 1e3, 3));
+    t.add_row(std::move(row));
+  }
+  print_table(std::cout, title + " — energy goodput (Kbit/J)", t);
+
+  // Supplement: active-node counts explain the idle-cost differences.
+  Table a({"stack", "active nodes", "data W @max rate", "passive W @max rate"});
+  for (const auto& s : series)
+    a.add_row({s.label, std::to_string(s.active_nodes.size()),
+               Table::num(s.points.back().data_power_w, 2),
+               Table::num(s.points.back().passive_power_w, 2)});
+  print_table(std::cout, title + " — frozen-route summary", a);
+}
+
+}  // namespace eend::bench

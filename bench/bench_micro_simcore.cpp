@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark): simulator event throughput, graph
+// algorithms, channel transmission path, energy metering. These guard the
+// performance envelope that makes the 200-node/900-second figure benches
+// run in seconds.
+#include <benchmark/benchmark.h>
+
+#include "graph/shortest_path.hpp"
+#include "graph/steiner.hpp"
+#include "mac/channel.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eend;
+
+void BM_SimulatorScheduleExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i)
+      s.schedule_at(static_cast<double>(i % 97), [] {});
+    s.run_all();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleExecute);
+
+void BM_TimerRestartChurn(benchmark::State& state) {
+  sim::Simulator s;
+  sim::Timer t(s, [] {});
+  for (auto _ : state) {
+    t.restart(1.0);
+    benchmark::DoNotOptimize(t.armed());
+  }
+}
+BENCHMARK(BM_TimerRestartChurn);
+
+graph::Graph random_graph(std::size_t n, std::size_t extra, Rng& rng) {
+  graph::Graph g(n);
+  for (graph::NodeId v = 0; v + 1 < n; ++v)
+    g.add_edge(v, v + 1, rng.uniform(0.1, 3.0));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto b = static_cast<graph::NodeId>(rng.next_below(n));
+    if (a != b) g.add_edge(a, b, rng.uniform(0.1, 3.0));
+  }
+  return g;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(7);
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(0)) * 3,
+                              rng);
+  for (auto _ : state) {
+    const auto t = graph::dijkstra(g, 0);
+    benchmark::DoNotOptimize(t.distance.back());
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KmbSteiner(benchmark::State& state) {
+  Rng rng(11);
+  const auto g = random_graph(128, 384, rng);
+  const std::vector<graph::NodeId> terms{1, 40, 80, 120};
+  for (auto _ : state) {
+    const auto t = graph::kmb_steiner_tree(g, terms);
+    benchmark::DoNotOptimize(t.edge_cost);
+  }
+}
+BENCHMARK(BM_KmbSteiner);
+
+void BM_EnergyMeterTransitions(benchmark::State& state) {
+  const auto card = energy::cabletron();
+  for (auto _ : state) {
+    energy::EnergyMeter m(card);
+    double now = 0.0;
+    m.begin(now, energy::RadioMode::Idle);
+    for (int i = 0; i < 100; ++i) {
+      now += 0.001;
+      m.set_transmit(now, 1.4, energy::Category::Data);
+      now += 0.001;
+      m.set_passive_mode(now, energy::RadioMode::Idle);
+    }
+    m.finish(now + 1.0);
+    benchmark::DoNotOptimize(m.total());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_EnergyMeterTransitions);
+
+void BM_FullSmallNetworkRun(benchmark::State& state) {
+  for (auto _ : state) {
+    net::ScenarioConfig sc = net::ScenarioConfig::small_network();
+    sc.duration_s = 60.0;
+    sc.seed = 3;
+    net::Network n(sc, net::StackSpec::titan_pc());
+    const auto r = n.run();
+    benchmark::DoNotOptimize(r.total_energy_j);
+  }
+}
+BENCHMARK(BM_FullSmallNetworkRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Section 3 worked examples — E_network of the minimum-weight Steiner trees
+// ST1/ST2 (Eqs. 6-7) and forests SF1/SF2 (Eqs. 8-9), evaluated both via the
+// closed forms and via the generic Eq. 5 evaluator over the constructed
+// graphs, plus the 3k/(2k+1) endpoint-idle ratio.
+#include <iostream>
+
+#include "analytical/steiner_cases.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  using namespace eend::analytical;
+  const Flags flags(argc, argv);
+  const double alpha = flags.get_double("alpha", 2.0);
+  const double t_idle = flags.get_double("t-idle", 1.0);
+  const double t_data = flags.get_double("t-data", 1.0);
+
+  Eq5Params ep;
+  ep.t_idle = t_idle;
+  ep.t_data_per_packet = t_data;
+
+  Table t({"k", "E(ST1) eval", "E(ST1) Eq.6", "E(ST2) eval", "E(ST2) Eq.7",
+           "ST1/ST2 data", "(k+3)/4"});
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    CaseParams p;
+    p.k = k;
+    p.alpha = alpha;
+    const auto st1 = make_st1(p);
+    const auto st2 = make_st2(p);
+    const auto e1 = evaluate_eq5(st1.g, st1.routes, ep);
+    const auto e2 = evaluate_eq5(st2.g, st2.routes, ep);
+    t.add_row({std::to_string(k), Table::num(e1.total()),
+               Table::num(est1_closed(p, t_idle, t_data)),
+               Table::num(e2.total()),
+               Table::num(est2_closed(p, t_idle, t_data)),
+               Table::num(e1.data / e2.data, 3),
+               Table::num((k + 3.0) / 4.0, 3)});
+  }
+  print_table(std::cout,
+              "Section 3 — single-sink Steiner trees ST1 vs ST2 "
+              "(equal tree weight, diverging E_network)",
+              t);
+
+  Table f({"k", "E(SF1) eval", "E(SF1) Eq.8", "E(SF2) eval", "E(SF2) Eq.9",
+           "idle ratio (w/ endpoints)", "3k/(2k+1)"});
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    CaseParams p;
+    p.k = k;
+    p.alpha = alpha;
+    const auto sf1 = make_sf1(p);
+    const auto sf2 = make_sf2(p);
+    const auto e1 = evaluate_eq5(sf1.g, sf1.routes, ep);
+    const auto e2 = evaluate_eq5(sf2.g, sf2.routes, ep);
+    Eq5Params with_endpoints = ep;
+    with_endpoints.include_endpoint_idle = true;
+    const auto we1 = evaluate_eq5(sf1.g, sf1.routes, with_endpoints);
+    const auto we2 = evaluate_eq5(sf2.g, sf2.routes, with_endpoints);
+    f.add_row({std::to_string(k), Table::num(e1.total()),
+               Table::num(esf1_closed(p, t_idle, t_data)),
+               Table::num(e2.total()),
+               Table::num(esf2_closed(p, t_idle, t_data)),
+               Table::num(we1.idle / we2.idle, 4),
+               Table::num(sf_idle_ratio_closed(k), 4)});
+  }
+  print_table(std::cout,
+              "Section 3 — multi-commodity Steiner forests SF1 vs SF2 "
+              "(equal communication cost, k vs 1 active relays)",
+              f);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Characteristic-hop-count analysis tool (the §5.1 / Fig. 7 analysis as a
+// CLI): for a given card (or custom parameters), report whether relaying
+// between two in-range nodes can ever save energy.
+//
+//   ./characteristic_hop_count --card=Cabletron --distance=250
+//   ./characteristic_hop_count --pidle-mw=830 --prx-mw=1000
+//       --pbase-mw=1118 --alpha2-mw=5.2e-6 --n=4 --distance=250
+#include <iostream>
+
+#include "analytical/route_energy.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+
+  energy::RadioCard card;
+  if (flags.has("card")) {
+    card = energy::card_by_name(flags.get("card", "Cabletron"));
+  } else {
+    card.name = "custom";
+    card.p_idle = milliwatts(flags.get_double("pidle-mw", 830));
+    card.p_rx = milliwatts(flags.get_double("prx-mw", 1000));
+    card.p_base = milliwatts(flags.get_double("pbase-mw", 1118));
+    card.alpha2 = milliwatts(flags.get_double("alpha2-mw", 7.2e-8));
+    card.path_loss_n = flags.get_double("n", 4.0);
+    card.max_range_m = flags.get_double("distance", 250.0);
+  }
+  const double distance = flags.get_double("distance", card.max_range_m);
+
+  std::cout << "Card: " << card.name << "  (Pidle "
+            << as_milliwatts(card.p_idle) << " mW, Prx "
+            << as_milliwatts(card.p_rx) << " mW, Ptx(d) = "
+            << as_milliwatts(card.p_base) << " + "
+            << as_milliwatts(card.alpha2) << " * d^" << card.path_loss_n
+            << " mW)\nEnd-to-end distance D = " << distance << " m\n\n";
+
+  Table t({"R/B", "m_opt (continuous)", "char. hop count",
+           "best integer (brute force)", "route power @best (W)",
+           "relays save energy?"});
+  for (double rb = 0.05; rb <= 0.5 + 1e-9; rb += 0.05) {
+    const double m = analytical::mopt_continuous(card, distance, rb);
+    const int c = analytical::characteristic_hop_count(card, distance, rb);
+    const int b = analytical::brute_force_best_hops(card, distance, rb);
+    t.add_row({Table::num(rb, 2), Table::num(m, 3), std::to_string(c),
+               std::to_string(b),
+               Table::num(analytical::route_power(card, b, distance, rb), 3),
+               analytical::relays_save_energy(card, distance, rb) ? "YES"
+                                                                  : "no"});
+  }
+  std::cout << t.to_text();
+
+  std::cout << "\nVerdict: ";
+  bool ever = false;
+  for (double rb = 0.05; rb <= 0.5; rb += 0.01)
+    if (analytical::relays_save_energy(card, distance, rb)) ever = true;
+  if (ever)
+    std::cout << "this card CAN profit from relays at some utilizations —\n"
+                 "power-control-first design (MTPR/PARO) is meaningful here.\n";
+  else
+    std::cout << "relaying between two in-range nodes never saves energy on\n"
+                 "this card (the paper's conclusion for every card surveyed).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The §5.2.3 grid methodology as a reusable tool: freeze routes from a
+// base-rate simulation of a chosen stack on the 7x7 hypothetical-card grid
+// and sweep the analytic energy model over rates — printing the goodput
+// series, frozen routes and per-rate power breakdown.
+//
+//   ./grid_energy_study --stack=titan-pc --rates=2,10,50,200
+#include <iostream>
+
+#include "core/grid_study.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+eend::net::StackSpec stack_by_name(const std::string& name) {
+  using S = eend::net::StackSpec;
+  if (name == "titan-pc") return S::titan_pc();
+  if (name == "titan-pc-perfect") return S::titan_pc_perfect();
+  if (name == "mtpr") return S::mtpr_perfect();
+  if (name == "mtpr-odpm") return S::mtpr_odpm();
+  if (name == "mtpr+") return S::mtpr_plus_perfect();
+  if (name == "mtpr+-odpm") return S::mtpr_plus_odpm();
+  if (name == "dsr") return S::dsr_perfect();
+  if (name == "dsr-odpm") return S::dsr_odpm();
+  if (name == "dsrh") return S::dsrh_norate_perfect();
+  if (name == "dsrh-odpm") return S::dsrh_odpm_norate();
+  if (name == "dsr-active") return S::dsr_active();
+  std::cerr << "unknown stack '" << name << "', using titan-pc\n";
+  return S::titan_pc();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+  const auto stack = stack_by_name(flags.get("stack", "titan-pc"));
+
+  auto scenario = net::ScenarioConfig::hypothetical_grid();
+  scenario.duration_s = flags.get_double("duration", 300.0);
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::vector<double> rates{2, 5, 10, 20, 50, 100, 150, 200};
+  if (flags.has("rates")) {
+    rates.clear();
+    const std::string s = flags.get("rates", "");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      auto next = s.find(',', pos);
+      if (next == std::string::npos) next = s.size();
+      rates.push_back(std::stod(s.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+
+  std::cout << "Stack: " << stack.label << " on the 7x7 "
+            << scenario.card.name << " grid (" << scenario.field_w << " m)\n";
+  const auto series = core::grid_series(scenario, stack, rates);
+
+  std::cout << "\nFrozen routes use " << series.active_nodes.size()
+            << " active nodes:";
+  for (auto v : series.active_nodes) std::cout << ' ' << v;
+  std::cout << "\n\n";
+
+  Table t({"rate (pkt/s)", "data power (W)", "passive power (W)",
+           "total (W)", "goodput (Kbit/J)"});
+  for (const auto& p : series.points)
+    t.add_row({Table::num(p.rate_pps, 1), Table::num(p.data_power_w, 3),
+               Table::num(p.passive_power_w, 3),
+               Table::num(p.network_power_w, 3),
+               Table::num(p.goodput_bit_per_j / 1e3, 3)});
+  std::cout << t.to_text();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build the paper's small-network scenario (50 nodes in
+// 500x500 m^2, 10 CBR flows), run the TITAN-PC stack, and print the
+// evaluation metrics.
+//
+//   ./quickstart [--nodes N] [--rate PPS] [--duration S] [--seed S]
+//                [--stack titan-pc|dsr-active|dsr-odpm|dsr-odpm-pc|...]
+#include <iostream>
+
+#include "net/network.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+eend::net::StackSpec stack_by_name(const std::string& name) {
+  using eend::net::StackSpec;
+  if (name == "dsr-active") return StackSpec::dsr_active();
+  if (name == "dsr-odpm") return StackSpec::dsr_odpm();
+  if (name == "dsr-odpm-pc") return StackSpec::dsr_odpm_pc();
+  if (name == "titan-pc") return StackSpec::titan_pc();
+  if (name == "dsrh-rate") return StackSpec::dsrh_odpm_rate();
+  if (name == "dsrh-norate") return StackSpec::dsrh_odpm_norate();
+  if (name == "dsdvh-psm") return StackSpec::dsdvh_odpm_psm();
+  if (name == "dsdvh-span") return StackSpec::dsdvh_odpm_span();
+  if (name == "mtpr") return StackSpec::mtpr_odpm();
+  if (name == "mtpr+") return StackSpec::mtpr_plus_odpm();
+  std::cerr << "unknown stack '" << name << "', using titan-pc\n";
+  return StackSpec::titan_pc();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eend::Flags flags(argc, argv);
+
+  eend::net::ScenarioConfig scenario =
+      eend::net::ScenarioConfig::small_network();
+  scenario.node_count =
+      static_cast<std::size_t>(flags.get_int("nodes", 50));
+  scenario.rate_pps = flags.get_double("rate", 2.0);
+  scenario.duration_s = flags.get_double("duration", 900.0);
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  scenario.flow_count =
+      static_cast<std::size_t>(flags.get_int("flows", 10));
+
+  const eend::net::StackSpec stack =
+      stack_by_name(flags.get("stack", "titan-pc"));
+
+  std::cout << "Scenario: " << scenario.node_count << " nodes, "
+            << scenario.field_w << "x" << scenario.field_h << " m^2, "
+            << scenario.flow_count << " CBR flows @ " << scenario.rate_pps
+            << " pkt/s, " << scenario.duration_s << " s, card "
+            << scenario.card.name << "\nStack:    " << stack.label << "\n\n";
+
+  eend::net::Network network(scenario, stack);
+  const auto r = network.run();
+
+  eend::Table t({"metric", "value"});
+  t.add_row({"packets sent", std::to_string(r.sent)});
+  t.add_row({"packets delivered", std::to_string(r.delivered)});
+  t.add_row({"delivery ratio", eend::Table::num(r.delivery_ratio, 4)});
+  t.add_row({"E_network (J)", eend::Table::num(r.total_energy_j, 1)});
+  t.add_row({"  data (J)", eend::Table::num(r.data_energy_j, 2)});
+  t.add_row({"  control (J)", eend::Table::num(r.control_energy_j, 2)});
+  t.add_row({"  passive (J)", eend::Table::num(r.passive_energy_j, 1)});
+  t.add_row({"transmit energy (J)", eend::Table::num(r.transmit_energy_j, 2)});
+  t.add_row({"energy goodput (bit/J)",
+             eend::Table::num(r.goodput_bit_per_j, 1)});
+  t.add_row({"avg end-to-end delay (s)",
+             eend::Table::num(r.average_delay_s, 4)});
+  t.add_row({"nodes carrying data", std::to_string(r.nodes_carrying_data)});
+  t.add_row({"RREQ transmissions", std::to_string(r.rreq_transmissions)});
+  t.add_row({"MAC collisions", std::to_string(r.mac_collisions)});
+  std::cout << t.to_text() << '\n';
+  return 0;
+}

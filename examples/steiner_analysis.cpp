@@ -1,0 +1,72 @@
+// Centralized design-problem analysis (§3): build an instance from random
+// node positions, place demands, and compare the centralized solvers —
+// node-weighted Klein-Ravi vs the MPC-style edge-weight reduction vs plain
+// shortest paths — under the Eq. 5 objective.
+//
+//   ./steiner_analysis --nodes=40 --field=600 --demands=5 --seed=3
+#include <iostream>
+
+#include "core/design_problem.hpp"
+#include "net/scenario.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eend;
+  const Flags flags(argc, argv);
+
+  net::ScenarioConfig sc;
+  sc.node_count = static_cast<std::size_t>(flags.get_int("nodes", 40));
+  sc.field_w = sc.field_h = flags.get_double("field", 600.0);
+  sc.seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const auto n_demands =
+      static_cast<std::size_t>(flags.get_int("demands", 5));
+
+  const auto positions = net::place_nodes(sc);
+  auto problem =
+      core::NetworkDesignProblem::from_positions(positions, sc.card);
+
+  Rng rng(sc.seed);
+  for (std::size_t i = 0; i < n_demands; ++i) {
+    graph::NodeId s, d;
+    do {
+      s = static_cast<graph::NodeId>(rng.next_below(sc.node_count));
+      d = static_cast<graph::NodeId>(rng.next_below(sc.node_count));
+    } while (s == d);
+    problem.add_demand({s, d, 1.0});
+    std::cout << "demand " << i << ": " << s << " -> " << d << "\n";
+  }
+
+  analytical::Eq5Params ep;
+  ep.t_idle = flags.get_double("t-idle", 1.0);
+  ep.t_data_per_packet = flags.get_double("t-data", 0.001);
+
+  Table t({"solver", "tree nodes", "relays (non-terminal)",
+           "node cost (W idle)", "Eq.5 idle", "Eq.5 data", "Eq.5 total"});
+  auto report = [&](const std::string& name, const graph::SteinerTree& tree) {
+    if (!tree.feasible) {
+      t.add_row({name, "-", "-", "-", "-", "-", "infeasible"});
+      return;
+    }
+    const auto ev = problem.evaluate_tree(tree, ep);
+    t.add_row({name, std::to_string(tree.nodes.size()),
+               std::to_string(ev.relay_nodes), Table::num(tree.node_cost, 3),
+               Table::num(ev.idle, 3), Table::num(ev.data, 3),
+               Table::num(ev.total(), 3)});
+  };
+  report("Klein-Ravi (node-weighted)", problem.solve_node_weighted());
+  report("MPC-style reduction (KMB)", problem.solve_mpc_reduction());
+  report("edge-weighted KMB on w(e)", problem.solve_edge_weighted());
+
+  const auto sp = problem.evaluate_shortest_paths(ep);
+  t.add_row({"global shortest paths", "-", std::to_string(sp.relay_nodes),
+             "-", Table::num(sp.idle, 3), Table::num(sp.data, 3),
+             Table::num(sp.total(), 3)});
+
+  std::cout << '\n' << t.to_text();
+  std::cout << "\nReading: the node-weighted solver minimizes idle cost "
+               "(fewest relays);\nthe edge-weighted solver minimizes "
+               "communication cost; Section 3's point is\nthat neither alone "
+               "minimizes E_network — compare the Eq.5 totals.\n";
+  return 0;
+}

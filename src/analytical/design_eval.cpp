@@ -1,0 +1,51 @@
+#include "analytical/design_eval.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace eend::analytical {
+
+Eq5Breakdown evaluate_eq5(const graph::Graph& g,
+                          std::span<const RoutedDemand> routes,
+                          const Eq5Params& params) {
+  Eq5Breakdown out;
+  std::set<graph::NodeId> active;
+  std::set<graph::NodeId> endpoints;
+  std::map<std::pair<graph::NodeId, graph::NodeId>, double> edge_packets;
+
+  for (const RoutedDemand& r : routes) {
+    EEND_REQUIRE_MSG(r.path.size() >= 1, "empty path");
+    EEND_REQUIRE(r.path.front() == r.demand.source &&
+                 r.path.back() == r.demand.destination);
+    endpoints.insert(r.demand.source);
+    endpoints.insert(r.demand.destination);
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      active.insert(r.path[i]);
+      if (i + 1 < r.path.size()) {
+        EEND_REQUIRE_MSG(g.has_edge(r.path[i], r.path[i + 1]),
+                         "path hop " << r.path[i] << "->" << r.path[i + 1]
+                                     << " is not an edge");
+        const auto key = std::minmax(r.path[i], r.path[i + 1]);
+        edge_packets[std::pair{key.first, key.second}] += r.packets;
+      }
+    }
+  }
+
+  out.active_nodes = active.size();
+  for (graph::NodeId v : active) {
+    const bool endpoint = endpoints.count(v) > 0;
+    if (!endpoint) ++out.relay_nodes;
+    if (endpoint && !params.include_endpoint_idle) continue;
+    out.idle += params.t_idle * g.node_weight(v);
+  }
+  for (const auto& [uv, pkts] : edge_packets) {
+    const double w = g.edge_weight_between(uv.first, uv.second);
+    EEND_CHECK(w < graph::kInfCost);
+    out.data += params.t_data_per_packet * pkts * w;
+  }
+  return out;
+}
+
+}  // namespace eend::analytical

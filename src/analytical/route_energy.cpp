@@ -1,0 +1,59 @@
+#include "analytical/route_energy.hpp"
+
+#include <cmath>
+
+namespace eend::analytical {
+
+double route_power(const energy::RadioCard& card, int hops, double distance_m,
+                   double rb) {
+  EEND_REQUIRE(hops >= 1);
+  EEND_REQUIRE(distance_m > 0.0);
+  EEND_REQUIRE_MSG(rb > 0.0 && rb <= 0.5, "utilization R/B must be in (0,0.5]");
+  const double m = hops;
+  const double hop_d = distance_m / m;
+  const double tx_sum = m * card.transmit_power(hop_d);
+  const double rx_sum = m * card.p_rx;
+  const double idle = (m + 1.0 - 2.0 * m * rb) * card.p_idle;
+  return rb * (tx_sum + rx_sum) + idle;
+}
+
+double mopt_continuous(const energy::RadioCard& card, double distance_m,
+                       double rb) {
+  EEND_REQUIRE(distance_m > 0.0);
+  EEND_REQUIRE_MSG(rb > 0.0 && rb <= 0.5, "utilization R/B must be in (0,0.5]");
+  const double n = card.path_loss_n;
+  const double denom =
+      card.p_base + card.p_rx + (1.0 - 2.0 * rb) / rb * card.p_idle;
+  EEND_CHECK(denom > 0.0);
+  return distance_m * std::pow((n - 1.0) * card.alpha2 / denom, 1.0 / n);
+}
+
+int characteristic_hop_count(const energy::RadioCard& card, double distance_m,
+                             double rb) {
+  const double m = mopt_continuous(card, distance_m, rb);
+  // Paper: "it is ceil(m_opt) if m_opt < 1, and floor(m_opt) if m_opt >= 1".
+  return m < 1.0 ? static_cast<int>(std::ceil(m))
+                 : static_cast<int>(std::floor(m));
+}
+
+int brute_force_best_hops(const energy::RadioCard& card, double distance_m,
+                          double rb, int max_hops) {
+  EEND_REQUIRE(max_hops >= 1);
+  int best = 1;
+  double best_power = route_power(card, 1, distance_m, rb);
+  for (int m = 2; m <= max_hops; ++m) {
+    const double p = route_power(card, m, distance_m, rb);
+    if (p < best_power) {
+      best_power = p;
+      best = m;
+    }
+  }
+  return best;
+}
+
+bool relays_save_energy(const energy::RadioCard& card, double distance_m,
+                        double rb) {
+  return characteristic_hop_count(card, distance_m, rb) >= 2;
+}
+
+}  // namespace eend::analytical

@@ -1,0 +1,46 @@
+// Closed-form route-energy model of Section 5.1 (Eqs. 13-15).
+//
+// For two endpoints distance D apart with m-1 equally spaced relays (m hops),
+// total route power (energy per unit time, Eq. 14 divided by t) is
+//
+//   P_r(m) = (R/B) * [ sum_i Ptx(D/m) + m * Prx ]
+//          + (m + 1 - 2 m (R/B)) * Pidle
+//
+// Minimizing over m gives the characteristic hop count (Eq. 15):
+//
+//   m_opt = D * ( (n-1) alpha2 / (Pbase + Prx + (1-2(R/B))/(R/B) * Pidle) )^{1/n}
+//
+// Relays only pay off when floor(m_opt) >= 2; Fig. 7 shows no surveyed card
+// reaches that for any utilization.
+#pragma once
+
+#include "energy/radio_card.hpp"
+
+namespace eend::analytical {
+
+/// Route power (W) with m equal hops across distance D at utilization rb =
+/// R/B (Eq. 14 normalized by t). m >= 1; 0 < rb <= 0.5 (a node both sends
+/// and receives each packet, so utilization beyond 1/2 is infeasible).
+double route_power(const energy::RadioCard& card, int hops, double distance_m,
+                   double rb);
+
+/// Continuous minimizer m_opt of Eq. 15.
+double mopt_continuous(const energy::RadioCard& card, double distance_m,
+                       double rb);
+
+/// The paper's integral rounding: ceil when m_opt < 1, floor otherwise.
+int characteristic_hop_count(const energy::RadioCard& card, double distance_m,
+                             double rb);
+
+/// Brute-force integer minimizer of route_power over 1..max_hops — test
+/// oracle for Eq. 15 and used to sanity-check the convexity argument.
+int brute_force_best_hops(const energy::RadioCard& card, double distance_m,
+                          double rb, int max_hops = 64);
+
+/// Does using relays (>= 2 hops) beat direct transmission for this card /
+/// distance / utilization? ("characteristic hop count must be greater than
+/// two to save energy through relays")
+bool relays_save_energy(const energy::RadioCard& card, double distance_m,
+                        double rb);
+
+}  // namespace eend::analytical

@@ -1,0 +1,141 @@
+#include "analytical/steiner_cases.hpp"
+
+namespace eend::analytical {
+
+namespace {
+
+/// Edge weight per packet-hop: one transmission at Ptx = alpha*z plus one
+/// reception at Prx = z.
+double hop_weight(const CaseParams& p) { return (p.alpha + 1.0) * p.z; }
+
+void check_params(const CaseParams& p) {
+  EEND_REQUIRE(p.k >= 1);
+  EEND_REQUIRE(p.z > 0.0 && p.alpha >= 0.0 && p.packets >= 0.0);
+}
+
+}  // namespace
+
+SteinerCase make_st1(const CaseParams& p) {
+  check_params(p);
+  SteinerCase c;
+  const double w = hop_weight(p);
+  // Nodes: sink, sources 1..k, relays i and j (j unused by this routing but
+  // present in the network of Fig. 1).
+  const graph::NodeId sink = c.g.add_node(0.0);
+  std::vector<graph::NodeId> src(static_cast<std::size_t>(p.k));
+  for (int s = 0; s < p.k; ++s) src[s] = c.g.add_node(p.z);
+  const graph::NodeId relay_i = c.g.add_node(p.z);
+  const graph::NodeId relay_j = c.g.add_node(p.z);
+
+  // Chain among sources, source1 - i - sink, and the unused star via j.
+  for (int s = 0; s + 1 < p.k; ++s) c.g.add_edge(src[s], src[s + 1], w);
+  c.g.add_edge(src[0], relay_i, w);
+  c.g.add_edge(relay_i, sink, w);
+  for (int s = 0; s < p.k; ++s) c.g.add_edge(src[s], relay_j, w);
+  c.g.add_edge(relay_j, sink, w);
+
+  // ST1 routing: source l walks down the chain to source 1, then i, sink.
+  for (int s = 0; s < p.k; ++s) {
+    RoutedDemand rd;
+    rd.demand = {src[s], sink, 1.0};
+    for (int t = s; t >= 0; --t) rd.path.push_back(src[t]);
+    rd.path.push_back(relay_i);
+    rd.path.push_back(sink);
+    rd.packets = p.packets;
+    c.routes.push_back(std::move(rd));
+  }
+  c.sources = src;
+  c.destinations = {sink};
+  c.relays = {relay_i};
+  return c;
+}
+
+SteinerCase make_st2(const CaseParams& p) {
+  check_params(p);
+  SteinerCase c = make_st1(p);  // same network (Fig. 1)
+  c.routes.clear();
+  // Node layout from make_st1: 0 = sink, 1..k = sources, k+1 = i, k+2 = j.
+  const graph::NodeId sink = 0;
+  const graph::NodeId relay_j = static_cast<graph::NodeId>(p.k + 2);
+  for (int s = 0; s < p.k; ++s) {
+    RoutedDemand rd;
+    rd.demand = {c.sources[s], sink, 1.0};
+    rd.path = {c.sources[s], relay_j, sink};
+    rd.packets = p.packets;
+    c.routes.push_back(std::move(rd));
+  }
+  c.relays = {relay_j};
+  return c;
+}
+
+SteinerCase make_sf1(const CaseParams& p) {
+  check_params(p);
+  SteinerCase c;
+  const double w = hop_weight(p);
+  const graph::NodeId center = c.g.add_node(p.z);  // S0
+  for (int i = 0; i < p.k; ++i) {
+    const graph::NodeId si = c.g.add_node(p.z);
+    const graph::NodeId di = c.g.add_node(p.z);
+    const graph::NodeId ri = c.g.add_node(p.z);  // dedicated relay
+    c.g.add_edge(si, ri, w);
+    c.g.add_edge(ri, di, w);
+    c.g.add_edge(si, center, w);
+    c.g.add_edge(center, di, w);
+    RoutedDemand rd;
+    rd.demand = {si, di, 1.0};
+    rd.path = {si, ri, di};
+    rd.packets = p.packets;
+    c.routes.push_back(std::move(rd));
+    c.sources.push_back(si);
+    c.destinations.push_back(di);
+    c.relays.push_back(ri);
+  }
+  (void)center;
+  return c;
+}
+
+SteinerCase make_sf2(const CaseParams& p) {
+  check_params(p);
+  SteinerCase c = make_sf1(p);  // same network (Fig. 4)
+  c.routes.clear();
+  c.relays = {0};  // S0 is node 0 in make_sf1's layout
+  for (int i = 0; i < p.k; ++i) {
+    RoutedDemand rd;
+    rd.demand = {c.sources[i], c.destinations[i], 1.0};
+    rd.path = {c.sources[i], 0, c.destinations[i]};
+    rd.packets = p.packets;
+    c.routes.push_back(std::move(rd));
+  }
+  return c;
+}
+
+double est1_closed(const CaseParams& p, double t_idle, double t_data) {
+  const double k = p.k;
+  return 1.0 * t_idle * p.z +
+         p.packets * k * (k + 3.0) / 2.0 * t_data * (p.alpha + 1.0) * p.z;
+}
+
+double est2_closed(const CaseParams& p, double t_idle, double t_data) {
+  const double k = p.k;
+  return 1.0 * t_idle * p.z +
+         p.packets * 2.0 * k * t_data * (p.alpha + 1.0) * p.z;
+}
+
+double esf1_closed(const CaseParams& p, double t_idle, double t_data) {
+  const double k = p.k;
+  return k * t_idle * p.z +
+         p.packets * 2.0 * k * t_data * (p.alpha + 1.0) * p.z;
+}
+
+double esf2_closed(const CaseParams& p, double t_idle, double t_data) {
+  const double k = p.k;
+  return 1.0 * t_idle * p.z +
+         p.packets * 2.0 * k * t_data * (p.alpha + 1.0) * p.z;
+}
+
+double sf_idle_ratio_closed(int k) {
+  EEND_REQUIRE(k >= 1);
+  return 3.0 * k / (2.0 * k + 1.0);
+}
+
+}  // namespace eend::analytical

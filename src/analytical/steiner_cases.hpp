@@ -1,0 +1,58 @@
+// The Section 3 worked examples: two minimum-weight Steiner trees (ST1, ST2;
+// Figs. 1-3) for the single-sink network and two Steiner forests (SF1, SF2;
+// Figs. 4-6) for the multi-commodity network. Both pairs have equal weight
+// under the MPC-style reduction yet deviate in true E_network — the paper's
+// argument for why tree structure must be communication-aware (ST) and why
+// endpoint idle costs matter (SF).
+//
+// Constructors build the explicit graphs and routed demands; closed forms
+// implement Eqs. 6-9 for cross-checking the generic Eq. 5 evaluator.
+#pragma once
+
+#include "analytical/design_eval.hpp"
+#include "graph/graph.hpp"
+
+namespace eend::analytical {
+
+/// One constructed case: the network graph, the routing that realizes the
+/// tree/forest, and the ids of the special nodes for inspection.
+struct SteinerCase {
+  graph::Graph g;
+  std::vector<RoutedDemand> routes;
+  std::vector<graph::NodeId> sources;
+  std::vector<graph::NodeId> destinations;
+  std::vector<graph::NodeId> relays;  ///< relay nodes used by this routing
+};
+
+/// Common parameters: Ptx(u,v) = alpha * z, Prx = Pidle = z, each source
+/// sends `packets` packets (paper uses 1).
+struct CaseParams {
+  int k = 4;            ///< number of sources / pairs (k >= 1)
+  double alpha = 2.0;   ///< transmit cost multiplier
+  double z = 1.0;       ///< unit power
+  double packets = 1.0;
+};
+
+/// Fig. 2 — ST1: sources form a chain k -> k-1 -> ... -> 1 -> relay i -> sink.
+SteinerCase make_st1(const CaseParams& p);
+
+/// Fig. 3 — ST2: every source reaches the sink through the single relay j.
+SteinerCase make_st2(const CaseParams& p);
+
+/// Fig. 5 — SF1: each pair (Si, Di) routes through its own dedicated relay.
+SteinerCase make_sf1(const CaseParams& p);
+
+/// Fig. 6 — SF2: every pair routes through the shared center node S0.
+SteinerCase make_sf2(const CaseParams& p);
+
+/// Closed forms (Eqs. 6-9). t_idle / t_data are the durations of Section 3.
+double est1_closed(const CaseParams& p, double t_idle, double t_data);  // Eq. 6
+double est2_closed(const CaseParams& p, double t_idle, double t_data);  // Eq. 7
+double esf1_closed(const CaseParams& p, double t_idle, double t_data);  // Eq. 8
+double esf2_closed(const CaseParams& p, double t_idle, double t_data);  // Eq. 9
+
+/// The constant idle-cost ratio 3k/(2k+1) of SF1 vs SF2 when endpoint
+/// idling is charged.
+double sf_idle_ratio_closed(int k);
+
+}  // namespace eend::analytical

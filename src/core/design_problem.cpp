@@ -1,0 +1,104 @@
+#include "core/design_problem.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/shortest_path.hpp"
+
+namespace eend::core {
+
+NetworkDesignProblem NetworkDesignProblem::from_positions(
+    const std::vector<phy::Position>& positions,
+    const energy::RadioCard& card) {
+  graph::Graph g(positions.size());
+  for (graph::NodeId v = 0; v < positions.size(); ++v)
+    g.set_node_weight(v, card.p_idle);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const double d = phy::distance(positions[i], positions[j]);
+      if (d <= card.max_range_m)
+        g.add_edge(static_cast<graph::NodeId>(i),
+                   static_cast<graph::NodeId>(j),
+                   card.transmit_power(d) + card.p_rx);
+    }
+  }
+  return NetworkDesignProblem(std::move(g));
+}
+
+std::vector<graph::NodeId> NetworkDesignProblem::terminals() const {
+  std::set<graph::NodeId> t;
+  for (const auto& d : demands_) {
+    t.insert(d.source);
+    t.insert(d.destination);
+  }
+  return {t.begin(), t.end()};
+}
+
+graph::SteinerTree NetworkDesignProblem::solve_node_weighted() const {
+  return graph::klein_ravi_steiner(graph_, terminals());
+}
+
+graph::SteinerTree NetworkDesignProblem::solve_mpc_reduction() const {
+  // Re-weight every edge with the idle cost of its (max-weight) endpoint:
+  // the MPC trick of folding node weights into edges, valid when link
+  // weights are bounded by node weights.
+  graph::Graph g2(graph_.node_count());
+  for (const auto& e : graph_.edges())
+    g2.add_edge(e.u, e.v, std::max(graph_.node_weight(e.u),
+                                   graph_.node_weight(e.v)));
+  graph::SteinerTree t = graph::kmb_steiner_tree(g2, terminals());
+  // Report costs against the *original* instance.
+  graph::SteinerTree out = t;
+  out.edge_cost = 0.0;
+  out.node_cost = 0.0;
+  const auto terms = terminals();
+  for (graph::EdgeId e : t.edges) out.edge_cost += graph_.edge(e).weight;
+  for (graph::NodeId v : t.nodes)
+    if (std::find(terms.begin(), terms.end(), v) == terms.end())
+      out.node_cost += graph_.node_weight(v);
+  return out;
+}
+
+graph::SteinerTree NetworkDesignProblem::solve_edge_weighted() const {
+  return graph::kmb_steiner_tree(graph_, terminals());
+}
+
+std::vector<analytical::RoutedDemand>
+NetworkDesignProblem::route_in_subgraph(
+    const std::vector<graph::NodeId>& allowed_nodes) const {
+  std::vector<bool> allowed(graph_.node_count(), allowed_nodes.empty());
+  for (graph::NodeId v : allowed_nodes) allowed[v] = true;
+
+  // Shortest paths restricted to allowed nodes: block forbidden nodes with
+  // an infinite entry cost.
+  const auto node_cost = [&](graph::NodeId v) {
+    return allowed[v] ? 0.0 : graph::kInfCost;
+  };
+
+  std::vector<analytical::RoutedDemand> routes;
+  for (const auto& d : demands_) {
+    const auto spt = graph::dijkstra(graph_, d.source, node_cost);
+    analytical::RoutedDemand rd;
+    rd.demand = d;
+    rd.packets = d.rate;
+    rd.path = spt.path_to(d.destination);
+    EEND_REQUIRE_MSG(!rd.path.empty(), "demand " << d.source << "->"
+                                                 << d.destination
+                                                 << " unroutable");
+    routes.push_back(std::move(rd));
+  }
+  return routes;
+}
+
+analytical::Eq5Breakdown NetworkDesignProblem::evaluate_tree(
+    const graph::SteinerTree& tree, const analytical::Eq5Params& p) const {
+  EEND_REQUIRE_MSG(tree.feasible, "cannot evaluate an infeasible tree");
+  return analytical::evaluate_eq5(graph_, route_in_subgraph(tree.nodes), p);
+}
+
+analytical::Eq5Breakdown NetworkDesignProblem::evaluate_shortest_paths(
+    const analytical::Eq5Params& p) const {
+  return analytical::evaluate_eq5(graph_, route_in_subgraph({}), p);
+}
+
+}  // namespace eend::core

@@ -1,0 +1,73 @@
+// The energy-efficient network design problem (Section 3) as a first-class
+// object, with the centralized solvers the paper discusses:
+//
+//   * node-weighted Steiner tree via Klein-Ravi (the Ω(log n) family);
+//   * MPC-style reduction [Xing et al.]: push node weights onto edges and
+//     run an edge-weighted Steiner approximation (KMB);
+//   * Eq. 5 evaluation of any routing over the instance.
+//
+// These are the analysis-side tools; the distributed heuristics live in
+// routing/ and are exercised through net::Network.
+#pragma once
+
+#include <vector>
+
+#include "analytical/design_eval.hpp"
+#include "energy/radio_card.hpp"
+#include "graph/steiner.hpp"
+#include "phy/position.hpp"
+
+namespace eend::core {
+
+/// A design-problem instance: connectivity graph with communication edge
+/// weights w(e) and idling node weights c(v), plus traffic demands.
+class NetworkDesignProblem {
+ public:
+  /// Build from node positions and a radio card: nodes within transmission
+  /// range are connected; w(e) = Ptx(d) + Prx (per unit data time) and
+  /// c(v) = Pidle (per unit idle time), the Section 3 weighting.
+  static NetworkDesignProblem from_positions(
+      const std::vector<phy::Position>& positions,
+      const energy::RadioCard& card);
+
+  /// Build directly from an explicit graph (weights already assigned).
+  explicit NetworkDesignProblem(graph::Graph g) : graph_(std::move(g)) {}
+
+  const graph::Graph& graph() const { return graph_; }
+  graph::Graph& graph() { return graph_; }
+
+  void add_demand(graph::Demand d) { demands_.push_back(d); }
+  const std::vector<graph::Demand>& demands() const { return demands_; }
+
+  /// Terminals = all demand endpoints (deduplicated, sorted).
+  std::vector<graph::NodeId> terminals() const;
+
+  /// Node-weighted Steiner tree over the demand terminals (Klein-Ravi).
+  graph::SteinerTree solve_node_weighted() const;
+
+  /// MPC-style reduction: ignore node weights, run edge-weighted KMB with
+  /// w'(e) = c(u) (the "edge weights equal to c(u)" reduction of §3).
+  graph::SteinerTree solve_mpc_reduction() const;
+
+  /// Plain edge-weighted KMB on w(e) (communication-cost-only design).
+  graph::SteinerTree solve_edge_weighted() const;
+
+  /// Route all demands along shortest paths *within* the given tree and
+  /// evaluate Eq. 5.
+  analytical::Eq5Breakdown evaluate_tree(
+      const graph::SteinerTree& tree, const analytical::Eq5Params& p) const;
+
+  /// Route all demands along global shortest paths (no tree restriction)
+  /// and evaluate Eq. 5 — the "routing-aware" comparison point.
+  analytical::Eq5Breakdown evaluate_shortest_paths(
+      const analytical::Eq5Params& p) const;
+
+ private:
+  std::vector<analytical::RoutedDemand> route_in_subgraph(
+      const std::vector<graph::NodeId>& allowed_nodes) const;
+
+  graph::Graph graph_;
+  std::vector<graph::Demand> demands_;
+};
+
+}  // namespace eend::core

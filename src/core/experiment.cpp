@@ -1,0 +1,47 @@
+#include "core/experiment.hpp"
+
+namespace eend::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  EEND_REQUIRE(cfg.runs >= 1);
+  ExperimentResult out;
+  out.stack_label = cfg.stack.label;
+  out.rate_pps = cfg.scenario.rate_pps;
+
+  std::vector<double> delivery, goodput, tx, total, control, passive, active;
+  for (std::size_t i = 0; i < cfg.runs; ++i) {
+    net::ScenarioConfig sc = cfg.scenario;
+    sc.seed = cfg.base_seed + i;
+    net::Network network(sc, cfg.stack);
+    metrics::RunResult r = network.run();
+    delivery.push_back(r.delivery_ratio);
+    goodput.push_back(r.goodput_bit_per_j);
+    tx.push_back(r.transmit_energy_j);
+    total.push_back(r.total_energy_j);
+    control.push_back(r.control_energy_j);
+    passive.push_back(r.passive_energy_j);
+    active.push_back(static_cast<double>(r.nodes_carrying_data));
+    out.raw.push_back(std::move(r));
+  }
+  out.delivery_ratio = summarize(delivery);
+  out.goodput_bit_per_j = summarize(goodput);
+  out.transmit_energy_j = summarize(tx);
+  out.total_energy_j = summarize(total);
+  out.control_energy_j = summarize(control);
+  out.passive_energy_j = summarize(passive);
+  out.nodes_carrying_data = summarize(active);
+  return out;
+}
+
+std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,
+                                          const std::vector<double>& rates) {
+  std::vector<ExperimentResult> out;
+  out.reserve(rates.size());
+  for (double r : rates) {
+    cfg.scenario.rate_pps = r;
+    out.push_back(run_experiment(cfg));
+  }
+  return out;
+}
+
+}  // namespace eend::core

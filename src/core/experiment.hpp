@@ -1,0 +1,46 @@
+// Experiment orchestration: run a (scenario, stack) combination over
+// multiple seeds and aggregate the paper's metrics with 95% confidence
+// intervals — the exact methodology of §5.2 ("Each graph depicts an average
+// of N runs and 95% confidence intervals").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+namespace eend::core {
+
+struct ExperimentConfig {
+  net::ScenarioConfig scenario;
+  net::StackSpec stack;
+  std::size_t runs = 5;
+  std::uint64_t base_seed = 1;
+};
+
+/// Aggregated results of one experiment cell.
+struct ExperimentResult {
+  std::string stack_label;
+  double rate_pps = 0.0;
+
+  SampleStats delivery_ratio;
+  SampleStats goodput_bit_per_j;
+  SampleStats transmit_energy_j;
+  SampleStats total_energy_j;
+  SampleStats control_energy_j;
+  SampleStats passive_energy_j;
+  SampleStats nodes_carrying_data;
+
+  std::vector<metrics::RunResult> raw;  ///< per-run detail
+};
+
+/// Run `cfg.runs` independent replications (seeds base_seed..base_seed+R-1).
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Sweep helper: same scenario/stack across a list of per-flow rates.
+std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,
+                                          const std::vector<double>& rates);
+
+}  // namespace eend::core

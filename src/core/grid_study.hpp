@@ -1,0 +1,43 @@
+// The §5.2.3 hypothetical-card study (Figs. 13-16).
+//
+// Paper methodology: simulate the 7x7 grid at a low base rate until routes
+// stabilize, then freeze those routes and compute E_network analytically
+// for higher rates ("we find the time when the routes stabilize for the
+// 2 Kbit/s and use these routes to calculate E_network for higher rates"),
+// under two sleep-scheduling models:
+//   * perfect sleep — every node pays sleep power whenever it is not
+//     transmitting or receiving;
+//   * ODPM          — nodes on routes idle (in expectation of traffic);
+//     all other nodes follow the PSM beacon/ATIM duty cycle;
+//   * always-active — the DSR-Active baseline: everyone idles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace eend::core {
+
+struct GridPoint {
+  double rate_pps = 0.0;
+  double goodput_bit_per_j = 0.0;
+  double network_power_w = 0.0;  ///< E_network per second at this rate
+  double data_power_w = 0.0;
+  double passive_power_w = 0.0;
+};
+
+struct GridSeries {
+  std::string label;
+  std::vector<mac::NodeId> active_nodes;  ///< nodes on frozen routes
+  std::vector<GridPoint> points;
+};
+
+/// Run the base-rate simulation for `stack`, freeze its routes, and produce
+/// the goodput series over `rates_pps`. The sleep-scheduling model is
+/// derived from stack.power (PerfectSleep / Odpm / AlwaysActive).
+GridSeries grid_series(const net::ScenarioConfig& scenario,
+                       const net::StackSpec& stack,
+                       const std::vector<double>& rates_pps);
+
+}  // namespace eend::core

@@ -1,0 +1,123 @@
+#include "energy/energy_meter.hpp"
+
+namespace eend::energy {
+
+namespace {
+std::size_t mi(RadioMode m) { return static_cast<std::size_t>(m); }
+std::size_t ci(Category c) { return static_cast<std::size_t>(c); }
+}  // namespace
+
+void EnergyMeter::begin(double now, RadioMode mode) {
+  EEND_REQUIRE(!started_);
+  started_ = true;
+  last_ts_ = now;
+  mode_ = mode;
+  cat_ = Category::Passive;
+  draw_w_ = mode == RadioMode::Sleep ? card_.p_sleep : card_.p_idle;
+}
+
+void EnergyMeter::integrate(double now) {
+  EEND_REQUIRE(started_);
+  EEND_REQUIRE_MSG(now >= last_ts_, "time moved backwards: " << now << " < "
+                                                             << last_ts_);
+  const double dt = now - last_ts_;
+  energy_[mi(mode_)][ci(cat_)] += dt * draw_w_;
+  time_[mi(mode_)] += dt;
+  last_ts_ = now;
+}
+
+void EnergyMeter::set_passive_mode(double now, RadioMode mode,
+                                   bool charge_switch) {
+  EEND_REQUIRE(mode == RadioMode::Idle || mode == RadioMode::Sleep);
+  integrate(now);
+  // Esw is charged on sleep<->idle transitions (Eq. 3).
+  const bool was_sleep = mode_ == RadioMode::Sleep;
+  const bool to_sleep = mode == RadioMode::Sleep;
+  if (charge_switch && was_sleep != to_sleep) {
+    switch_energy_j_ += card_.switch_energy_j;
+    ++switches_;
+  }
+  mode_ = mode;
+  cat_ = Category::Passive;
+  draw_w_ = to_sleep ? card_.p_sleep : card_.p_idle;
+}
+
+void EnergyMeter::set_transmit(double now, double power_w, Category cat) {
+  EEND_REQUIRE(power_w >= 0.0);
+  EEND_REQUIRE(cat != Category::Passive);
+  integrate(now);
+  mode_ = RadioMode::Transmit;
+  cat_ = cat;
+  draw_w_ = power_w;
+}
+
+void EnergyMeter::set_receive(double now, Category cat) {
+  EEND_REQUIRE(cat != Category::Passive);
+  integrate(now);
+  mode_ = RadioMode::Receive;
+  cat_ = cat;
+  draw_w_ = card_.p_rx;
+}
+
+void EnergyMeter::charge_tx_burst(double duration, double power_w,
+                                  Category cat) {
+  EEND_REQUIRE(duration >= 0.0 && power_w >= 0.0);
+  EEND_REQUIRE(cat != Category::Passive);
+  energy_[mi(RadioMode::Transmit)][ci(cat)] += duration * power_w;
+  time_[mi(RadioMode::Transmit)] += duration;
+}
+
+void EnergyMeter::finish(double now) { integrate(now); }
+
+double EnergyMeter::peek_total(double now) const {
+  EEND_REQUIRE(started_);
+  EEND_REQUIRE(now >= last_ts_);
+  return total() + (now - last_ts_) * draw_w_;
+}
+
+double EnergyMeter::total() const {
+  double sum = switch_energy_j_;
+  for (const auto& row : energy_)
+    for (double e : row) sum += e;
+  return sum;
+}
+
+double EnergyMeter::data_energy() const {
+  return energy_[mi(RadioMode::Transmit)][ci(Category::Data)] +
+         energy_[mi(RadioMode::Receive)][ci(Category::Data)];
+}
+
+double EnergyMeter::control_energy() const {
+  return energy_[mi(RadioMode::Transmit)][ci(Category::Control)] +
+         energy_[mi(RadioMode::Receive)][ci(Category::Control)];
+}
+
+double EnergyMeter::passive_energy() const {
+  return idle_energy() + sleep_energy() + switch_energy_j_;
+}
+
+double EnergyMeter::transmit_energy() const {
+  const auto& row = energy_[mi(RadioMode::Transmit)];
+  return row[ci(Category::Data)] + row[ci(Category::Control)];
+}
+
+double EnergyMeter::receive_energy() const {
+  const auto& row = energy_[mi(RadioMode::Receive)];
+  return row[ci(Category::Data)] + row[ci(Category::Control)];
+}
+
+double EnergyMeter::idle_energy() const {
+  const auto& row = energy_[mi(RadioMode::Idle)];
+  return row[0] + row[1] + row[2];
+}
+
+double EnergyMeter::sleep_energy() const {
+  const auto& row = energy_[mi(RadioMode::Sleep)];
+  return row[0] + row[1] + row[2];
+}
+
+double EnergyMeter::switch_energy() const { return switch_energy_j_; }
+
+double EnergyMeter::time_in(RadioMode m) const { return time_[mi(m)]; }
+
+}  // namespace eend::energy

@@ -1,0 +1,107 @@
+// Per-node energy accounting — the simulator-side realization of the
+// Section 2.1 energy model.
+//
+// The meter is a lazily-integrated state machine: it records the current
+// radio mode, draw and accounting category, and on every transition adds
+// (elapsed x power) into the (mode, category) bucket. This makes energy
+// accounting O(1) per state change — no per-beacon bookkeeping events —
+// which is what lets 200-node, 900-second runs finish in milliseconds.
+//
+// Buckets map onto the paper's decomposition:
+//   Edata    = transmit/receive time attributed to data packets   (Eq. 1)
+//   Econtrol = transmit/receive time attributed to control packets (Eq. 2)
+//   Epassive = idle + sleep + switching                            (Eq. 3)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "energy/radio_card.hpp"
+#include "util/check.hpp"
+
+namespace eend::energy {
+
+/// Radio operating mode (Section 2.1: transmit, receive, idle, sleep).
+enum class RadioMode : std::uint8_t { Transmit, Receive, Idle, Sleep };
+
+/// Accounting category for communication energy.
+enum class Category : std::uint8_t { Data, Control, Passive };
+
+inline const char* to_string(RadioMode m) {
+  switch (m) {
+    case RadioMode::Transmit: return "transmit";
+    case RadioMode::Receive: return "receive";
+    case RadioMode::Idle: return "idle";
+    case RadioMode::Sleep: return "sleep";
+  }
+  return "?";
+}
+
+/// Tracks one node's energy use over a run.
+class EnergyMeter {
+ public:
+  /// `card` supplies idle/sleep draws and the per-transition switch cost.
+  explicit EnergyMeter(const RadioCard& card) : card_(card) {}
+
+  /// Start metering at simulation time `now` in the given persistent mode.
+  void begin(double now, RadioMode mode);
+
+  /// Transition to idle or sleep (persistent modes; draw from the card).
+  /// `charge_switch` controls whether a sleep<->idle flip pays Esw —
+  /// PerfectSleep radios bill passive time at sleep draw without real
+  /// transitions and pass false.
+  void set_passive_mode(double now, RadioMode mode, bool charge_switch = true);
+
+  /// Enter transmit mode at `power_w` attributing to `cat`; the caller must
+  /// pair this with a return to a passive mode (or another active mode).
+  void set_transmit(double now, double power_w, Category cat);
+
+  /// Enter receive mode attributing to `cat`.
+  void set_receive(double now, Category cat);
+
+  /// Charge a short transmission burst (e.g. an ATIM announcement frame)
+  /// without changing the persistent mode — duration x power is added to
+  /// the transmit bucket directly.
+  void charge_tx_burst(double duration, double power_w, Category cat);
+
+  /// Stop metering (integrates the final open interval).
+  void finish(double now);
+
+  RadioMode mode() const { return mode_; }
+
+  /// Total including the currently-open interval up to `now` — lets
+  /// battery models read consumption mid-run without a state change.
+  double peek_total(double now) const;
+
+  /// --- Totals (valid after finish(), or mid-run for time < last change) --
+  double total() const;
+  double data_energy() const;      ///< Edata
+  double control_energy() const;   ///< Econtrol
+  double passive_energy() const;   ///< Epassive (idle + sleep + switch)
+  double transmit_energy() const;  ///< tx-mode energy, data + control
+  double receive_energy() const;
+  double idle_energy() const;
+  double sleep_energy() const;
+  double switch_energy() const;
+
+  double time_in(RadioMode m) const;
+  std::uint64_t switch_count() const { return switches_; }
+
+ private:
+  void integrate(double now);
+
+  RadioCard card_;
+  bool started_ = false;
+  double last_ts_ = 0.0;
+  RadioMode mode_ = RadioMode::Idle;
+  Category cat_ = Category::Passive;
+  double draw_w_ = 0.0;
+
+  // energy[mode][category], time[mode]
+  std::array<std::array<double, 3>, 4> energy_{};
+  std::array<double, 4> time_{};
+  double switch_energy_j_ = 0.0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace eend::energy

@@ -1,0 +1,103 @@
+#include "energy/radio_card.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/units.hpp"
+
+namespace eend::energy {
+
+RadioCard aironet350() {
+  RadioCard c;
+  c.name = "Aironet350";
+  c.p_idle = milliwatts(1350);
+  c.p_rx = milliwatts(1350);
+  c.p_sleep = milliwatts(75);  // Cisco 350 series data-sheet sleep mode
+  c.p_base = milliwatts(2165);
+  c.alpha2 = milliwatts(3.6e-7);
+  c.path_loss_n = 4.0;
+  c.max_range_m = 140.0;
+  c.bandwidth_bps = 2e6;
+  return c;
+}
+
+RadioCard cabletron() {
+  RadioCard c;
+  c.name = "Cabletron";
+  c.p_idle = milliwatts(830);
+  c.p_rx = milliwatts(1000);
+  c.p_sleep = milliwatts(130);  // RoamAbout sleep power (Span measurements)
+  c.p_base = milliwatts(1118);
+  c.alpha2 = milliwatts(7.2e-8);
+  c.path_loss_n = 4.0;
+  c.max_range_m = 250.0;
+  c.bandwidth_bps = 2e6;
+  return c;
+}
+
+RadioCard hypothetical_cabletron() {
+  RadioCard c = cabletron();
+  c.name = "HypoCabletron";
+  // §5.1: alpha2 >= 5.16e-6 makes m_opt >= 2 at R/B = 0.25; the paper's
+  // hypothetical card uses 5.2e-6 (Table 1).
+  c.alpha2 = milliwatts(5.2e-6);
+  return c;
+}
+
+RadioCard mica2() {
+  RadioCard c;
+  c.name = "Mica2";
+  c.p_idle = milliwatts(21);
+  c.p_rx = milliwatts(21);
+  c.p_sleep = milliwatts(0.003);  // mote deep-sleep, ~3 uW
+  c.p_base = milliwatts(10.2);
+  c.alpha2 = milliwatts(9.4e-7);
+  c.path_loss_n = 4.0;
+  c.max_range_m = 68.0;
+  c.bandwidth_bps = 38.4e3;
+  return c;
+}
+
+RadioCard leach_n4() {
+  RadioCard c;
+  c.name = "LEACH-n4";
+  c.p_idle = milliwatts(50);  // x = 1 in Table 1's "x * 50"
+  c.p_rx = milliwatts(50);
+  c.p_sleep = milliwatts(0.01);
+  c.p_base = milliwatts(50);
+  c.alpha2 = milliwatts(1.3e-6);
+  c.path_loss_n = 4.0;
+  c.max_range_m = 100.0;
+  c.bandwidth_bps = 1e6;
+  return c;
+}
+
+RadioCard leach_n2() {
+  RadioCard c = leach_n4();
+  c.name = "LEACH-n2";
+  c.alpha2 = milliwatts(1e-2);
+  c.path_loss_n = 2.0;
+  c.max_range_m = 75.0;
+  return c;
+}
+
+std::vector<RadioCard> fig7_cards() {
+  return {aironet350(), cabletron(), mica2(), leach_n4(), leach_n2(),
+          hypothetical_cabletron()};
+}
+
+RadioCard card_by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  for (const RadioCard& c : fig7_cards()) {
+    std::string cn = c.name;
+    std::transform(cn.begin(), cn.end(), cn.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (cn == key) return c;
+  }
+  EEND_REQUIRE_MSG(false, "unknown radio card: " << name);
+  return {};  // unreachable
+}
+
+}  // namespace eend::energy

@@ -1,0 +1,87 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+
+namespace eend::graph {
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.label.assign(g.node_count(), kInvalidNode);
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (c.label[start] != kInvalidNode) continue;
+    const auto id = static_cast<NodeId>(c.count++);
+    std::queue<NodeId> q;
+    q.push(start);
+    c.label[start] = id;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const auto& [v, e] : g.neighbors(u)) {
+        (void)e;
+        if (c.label[v] == kInvalidNode) {
+          c.label[v] = id;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+bool demands_satisfiable(const Graph& g, std::span<const Demand> demands,
+                         const std::vector<bool>& active) {
+  EEND_REQUIRE(active.size() == g.node_count());
+  // BFS in the induced subgraph from each unique source.
+  for (const Demand& d : demands) {
+    if (!active[d.source] || !active[d.destination]) return false;
+    std::vector<bool> seen(g.node_count(), false);
+    std::queue<NodeId> q;
+    q.push(d.source);
+    seen[d.source] = true;
+    bool found = d.source == d.destination;
+    while (!q.empty() && !found) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const auto& [v, e] : g.neighbors(u)) {
+        (void)e;
+        if (!active[v] || seen[v]) continue;
+        seen[v] = true;
+        if (v == d.destination) {
+          found = true;
+          break;
+        }
+        q.push(v);
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  EEND_REQUIRE(g.valid_node(source));
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreached);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, e] : g.neighbors(u)) {
+      (void)e;
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace eend::graph

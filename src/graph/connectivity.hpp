@@ -1,0 +1,34 @@
+// Connectivity queries used by scenario builders (reject disconnected
+// placements) and by the design-problem solvers (feasibility checks).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eend::graph {
+
+/// Component label per node; labels are dense in [0, #components).
+struct Components {
+  std::vector<NodeId> label;
+  std::size_t count = 0;
+
+  bool same(NodeId u, NodeId v) const { return label[u] == label[v]; }
+};
+
+/// BFS-based connected components of the whole graph.
+Components connected_components(const Graph& g);
+
+/// Is the whole graph one component? (Empty graphs count as connected.)
+bool is_connected(const Graph& g);
+
+/// Are all demand endpoints pairwise connected within the subgraph induced
+/// by `active` nodes? Edges incident to inactive nodes are ignored.
+bool demands_satisfiable(const Graph& g, std::span<const Demand> demands,
+                         const std::vector<bool>& active);
+
+/// BFS hop distance (unweighted) from source; kInvalidNode-distance encoded
+/// as std::numeric_limits<std::uint32_t>::max() for unreachable nodes.
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source);
+
+}  // namespace eend::graph

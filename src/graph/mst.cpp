@@ -1,0 +1,41 @@
+#include "graph/mst.hpp"
+
+#include <queue>
+
+namespace eend::graph {
+
+MstResult prim_mst(const Graph& g, NodeId root) {
+  MstResult r;
+  if (g.node_count() == 0) {
+    r.connected = true;
+    return r;
+  }
+  EEND_REQUIRE(g.valid_node(root));
+  std::vector<bool> in_tree(g.node_count(), false);
+  using Item = std::pair<double, EdgeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+
+  auto add_node = [&](NodeId v) {
+    in_tree[v] = true;
+    for (const auto& [nbr, e] : g.neighbors(v))
+      if (!in_tree[nbr]) pq.emplace(g.edge(e).weight, e);
+  };
+  add_node(root);
+
+  std::size_t reached = 1;
+  while (!pq.empty() && reached < g.node_count()) {
+    const auto [w, e] = pq.top();
+    pq.pop();
+    const Edge& edge = g.edge(e);
+    const NodeId next = in_tree[edge.u] ? edge.v : edge.u;
+    if (in_tree[next]) continue;
+    r.edges.push_back(e);
+    r.total_weight += w;
+    ++reached;
+    add_node(next);
+  }
+  r.connected = reached == g.node_count();
+  return r;
+}
+
+}  // namespace eend::graph

@@ -1,0 +1,22 @@
+// Minimum spanning tree (Prim) — building block for the KMB Steiner-tree
+// approximation used by the centralized design-problem solvers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eend::graph {
+
+/// Result of an MST computation: selected edge ids and total weight.
+struct MstResult {
+  std::vector<EdgeId> edges;
+  double total_weight = 0.0;
+  bool connected = false;  ///< true iff all nodes were reached
+};
+
+/// Prim's algorithm from node 0 (or `root`). Isolated graphs yield
+/// connected == false and a spanning forest of the root's component.
+MstResult prim_mst(const Graph& g, NodeId root = 0);
+
+}  // namespace eend::graph

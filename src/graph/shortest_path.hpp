@@ -1,0 +1,50 @@
+// Shortest-path algorithms over Graph: Dijkstra (primary) and Bellman-Ford
+// (used as a test oracle). Both operate on edge weights; an optional
+// node-cost hook lets callers fold node weights into path costs, which the
+// joint-optimization routing metric h(u,v,r) requires.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eend::graph {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> distance;   ///< kInfCost when unreachable
+  std::vector<NodeId> parent;     ///< kInvalidNode for source/unreachable
+
+  bool reachable(NodeId v) const { return distance[v] < kInfCost; }
+
+  /// Reconstruct source -> v as a node sequence (empty if unreachable).
+  std::vector<NodeId> path_to(NodeId v) const;
+};
+
+/// Additional per-node cost charged when a path *enters* node v (not charged
+/// for source or destination). Used to express node-weighted problems on an
+/// edge-weighted solver; pass nullptr for pure edge-weighted paths.
+using NodeCostFn = std::function<double(NodeId)>;
+
+/// Dijkstra from `source`. Edge weights must be non-negative; throws
+/// CheckError otherwise (checked lazily as edges are relaxed).
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const NodeCostFn& node_cost = nullptr);
+
+/// Bellman-Ford oracle; O(VE), tolerant of zero weights, used in tests to
+/// validate Dijkstra on random graphs.
+ShortestPathTree bellman_ford(const Graph& g, NodeId source,
+                              const NodeCostFn& node_cost = nullptr);
+
+/// Total edge weight of a node path (kInfCost if any hop is missing).
+double path_cost(const Graph& g, std::span<const NodeId> path);
+
+/// Hop count convenience: number of edges in the path.
+inline std::size_t path_hops(std::span<const NodeId> path) {
+  return path.empty() ? 0 : path.size() - 1;
+}
+
+}  // namespace eend::graph

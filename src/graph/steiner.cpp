@@ -1,0 +1,361 @@
+#include "graph/steiner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/mst.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace eend::graph {
+
+namespace {
+
+bool is_terminal(std::span<const NodeId> terminals, NodeId v) {
+  return std::find(terminals.begin(), terminals.end(), v) != terminals.end();
+}
+
+/// Build the result record from a set of tree edges in g.
+SteinerTree assemble(const Graph& g, std::span<const NodeId> terminals,
+                     const std::set<EdgeId>& edges) {
+  SteinerTree t;
+  std::set<NodeId> nodes(terminals.begin(), terminals.end());
+  for (EdgeId e : edges) {
+    nodes.insert(g.edge(e).u);
+    nodes.insert(g.edge(e).v);
+    t.edge_cost += g.edge(e).weight;
+  }
+  t.edges.assign(edges.begin(), edges.end());
+  t.nodes.assign(nodes.begin(), nodes.end());
+  for (NodeId v : t.nodes)
+    if (!is_terminal(terminals, v)) t.node_cost += g.node_weight(v);
+
+  // Feasibility: all terminals in one component of the tree subgraph.
+  std::map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> adj;
+  for (EdgeId e : edges) {
+    adj[g.edge(e).u].push_back({g.edge(e).v, e});
+    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+  }
+  if (terminals.empty()) {
+    t.feasible = true;
+    return t;
+  }
+  std::set<NodeId> seen;
+  std::queue<NodeId> q;
+  q.push(terminals[0]);
+  seen.insert(terminals[0]);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, e] : adj[u]) {
+      (void)e;
+      if (seen.insert(v).second) q.push(v);
+    }
+  }
+  t.feasible = std::all_of(terminals.begin(), terminals.end(),
+                           [&](NodeId v) { return seen.count(v) > 0; });
+  return t;
+}
+
+/// Remove non-terminal leaves repeatedly (final KMB step).
+void prune_leaves(const Graph& g, std::span<const NodeId> terminals,
+                  std::set<EdgeId>& edges) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<NodeId, std::vector<EdgeId>> incident;
+    for (EdgeId e : edges) {
+      incident[g.edge(e).u].push_back(e);
+      incident[g.edge(e).v].push_back(e);
+    }
+    for (const auto& [v, inc] : incident) {
+      if (inc.size() == 1 && !is_terminal(terminals, v)) {
+        edges.erase(inc[0]);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SteinerTree kmb_steiner_tree(const Graph& g,
+                             std::span<const NodeId> terminals) {
+  EEND_REQUIRE(!terminals.empty());
+  for (NodeId t : terminals) EEND_REQUIRE(g.valid_node(t));
+  if (terminals.size() == 1) {
+    SteinerTree t;
+    t.nodes.assign(terminals.begin(), terminals.end());
+    t.feasible = true;
+    return t;
+  }
+
+  // 1. Shortest paths from every terminal.
+  std::vector<ShortestPathTree> spt;
+  spt.reserve(terminals.size());
+  for (NodeId t : terminals) spt.push_back(dijkstra(g, t));
+
+  // 2. Metric closure over terminals + 3. MST of the closure (Prim inline).
+  const std::size_t k = terminals.size();
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best(k, kInfCost);
+  std::vector<std::size_t> best_from(k, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < k; ++j) {
+    best[j] = spt[0].distance[terminals[j]];
+    best_from[j] = 0;
+  }
+  std::set<EdgeId> chosen;
+  for (std::size_t round = 1; round < k; ++round) {
+    std::size_t next = k;
+    for (std::size_t j = 0; j < k; ++j)
+      if (!in_tree[j] && (next == k || best[j] < best[next])) next = j;
+    if (next == k || best[next] == kInfCost) {
+      // Disconnected terminals: return infeasible result.
+      return assemble(g, terminals, chosen);
+    }
+    // 4. Expand the closure edge into its underlying graph path.
+    const auto path = spt[best_from[next]].path_to(terminals[next]);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // Pick the cheapest edge between consecutive path nodes.
+      EdgeId cheapest = kInvalidNode;
+      double w = kInfCost;
+      for (const auto& [nbr, e] : g.neighbors(path[i]))
+        if (nbr == path[i + 1] && g.edge(e).weight < w) {
+          w = g.edge(e).weight;
+          cheapest = e;
+        }
+      EEND_CHECK(cheapest != kInvalidNode);
+      chosen.insert(cheapest);
+    }
+    in_tree[next] = true;
+    for (std::size_t j = 0; j < k; ++j)
+      if (!in_tree[j] && spt[next].distance[terminals[j]] < best[j]) {
+        best[j] = spt[next].distance[terminals[j]];
+        best_from[j] = next;
+      }
+  }
+
+  // 5. MST over the union subgraph, then prune non-terminal leaves.
+  // Build an induced subgraph on `chosen`, run Prim, map edges back.
+  {
+    std::map<NodeId, NodeId> remap;
+    Graph sub;
+    std::vector<EdgeId> back;
+    for (EdgeId e : chosen) {
+      for (NodeId endpoint : {g.edge(e).u, g.edge(e).v})
+        if (!remap.count(endpoint)) {
+          remap[endpoint] = sub.add_node();
+        }
+      sub.add_edge(remap[g.edge(e).u], remap[g.edge(e).v], g.edge(e).weight);
+      back.push_back(e);
+    }
+    if (sub.node_count() > 0) {
+      const MstResult mst = prim_mst(sub, 0);
+      std::set<EdgeId> kept;
+      for (EdgeId se : mst.edges) kept.insert(back[se]);
+      chosen = std::move(kept);
+    }
+  }
+  prune_leaves(g, terminals, chosen);
+  return assemble(g, terminals, chosen);
+}
+
+SteinerTree klein_ravi_steiner(const Graph& g,
+                               std::span<const NodeId> terminals) {
+  EEND_REQUIRE(!terminals.empty());
+  for (NodeId t : terminals) EEND_REQUIRE(g.valid_node(t));
+
+  // Node cost: terminals are free (c(si) = c(di) = 0 per the paper).
+  auto cost_of = [&](NodeId v) {
+    return is_terminal(terminals, v) ? 0.0 : g.node_weight(v);
+  };
+
+  // Components: start with each terminal alone. We track, per node, which
+  // component it belongs to (kInvalidNode = none yet). Selected nodes form
+  // the growing solution.
+  std::vector<NodeId> comp(g.node_count(), kInvalidNode);
+  std::set<NodeId> selected(terminals.begin(), terminals.end());
+  NodeId next_comp = 0;
+  for (NodeId t : terminals)
+    if (comp[t] == kInvalidNode) comp[t] = next_comp++;
+  std::size_t active_components = next_comp;
+
+  // Node-weighted shortest path FROM a candidate spider center v to each
+  // component: weight of a path = sum of costs of intermediate nodes (both
+  // endpoints excluded; the center is charged separately).
+  auto spider_paths = [&](NodeId center) {
+    // Dijkstra where entering node u costs cost_of(u), except entering a
+    // node already in `selected` costs 0 (it is already paid for).
+    std::vector<double> dist(g.node_count(), kInfCost);
+    std::vector<NodeId> par(g.node_count(), kInvalidNode);
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[center] = 0.0;
+    pq.emplace(0.0, center);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, e] : g.neighbors(u)) {
+        (void)e;
+        const double step = selected.count(v) ? 0.0 : cost_of(v);
+        const double nd = d + step;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          par[v] = u;
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    return std::make_pair(std::move(dist), std::move(par));
+  };
+
+  while (active_components > 1) {
+    double best_ratio = kInfCost;
+    NodeId best_center = kInvalidNode;
+    std::vector<NodeId> best_targets;  // one representative node per comp
+    std::vector<NodeId> best_parent;
+
+    for (NodeId center = 0; center < g.node_count(); ++center) {
+      auto [dist, par] = spider_paths(center);
+      // Cheapest touch-point per component.
+      std::map<NodeId, std::pair<double, NodeId>> comp_best;
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (comp[v] == kInvalidNode || dist[v] == kInfCost) continue;
+        auto it = comp_best.find(comp[v]);
+        if (it == comp_best.end() || dist[v] < it->second.first)
+          comp_best[comp[v]] = {dist[v], v};
+      }
+      if (comp_best.size() < 2) continue;
+      std::vector<std::pair<double, NodeId>> legs;
+      legs.reserve(comp_best.size());
+      for (const auto& [c, leg] : comp_best) {
+        (void)c;
+        legs.push_back(leg);
+      }
+      std::sort(legs.begin(), legs.end());
+      // Try spider degrees 2..all, pick the best cost/#components ratio.
+      const double center_cost = selected.count(center) ? 0.0 : cost_of(center);
+      double acc = center_cost;
+      for (std::size_t i = 0; i < legs.size(); ++i) {
+        acc += legs[i].first;
+        const std::size_t deg = i + 1;
+        if (deg < 2) continue;
+        const double ratio = acc / static_cast<double>(deg);
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best_center = center;
+          best_targets.clear();
+          for (std::size_t j = 0; j <= i; ++j)
+            best_targets.push_back(legs[j].second);
+          best_parent = par;
+        }
+      }
+    }
+
+    if (best_center == kInvalidNode) {
+      // Cannot merge further — terminals are disconnected.
+      break;
+    }
+
+    // Apply the spider: select center and all path nodes; merge components.
+    const NodeId merged = comp[best_targets[0]];
+    auto select_node = [&](NodeId v) {
+      selected.insert(v);
+      if (comp[v] == kInvalidNode) comp[v] = merged;
+    };
+    select_node(best_center);
+    for (NodeId target : best_targets) {
+      for (NodeId cur = target; cur != kInvalidNode && cur != best_center;
+           cur = best_parent[cur])
+        select_node(cur);
+    }
+    // Relabel all nodes of merged components.
+    std::set<NodeId> merged_comps;
+    for (NodeId target : best_targets) merged_comps.insert(comp[target]);
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      if (comp[v] != kInvalidNode && merged_comps.count(comp[v]))
+        comp[v] = merged;
+    active_components -= merged_comps.size() - 1;
+  }
+
+  // Materialize tree edges: run an MST restricted to selected nodes (any
+  // spanning structure works; MST keeps edge cost tidy), then prune.
+  std::set<EdgeId> edges;
+  {
+    std::map<NodeId, NodeId> remap;
+    Graph sub;
+    std::vector<EdgeId> back;
+    for (NodeId v : selected) remap[v] = sub.add_node();
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& ed = g.edge(static_cast<EdgeId>(e));
+      if (remap.count(ed.u) && remap.count(ed.v)) {
+        sub.add_edge(remap[ed.u], remap[ed.v], ed.weight);
+        back.push_back(static_cast<EdgeId>(e));
+      }
+    }
+    if (sub.node_count() > 0) {
+      const MstResult mst = prim_mst(sub, 0);
+      for (EdgeId se : mst.edges) edges.insert(back[se]);
+    }
+  }
+  prune_leaves(g, terminals, edges);
+  return assemble(g, terminals, edges);
+}
+
+SteinerTree exact_node_weighted_steiner(const Graph& g,
+                                        std::span<const NodeId> terminals) {
+  EEND_REQUIRE(!terminals.empty());
+  std::vector<NodeId> optional;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (!is_terminal(terminals, v)) optional.push_back(v);
+  EEND_REQUIRE_MSG(optional.size() <= 20,
+                   "exact solver limited to 20 optional nodes");
+
+  SteinerTree best;
+  double best_cost = kInfCost;
+  const std::size_t subsets = std::size_t{1} << optional.size();
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<bool> active(g.node_count(), false);
+    for (NodeId t : terminals) active[t] = true;
+    double node_cost = 0.0;
+    for (std::size_t i = 0; i < optional.size(); ++i)
+      if (mask & (std::size_t{1} << i)) {
+        active[optional[i]] = true;
+        node_cost += g.node_weight(optional[i]);
+      }
+    if (node_cost >= best_cost) continue;
+    std::vector<Demand> pairwise;
+    for (std::size_t i = 1; i < terminals.size(); ++i)
+      pairwise.push_back({terminals[0], terminals[i], 1.0});
+    if (!demands_satisfiable(g, pairwise, active)) continue;
+    // Tree edges: MST over the active induced subgraph.
+    std::map<NodeId, NodeId> remap;
+    Graph sub;
+    std::vector<EdgeId> back;
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      if (active[v]) remap[v] = sub.add_node();
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& ed = g.edge(e);
+      if (remap.count(ed.u) && remap.count(ed.v)) {
+        sub.add_edge(remap[ed.u], remap[ed.v], ed.weight);
+        back.push_back(e);
+      }
+    }
+    const MstResult mst = prim_mst(sub, 0);
+    std::set<EdgeId> edges;
+    for (EdgeId se : mst.edges) edges.insert(back[se]);
+    prune_leaves(g, terminals, edges);
+    SteinerTree cand = assemble(g, terminals, edges);
+    if (cand.feasible && cand.node_cost < best_cost) {
+      best_cost = cand.node_cost;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace eend::graph

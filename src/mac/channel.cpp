@@ -1,0 +1,133 @@
+#include "mac/channel.hpp"
+
+#include <algorithm>
+
+namespace eend::mac {
+
+void Channel::register_radio(NodeRadio* radio) {
+  EEND_REQUIRE(radio != nullptr);
+  EEND_REQUIRE_MSG(!frozen_, "topology already frozen");
+  EEND_REQUIRE_MSG(radio->id() == radios_.size(),
+                   "radios must be registered in id order");
+  radios_.push_back(radio);
+  deliver_.emplace_back();
+  overhear_.emplace_back();
+}
+
+void Channel::freeze_topology() {
+  EEND_REQUIRE(!frozen_);
+  frozen_ = true;
+  // Maximum possible footprint: full-power CS range (largest of the three
+  // range flavors). Any pair farther apart than this never interacts.
+  const double max_reach =
+      std::max(prop_.cs_range(prop_.card().max_transmit_power()),
+               prop_.interference_range(prop_.card().max_transmit_power()));
+  neighborhood_.resize(radios_.size());
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    for (std::size_t j = 0; j < radios_.size(); ++j) {
+      if (i == j) continue;
+      const double d =
+          phy::distance(radios_[i]->position(), radios_[j]->position());
+      if (d <= max_reach)
+        neighborhood_[i].push_back(
+            Neighbor{static_cast<NodeId>(j), d});
+    }
+    std::sort(neighborhood_[i].begin(), neighborhood_[i].end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.dist < b.dist;
+              });
+  }
+}
+
+std::vector<NodeId> Channel::nodes_within(NodeId of, double range) const {
+  EEND_REQUIRE(frozen_ && of < radios_.size());
+  std::vector<NodeId> out;
+  for (const Neighbor& n : neighborhood_[of]) {
+    if (n.dist > range) break;  // sorted by distance
+    out.push_back(n.id);
+  }
+  return out;
+}
+
+bool Channel::carrier_busy(NodeId listener) const {
+  EEND_REQUIRE(listener < radios_.size());
+  const auto& pos = radios_[listener]->position();
+  for (const ActiveTx& tx : active_) {
+    const double d = phy::distance(pos, radios_[tx.sender]->position());
+    if (d <= tx.cs_range) return true;
+  }
+  return false;
+}
+
+void Channel::transmit(const Frame& frame, double duration,
+                       std::function<void(const TxResult&)> on_done) {
+  EEND_REQUIRE(frozen_);
+  EEND_REQUIRE(duration > 0.0);
+  EEND_REQUIRE(frame.tx_node < radios_.size());
+  NodeRadio& sender = *radios_[frame.tx_node];
+
+  Frame f = frame;
+  f.frame_uid = next_frame_uid_++;
+  ++transmissions_;
+
+  const double rx_range = prop_.rx_range(f.tx_power_w);
+  const double int_range = prop_.interference_range(f.tx_power_w);
+  const double cs_range = prop_.cs_range(f.tx_power_w);
+
+  sender.begin_tx(f.tx_power_w, f.packet.category);
+  active_.push_back(
+      ActiveTx{f.frame_uid, f.tx_node, cs_range, sim_.now() + duration});
+
+  // Interference sweep, then lock attempts on decodable radios.
+  std::vector<NodeId> irradiated;
+  std::vector<NodeId> locked;
+  for (const Neighbor& n : neighborhood_[f.tx_node]) {
+    if (n.dist > int_range) break;
+    radios_[n.id]->rf_begin();
+    irradiated.push_back(n.id);
+  }
+  for (const Neighbor& n : neighborhood_[f.tx_node]) {
+    if (n.dist > rx_range) break;
+    if (radios_[n.id]->try_lock_rx(f)) locked.push_back(n.id);
+  }
+
+  sim_.schedule_in(duration, [this, f, irradiated = std::move(irradiated),
+                              locked = std::move(locked),
+                              on_done = std::move(on_done)] {
+    TxResult result;
+    radios_[f.tx_node]->end_tx();
+    // End the footprint first so finish_rx sees a clean rf count.
+    for (NodeId id : irradiated) radios_[id]->rf_end();
+    for (NodeId id : locked) {
+      const bool ok = radios_[id]->finish_rx(f.frame_uid);
+      if (!ok) continue;
+      const bool addressed = f.is_broadcast() || f.rx_node == id;
+      if (f.rx_node == id) result.target_received = true;
+      if (addressed) {
+        if (deliver_[id]) deliver_[id](f);
+      } else {
+        if (overhear_[id]) overhear_[id](f);
+      }
+    }
+    // Remove from the active list.
+    active_.erase(std::find_if(active_.begin(), active_.end(),
+                               [&](const ActiveTx& t) {
+                                 return t.frame_uid == f.frame_uid;
+                               }));
+    if (on_done) on_done(result);
+  });
+}
+
+void Channel::set_deliver_handler(NodeId id,
+                                  std::function<void(const Frame&)> fn) {
+  EEND_REQUIRE(id < deliver_.size());
+  deliver_[id] = std::move(fn);
+}
+
+void Channel::set_overhear_handler(NodeId id,
+                                   std::function<void(const Frame&)> fn) {
+  EEND_REQUIRE(id < overhear_.size());
+  overhear_[id] = std::move(fn);
+}
+
+}  // namespace eend::mac

@@ -1,0 +1,107 @@
+// The shared wireless channel.
+//
+// A transmission occupies an airtime interval and a spatial footprint
+// derived from its power level. The channel implements:
+//   * carrier sensing   — is any transmission audible at a node?
+//   * reception locking — a radio decodes a frame iff it is the only signal
+//                         present at the radio for the frame's full airtime
+//                         (collision = overlap within interference range;
+//                         the hidden-terminal problem emerges naturally)
+//   * overhearing       — awake radios in range lock onto frames not
+//                         addressed to them and pay receive energy
+//
+// Positions are static (the paper studies static networks), so each node's
+// potential-interferer set is precomputed once; per-transmission work is
+// O(|neighborhood|), not O(N).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mac/node_radio.hpp"
+#include "mac/packet.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace eend::mac {
+
+/// Outcome of one frame transmission, reported to the sending MAC.
+struct TxResult {
+  bool target_received = false;  ///< meaningful for unicast only
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, phy::Propagation prop)
+      : sim_(sim), prop_(std::move(prop)) {}
+
+  /// Register radios in node-id order (id must equal index).
+  void register_radio(NodeRadio* radio);
+
+  /// Call after all radios are registered: builds neighbor tables.
+  void freeze_topology();
+
+  NodeRadio& radio(NodeId id) {
+    EEND_REQUIRE(id < radios_.size());
+    return *radios_[id];
+  }
+  const NodeRadio& radio(NodeId id) const {
+    EEND_REQUIRE(id < radios_.size());
+    return *radios_[id];
+  }
+  std::size_t node_count() const { return radios_.size(); }
+
+  const phy::Propagation& propagation() const { return prop_; }
+
+  /// Nodes within `range` meters of `of` (excluding `of` itself).
+  std::vector<NodeId> nodes_within(NodeId of, double range) const;
+
+  /// Nodes that can decode a max-power transmission from `of` — the
+  /// connectivity neighbors used by routing and scenario validation.
+  std::vector<NodeId> connectivity_neighbors(NodeId of) const {
+    return nodes_within(of, prop_.max_range());
+  }
+
+  /// Would a carrier-sensing node hear any ongoing transmission right now?
+  bool carrier_busy(NodeId listener) const;
+
+  /// Put `frame` on the air for `duration` seconds. The sender radio must
+  /// be awake and idle. `on_done` fires when airtime ends, after receiver
+  /// delivery callbacks have run.
+  void transmit(const Frame& frame, double duration,
+                std::function<void(const TxResult&)> on_done);
+
+  /// Delivery hooks, keyed by node id: invoked for successfully decoded
+  /// frames addressed to the node (or broadcast). Overhear hooks fire for
+  /// decodable frames addressed elsewhere.
+  void set_deliver_handler(NodeId id, std::function<void(const Frame&)> fn);
+  void set_overhear_handler(NodeId id, std::function<void(const Frame&)> fn);
+
+  std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  struct ActiveTx {
+    std::uint64_t frame_uid;
+    NodeId sender;
+    double cs_range;
+    sim::Time end;
+  };
+
+  struct Neighbor {
+    NodeId id;
+    double dist;
+  };
+
+  sim::Simulator& sim_;
+  phy::Propagation prop_;
+  std::vector<NodeRadio*> radios_;
+  std::vector<std::vector<Neighbor>> neighborhood_;  // within max footprint
+  std::vector<ActiveTx> active_;
+  std::vector<std::function<void(const Frame&)>> deliver_;
+  std::vector<std::function<void(const Frame&)>> overhear_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t next_frame_uid_ = 1;
+  bool frozen_ = false;
+};
+
+}  // namespace eend::mac

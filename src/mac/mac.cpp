@@ -1,0 +1,256 @@
+#include "mac/mac.hpp"
+
+#include <algorithm>
+
+namespace eend::mac {
+
+Mac::Mac(sim::Simulator& sim, Channel& channel, NodeRadio& radio,
+         PsmScheduler* psm, Rng rng, MacConfig cfg)
+    : sim_(sim),
+      channel_(channel),
+      radio_(radio),
+      psm_(psm),
+      rng_(rng),
+      cfg_(cfg) {
+  channel_.set_deliver_handler(radio_.id(),
+                               [this](const Frame& f) { on_frame_delivered(f); });
+  channel_.set_overhear_handler(radio_.id(), [this](const Frame& f) {
+    on_frame_overheard(f);
+  });
+}
+
+double Mac::frame_duration(std::uint32_t size_bits) const {
+  return radio_.card().tx_duration(size_bits + cfg_.mac_header_bits) +
+         cfg_.frame_overhead_s;
+}
+
+bool Mac::send_unicast(Packet packet, NodeId next_hop, double tx_power,
+                       SendCallback cb) {
+  EEND_REQUIRE(next_hop != kBroadcast && next_hop != radio_.id());
+  if (queue_.size() >= cfg_.queue_limit) {
+    ++stats_.queue_drops;
+    if (cb) cb(false);
+    return false;
+  }
+  Outgoing out{std::move(packet), next_hop, tx_power, std::move(cb)};
+  out.enqueued_at = sim_.now();
+  queue_.push_back(std::move(out));
+  radio_.set_busy_hold(true);
+  if (!head_active_) process_head();
+  return true;
+}
+
+bool Mac::send_broadcast(Packet packet, double tx_power) {
+  if (queue_.size() >= cfg_.queue_limit) {
+    ++stats_.queue_drops;
+    return false;
+  }
+  Outgoing out{std::move(packet), kBroadcast, tx_power, nullptr};
+  out.enqueued_at = sim_.now();
+  queue_.push_back(std::move(out));
+  radio_.set_busy_hold(true);
+  if (!head_active_) process_head();
+  return true;
+}
+
+void Mac::process_head() {
+  if (queue_.empty()) {
+    head_active_ = false;
+    radio_.set_busy_hold(false);
+    if (psm_) psm_->reconsider(radio_.id());
+    return;
+  }
+  head_active_ = true;
+  Outgoing& out = queue_.front();
+
+  // A dead node sends nothing; drain its queue.
+  if (radio_.failed()) {
+    finish_head(false);
+    return;
+  }
+
+  if (out.next_hop == kBroadcast) {
+    // Stale flood fragments are useless and must not clog the queue.
+    if (sim_.now() - out.enqueued_at > cfg_.bcast_max_age_s) {
+      ++stats_.stale_bcast_drops;
+      finish_head(false);
+      return;
+    }
+    // Broadcast: only defer to the beacon schedule when some in-range PSM
+    // node is actually asleep right now. Neighbors already held awake by
+    // an earlier announcement receive immediately — floods propagate
+    // through the woken wavefront within one beacon interval.
+    if (psm_) {
+      const double range = channel_.propagation().rx_range(out.tx_power);
+      bool sleeping_neighbor = false;
+      for (NodeId n : channel_.nodes_within(radio_.id(), range)) {
+        if (psm_->is_psm(n) && channel_.radio(n).sleeping()) {
+          sleeping_neighbor = true;
+          break;
+        }
+      }
+      if (sleeping_neighbor) {
+        defer_to_window(/*announce_broadcast=*/true);
+        return;
+      }
+    }
+    schedule_attempt(rng_.uniform(0.0, cfg_.bcast_jitter_s));
+    return;
+  }
+
+  // Unicast: sleeping PSM target => beacon-synchronized delivery.
+  const NodeRadio& target = channel_.radio(out.next_hop);
+  if (psm_ && target.sleeping()) {
+    defer_to_window(/*announce_broadcast=*/false);
+    return;
+  }
+  schedule_attempt(0.0);
+}
+
+void Mac::defer_to_window(bool announce_broadcast) {
+  Outgoing& out = queue_.front();
+  if (++out.defer_rounds > cfg_.max_defer_rounds) {
+    ++stats_.defers_exhausted;
+    finish_head(false);
+    return;
+  }
+  const sim::Time beacon = psm_->next_beacon(sim_.now());
+  const double dur = frame_duration(out.packet.size_bits);
+  const NodeId self = radio_.id();
+  const double range = channel_.propagation().rx_range(out.tx_power);
+  const NodeId target = out.next_hop;
+
+  // At the beacon: contend for the ATIM window. If the window's airtime is
+  // exhausted (dense-network congestion), wait for the next interval; on
+  // success, hold the receiver(s) awake and transmit in the data window.
+  sim_.schedule_at(beacon, [this, self, target, range, dur,
+                            announce_broadcast] {
+    if (!psm_->try_announce(self)) {
+      defer_to_window(announce_broadcast);
+      return;
+    }
+    const sim::Time beacon_now = sim_.now();
+    const sim::Time window = beacon_now + psm_->config().atim_window_s;
+    // Unicasts go right after the ATIM window; broadcasts spread across
+    // the data window so beacon-synchronized floods do not collide en
+    // masse.
+    const double spread =
+        announce_broadcast
+            ? cfg_.bcast_window_fraction *
+                  (psm_->config().beacon_interval_s -
+                   psm_->config().atim_window_s)
+            : cfg_.window_jitter_s;
+    const sim::Time attempt_at = window + rng_.uniform(0.0, spread);
+    const bool span = psm_->config().span_improvements;
+    // Naive PSM: announced receivers stay awake the whole beacon interval.
+    // Span: only until the announced frame should have arrived.
+    const sim::Time hold_end =
+        span ? attempt_at + cfg_.window_jitter_s + dur + 0.01
+             : beacon_now + psm_->config().beacon_interval_s;
+    if (announce_broadcast) {
+      for (NodeId n : channel_.nodes_within(self, range))
+        if (psm_->is_psm(n)) channel_.radio(n).hold_awake_until(hold_end);
+    } else {
+      channel_.radio(target).hold_awake_until(hold_end);
+    }
+    schedule_attempt(attempt_at - beacon_now);
+  });
+}
+
+void Mac::schedule_attempt(double delay) {
+  sim_.schedule_in(delay, [this] { attempt_head(); });
+}
+
+double Mac::backoff_delay(int stage) {
+  const int cw = std::min(cfg_.cw_max_slots,
+                          ((cfg_.cw_min_slots + 1) << std::min(stage, 10)) - 1);
+  const auto slots = static_cast<double>(rng_.uniform_int(1, cw));
+  return slots * cfg_.slot_s;
+}
+
+void Mac::attempt_head() {
+  EEND_CHECK(!queue_.empty());
+  Outgoing& out = queue_.front();
+
+  if (radio_.failed()) {
+    finish_head(false);
+    return;
+  }
+
+  // The radio might be mid-reception; treat like a busy channel.
+  if (radio_.transmitting() || radio_.locked_rx() ||
+      channel_.carrier_busy(radio_.id())) {
+    if (++out.cs_defers > cfg_.max_cs_defers) {
+      ++stats_.cs_drops;
+      finish_head(false);
+      return;
+    }
+    out.backoff_stage = std::min(out.backoff_stage + 1, 10);
+    schedule_attempt(backoff_delay(out.backoff_stage));
+    return;
+  }
+
+  // Unicast target went back to sleep (PSM churn): re-defer.
+  if (out.next_hop != kBroadcast && psm_ &&
+      channel_.radio(out.next_hop).sleeping()) {
+    defer_to_window(false);
+    return;
+  }
+  transmit_head();
+}
+
+void Mac::transmit_head() {
+  Outgoing& out = queue_.front();
+  Frame f;
+  f.tx_node = radio_.id();
+  f.rx_node = out.next_hop;
+  f.tx_power_w = out.tx_power;
+  f.packet = out.packet;
+  const double dur = frame_duration(out.packet.size_bits);
+  channel_.transmit(f, dur, [this](const TxResult& r) {
+    EEND_CHECK(!queue_.empty());
+    Outgoing& head = queue_.front();
+    if (head.next_hop == kBroadcast) {
+      ++stats_.frames_ok;
+      finish_head(true);
+      return;
+    }
+    if (r.target_received) {
+      ++stats_.frames_ok;
+      finish_head(true);
+      return;
+    }
+    // Collision or sleeping receiver: retry with backoff.
+    if (psm_ && channel_.radio(head.next_hop).sleeping()) {
+      defer_to_window(false);
+      return;
+    }
+    if (++head.retries > cfg_.retry_limit) {
+      ++stats_.unicast_failures;
+      finish_head(false);
+      return;
+    }
+    head.backoff_stage = std::min(head.backoff_stage + 1, 10);
+    schedule_attempt(backoff_delay(head.backoff_stage));
+  });
+}
+
+void Mac::finish_head(bool success) {
+  EEND_CHECK(!queue_.empty());
+  Outgoing out = std::move(queue_.front());
+  queue_.pop_front();
+  if (out.cb) out.cb(success);
+  process_head();
+}
+
+void Mac::on_frame_delivered(const Frame& f) {
+  if (psm_) psm_->reconsider(radio_.id());
+  if (on_receive_) on_receive_(f.packet, f.tx_node);
+}
+
+void Mac::on_frame_overheard(const Frame& f) {
+  if (psm_) psm_->reconsider(radio_.id());
+  if (on_promiscuous_) on_promiscuous_(f.packet, f.tx_node);
+}
+
+}  // namespace eend::mac

@@ -1,0 +1,128 @@
+#include "mac/node_radio.hpp"
+
+namespace eend::mac {
+
+NodeRadio::NodeRadio(NodeId id, phy::Position pos,
+                     const energy::RadioCard& card, sim::Simulator& sim)
+    : id_(id), pos_(pos), card_(card), sim_(sim), meter_(card) {}
+
+void NodeRadio::begin_metering(energy::RadioMode initial) {
+  meter_.begin(sim_.now(), initial);
+  metering_ = true;
+  sleeping_ = initial == energy::RadioMode::Sleep;
+}
+
+void NodeRadio::finish_metering() {
+  meter_.finish(sim_.now());
+  metering_ = false;
+}
+
+void NodeRadio::enter_passive(double now) {
+  const auto mode = (sleeping_ || passive_is_sleep_) ? energy::RadioMode::Sleep
+                                                     : energy::RadioMode::Idle;
+  // Only real sleep transitions pay the switch cost; the perfect-sleep
+  // draw override is an oracle without switching overhead.
+  meter_.set_passive_mode(now, mode, /*charge_switch=*/!passive_is_sleep_);
+}
+
+void NodeRadio::sleep() {
+  EEND_REQUIRE_MSG(can_sleep(), "node " << id_ << " cannot sleep now");
+  if (sleeping_) return;
+  sleeping_ = true;
+  if (metering_) meter_.set_passive_mode(sim_.now(), energy::RadioMode::Sleep);
+}
+
+void NodeRadio::fail_permanently() {
+  failed_ = true;
+  if (rx_lock_) rx_lock_->corrupted = true;
+  sleeping_ = true;
+  if (metering_ && !transmitting_ && !rx_lock_)
+    meter_.set_passive_mode(sim_.now(), energy::RadioMode::Sleep);
+}
+
+void NodeRadio::wake() {
+  if (failed_) return;
+  if (!sleeping_) return;
+  sleeping_ = false;
+  // Only flip the meter when passive; an active session already owns it.
+  if (metering_ && !transmitting_ && !rx_lock_)
+    meter_.set_passive_mode(sim_.now(), passive_is_sleep_
+                                            ? energy::RadioMode::Sleep
+                                            : energy::RadioMode::Idle);
+}
+
+void NodeRadio::hold_awake_until(sim::Time t) {
+  if (t > hold_until_) hold_until_ = t;
+  wake();
+}
+
+void NodeRadio::set_busy_hold(bool held) {
+  busy_hold_ = held;
+  if (held) wake();
+}
+
+bool NodeRadio::can_sleep() const {
+  return !busy_hold_ && !transmitting_ && !rx_lock_.has_value() &&
+         sim_.now() >= hold_until_;
+}
+
+void NodeRadio::set_passive_draw_is_sleep(bool v) {
+  passive_is_sleep_ = v;
+  if (metering_ && !transmitting_ && !rx_lock_ && !sleeping_)
+    meter_.set_passive_mode(sim_.now(),
+                            v ? energy::RadioMode::Sleep
+                              : energy::RadioMode::Idle,
+                            /*charge_switch=*/false);
+}
+
+void NodeRadio::begin_tx(double power_w, energy::Category cat) {
+  EEND_REQUIRE_MSG(!transmitting_, "node " << id_ << " already transmitting");
+  EEND_REQUIRE_MSG(!sleeping_, "node " << id_ << " transmitting while asleep");
+  // Half-duplex: starting a transmission aborts any reception in progress.
+  if (rx_lock_) rx_lock_->corrupted = true;
+  transmitting_ = true;
+  if (metering_) meter_.set_transmit(sim_.now(), power_w, cat);
+  ++frames_sent_;
+}
+
+void NodeRadio::end_tx() {
+  EEND_REQUIRE(transmitting_);
+  transmitting_ = false;
+  if (metering_) enter_passive(sim_.now());
+}
+
+void NodeRadio::rf_begin() {
+  ++rf_count_;
+  if (rx_lock_ && rf_count_ > 1) rx_lock_->corrupted = true;
+}
+
+void NodeRadio::rf_end() {
+  EEND_CHECK(rf_count_ > 0);
+  --rf_count_;
+}
+
+bool NodeRadio::try_lock_rx(const Frame& frame) {
+  if (sleeping_ || transmitting_ || rx_lock_.has_value()) return false;
+  if (rf_count_ != 1) {
+    // Another signal is already in the air here: this frame arrives garbled.
+    ++rx_collisions_;
+    return false;
+  }
+  rx_lock_ = RxLock{frame.frame_uid, false};
+  if (metering_) meter_.set_receive(sim_.now(), frame.packet.category);
+  return true;
+}
+
+bool NodeRadio::finish_rx(std::uint64_t frame_uid) {
+  if (!rx_lock_ || rx_lock_->frame_uid != frame_uid) return false;
+  const bool ok = !rx_lock_->corrupted;
+  rx_lock_.reset();
+  if (metering_ && !transmitting_) enter_passive(sim_.now());
+  if (ok)
+    ++frames_received_;
+  else
+    ++rx_collisions_;
+  return ok;
+}
+
+}  // namespace eend::mac

@@ -1,0 +1,134 @@
+// Per-node radio front-end: sleep/awake state, transmit/receive sessions,
+// interference tracking and energy-meter integration.
+//
+// The Channel drives rf_begin/rf_end/try_lock_rx/finish_rx; the MAC drives
+// begin_tx/end_tx; power-management policies drive sleep()/wake()/holds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "energy/energy_meter.hpp"
+#include "mac/packet.hpp"
+#include "phy/position.hpp"
+#include "sim/simulator.hpp"
+
+namespace eend::mac {
+
+/// Radio state of one node. Half-duplex: a transmitting radio cannot lock a
+/// reception and vice versa.
+class NodeRadio {
+ public:
+  NodeRadio(NodeId id, phy::Position pos, const energy::RadioCard& card,
+            sim::Simulator& sim);
+
+  NodeId id() const { return id_; }
+  const phy::Position& position() const { return pos_; }
+  const energy::RadioCard& card() const { return card_; }
+
+  /// Start/stop energy metering (called by the experiment harness).
+  void begin_metering(energy::RadioMode initial);
+  void finish_metering();
+  const energy::EnergyMeter& meter() const { return meter_; }
+
+  // ------------------------------------------------- failure injection ---
+  /// Kill the node: the radio goes dark permanently (any in-progress
+  /// reception is corrupted; wake() becomes a no-op). Used by failure-
+  /// injection tests and robustness studies.
+  void fail_permanently();
+  bool failed() const { return failed_; }
+
+  // -------------------------------------------------- sleep management ---
+  bool sleeping() const { return sleeping_; }
+
+  /// Put the radio to sleep. Precondition: can_sleep().
+  void sleep();
+
+  /// Wake the radio (no-op when awake). Applies the card's switch cost via
+  /// the meter's transition accounting.
+  void wake();
+
+  /// Keep the radio awake (waking it if needed) until at least time t.
+  void hold_awake_until(sim::Time t);
+
+  /// Current hold expiry (0 when never held).
+  sim::Time hold_until() const { return hold_until_; }
+
+  /// Busy hold: the MAC raises this while it has queued frames.
+  void set_busy_hold(bool held);
+
+  /// May the radio sleep right now? (no holds, no sessions, queue idle)
+  bool can_sleep() const;
+
+  /// Passive-mode override: PerfectSleep policies bill passive time at
+  /// sleep draw while keeping the radio logically awake.
+  void set_passive_draw_is_sleep(bool v);
+
+  // ------------------------------------------- transmit path (MAC only) ---
+  bool transmitting() const { return transmitting_; }
+  void begin_tx(double power_w, energy::Category cat);
+  void end_tx();
+
+  /// Charge a short control burst (ATIM announcement) without a state
+  /// change; no-op when metering is off.
+  void charge_tx_burst(double duration, double power_w,
+                       energy::Category cat) {
+    if (metering_) meter_.charge_tx_burst(duration, power_w, cat);
+  }
+
+  // ------------------------------------------- channel-driven reception ---
+  /// Another transmission's footprint now covers this node.
+  /// Corrupts any in-progress reception lock (collision).
+  void rf_begin();
+  void rf_end();
+  int rf_count() const { return rf_count_; }
+
+  /// Try to lock onto `frame` (called right after its rf_begin sweep).
+  /// Succeeds only when awake, not transmitting, not already locked, and
+  /// this is the only signal present. Starts billing receive energy.
+  bool try_lock_rx(const Frame& frame);
+
+  bool locked_rx() const { return rx_lock_.has_value(); }
+
+  /// Finish the reception of `frame_uid` (its airtime elapsed). Returns
+  /// true when the lock survived uncorrupted; the radio returns to its
+  /// passive mode either way. No-op/false when this radio never locked it.
+  bool finish_rx(std::uint64_t frame_uid);
+
+  // -------------------------------------------------------- statistics ---
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t rx_collisions() const { return rx_collisions_; }
+
+ private:
+  void enter_passive(double now);
+
+  struct RxLock {
+    std::uint64_t frame_uid;
+    bool corrupted = false;
+  };
+
+  NodeId id_;
+  phy::Position pos_;
+  energy::RadioCard card_;
+  sim::Simulator& sim_;
+  energy::EnergyMeter meter_;
+
+  bool metering_ = false;
+  bool failed_ = false;
+  bool sleeping_ = false;
+  bool transmitting_ = false;
+  bool busy_hold_ = false;
+  bool passive_is_sleep_ = false;
+  sim::Time hold_until_ = 0.0;
+  int rf_count_ = 0;
+  std::optional<RxLock> rx_lock_;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t rx_collisions_ = 0;
+};
+
+}  // namespace eend::mac

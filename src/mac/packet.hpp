@@ -1,0 +1,56 @@
+// Network-layer packet and MAC-layer frame records.
+//
+// Packets are value types; routing-protocol payloads ride along as a shared
+// immutable std::any (the simulator never serializes: a payload is whatever
+// struct the protocol attaches, by convention documented on each protocol).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+#include "energy/energy_meter.hpp"
+#include "graph/graph.hpp"
+
+namespace eend::mac {
+
+using NodeId = graph::NodeId;
+inline constexpr NodeId kBroadcast = graph::kInvalidNode;
+
+/// One network-layer packet.
+struct Packet {
+  std::uint64_t uid = 0;          ///< unique per simulation
+  energy::Category category = energy::Category::Data;
+  int flow_id = -1;               ///< >= 0 for application data
+  NodeId origin = kBroadcast;     ///< end-to-end source
+  NodeId final_dest = kBroadcast; ///< end-to-end destination
+  std::uint32_t size_bits = 0;    ///< network-layer payload size
+  double created_at = 0.0;
+  int ttl = 64;                   ///< hop budget (guards DV transient loops)
+  int type = 0;                   ///< protocol-defined discriminator
+  std::shared_ptr<const std::any> payload;  ///< protocol-defined body
+
+  template <typename T>
+  const T& body() const {
+    EEND_REQUIRE(payload != nullptr);
+    return std::any_cast<const T&>(*payload);
+  }
+
+  template <typename T>
+  static std::shared_ptr<const std::any> wrap(T&& value) {
+    return std::make_shared<const std::any>(std::forward<T>(value));
+  }
+};
+
+/// One MAC transmission.
+struct Frame {
+  std::uint64_t frame_uid = 0;
+  NodeId tx_node = kBroadcast;
+  NodeId rx_node = kBroadcast;  ///< kBroadcast for broadcast frames
+  double tx_power_w = 0.0;      ///< full Ptx used for this frame
+  Packet packet;
+
+  bool is_broadcast() const { return rx_node == kBroadcast; }
+};
+
+}  // namespace eend::mac

@@ -1,0 +1,112 @@
+#include "mac/psm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eend::mac {
+
+PsmScheduler::PsmScheduler(sim::Simulator& sim, PsmConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  EEND_REQUIRE(cfg_.beacon_interval_s > 0.0);
+  EEND_REQUIRE(cfg_.atim_window_s > 0.0 &&
+               cfg_.atim_window_s < cfg_.beacon_interval_s);
+}
+
+void PsmScheduler::register_radio(NodeRadio* radio) {
+  EEND_REQUIRE(radio != nullptr);
+  EEND_REQUIRE(radio->id() == radios_.size());
+  radios_.push_back(radio);
+  psm_.push_back(false);
+}
+
+void PsmScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.schedule_at(next_beacon(sim_.now()), [this] { on_beacon(); });
+}
+
+sim::Time PsmScheduler::next_beacon(sim::Time now) const {
+  const double k = std::floor(now / cfg_.beacon_interval_s + 1e-9) + 1.0;
+  return k * cfg_.beacon_interval_s;
+}
+
+void PsmScheduler::on_beacon() {
+  interval_announcements_.clear();
+  // Wake every PSM node for the ATIM window.
+  for (std::size_t i = 0; i < radios_.size(); ++i)
+    if (psm_[i]) radios_[i]->wake();
+  sim_.schedule_in(cfg_.atim_window_s, [this] { on_atim_end(); });
+  sim_.schedule_in(cfg_.beacon_interval_s, [this] { on_beacon(); });
+}
+
+bool PsmScheduler::try_announce(NodeId sender) {
+  EEND_REQUIRE(sender < radios_.size());
+  if (announce_range_m_ <= 0.0) return true;
+  const auto& pos = radios_[sender]->position();
+  double local_airtime = 0.0;
+  for (const Announcement& a : interval_announcements_) {
+    if (phy::distance(pos, radios_[a.sender]->position()) <=
+        announce_range_m_)
+      local_airtime += a.airtime;
+  }
+  const double budget = cfg_.atim_window_s * cfg_.atim_utilization;
+  if (local_airtime + cfg_.atim_frame_s > budget) {
+    ++announce_failures_;
+    return false;
+  }
+  interval_announcements_.push_back(Announcement{sender, cfg_.atim_frame_s});
+  radios_[sender]->charge_tx_burst(cfg_.atim_frame_s,
+                                   radios_[sender]->card().max_transmit_power(),
+                                   energy::Category::Control);
+  return true;
+}
+
+void PsmScheduler::on_atim_end() {
+  for (std::size_t i = 0; i < radios_.size(); ++i)
+    try_sleep(static_cast<NodeId>(i));
+}
+
+void PsmScheduler::try_sleep(NodeId id) {
+  if (!psm_[id]) return;
+  NodeRadio& r = *radios_[id];
+  if (!r.sleeping() && r.can_sleep()) r.sleep();
+}
+
+void PsmScheduler::set_psm(NodeId id, bool psm) {
+  EEND_REQUIRE(id < psm_.size());
+  if (psm_[id] == psm) return;
+  psm_[id] = psm;
+  if (!psm) {
+    radios_[id]->wake();
+  } else {
+    // Sleep immediately when possible; otherwise the next ATIM end or a
+    // hold expiry will catch it.
+    try_sleep(id);
+  }
+}
+
+void PsmScheduler::reconsider(NodeId id) {
+  EEND_REQUIRE(id < psm_.size());
+  if (!psm_[id]) return;
+  NodeRadio& r = *radios_[id];
+  if (r.sleeping()) return;
+  if (r.can_sleep()) {
+    r.sleep();
+    return;
+  }
+  // If only a time hold blocks sleep, try again right after it expires.
+  const sim::Time expiry = r.hold_until();
+  if (expiry > sim_.now())
+    sim_.schedule_at(expiry, [this, id] { try_sleep(id); });
+}
+
+bool PsmScheduler::any_psm(std::span<const NodeId> ids) const {
+  return std::any_of(ids.begin(), ids.end(),
+                     [&](NodeId id) { return is_psm(id); });
+}
+
+std::size_t PsmScheduler::psm_count() const {
+  return static_cast<std::size_t>(std::count(psm_.begin(), psm_.end(), true));
+}
+
+}  // namespace eend::mac

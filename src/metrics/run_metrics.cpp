@@ -1,0 +1,18 @@
+#include "metrics/run_metrics.hpp"
+
+namespace eend::metrics {
+
+void FlowTracker::register_flow(const traffic::FlowSpec& spec) { (void)spec; }
+
+void FlowTracker::on_sent(const traffic::FlowSpec& spec) {
+  (void)spec;
+  ++sent_;
+}
+
+void FlowTracker::on_delivered(const mac::Packet& p, double now) {
+  ++delivered_;
+  delivered_bits_ += p.size_bits;
+  delay_sum_ += now - p.created_at;
+}
+
+}  // namespace eend::metrics

@@ -1,0 +1,80 @@
+// Evaluation metrics (paper §5.2):
+//   * delivery ratio — received data packets / sent data packets;
+//   * energy goodput — total application bits delivered / E_network (bit/J);
+//   * transmit energy — Fig. 10's Σ tx-mode energy;
+// plus the per-category energy breakdown and protocol counters used by the
+// analysis sections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mac/packet.hpp"
+#include "traffic/cbr.hpp"
+
+namespace eend::metrics {
+
+/// Per-flow send/receive tracking.
+class FlowTracker {
+ public:
+  void register_flow(const traffic::FlowSpec& spec);
+  void on_sent(const traffic::FlowSpec& spec);
+  void on_delivered(const mac::Packet& p, double now);
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t delivered_bits() const { return delivered_bits_; }
+  double delivery_ratio() const {
+    return sent_ == 0 ? 1.0 : static_cast<double>(delivered_) /
+                                  static_cast<double>(sent_);
+  }
+  double average_delay_s() const {
+    return delivered_ == 0 ? 0.0 : delay_sum_ / static_cast<double>(delivered_);
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_bits_ = 0;
+  double delay_sum_ = 0.0;
+};
+
+/// One simulation run's results.
+struct RunResult {
+  // communication performance
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  double delivery_ratio = 0.0;
+  double average_delay_s = 0.0;
+
+  // energy (joules, whole network, whole run)
+  double total_energy_j = 0.0;     ///< E_network
+  double data_energy_j = 0.0;      ///< Σ Edata
+  double control_energy_j = 0.0;   ///< Σ Econtrol
+  double passive_energy_j = 0.0;   ///< Σ Epassive
+  double transmit_energy_j = 0.0;  ///< Σ tx-mode energy (Fig. 10)
+  double receive_energy_j = 0.0;
+  double idle_energy_j = 0.0;
+  double sleep_energy_j = 0.0;
+  double switch_energy_j = 0.0;
+
+  double goodput_bit_per_j = 0.0;  ///< delivered app bits / E_network
+
+  // network behavior
+  std::size_t nodes_carrying_data = 0;  ///< "relays" incl. endpoints
+  std::uint64_t rreq_transmissions = 0;
+  std::uint64_t update_transmissions = 0;
+  std::uint64_t mac_collisions = 0;
+  std::uint64_t mac_queue_drops = 0;
+  std::uint64_t channel_transmissions = 0;
+
+  /// Final source route per flow (reactive stacks only; grid study).
+  std::map<int, std::vector<mac::NodeId>> flow_routes;
+
+  // lifetime extension (finite batteries)
+  double first_death_s = -1.0;       ///< time of first depletion (-1: none)
+  std::size_t depleted_nodes = 0;    ///< nodes that died of battery
+};
+
+}  // namespace eend::metrics

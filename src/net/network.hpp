@@ -1,0 +1,78 @@
+// Network: assembles one complete simulation from a scenario and a protocol
+// stack — radios, channel, PSM scheduler, power managers, routing protocols
+// and CBR sources — runs it, and reports the paper's metrics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mac/channel.hpp"
+#include "mac/mac.hpp"
+#include "mac/psm.hpp"
+#include "metrics/run_metrics.hpp"
+#include "net/scenario.hpp"
+#include "net/stack.hpp"
+#include "power/power_manager.hpp"
+#include "routing/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/cbr.hpp"
+
+namespace eend::net {
+
+class Network {
+ public:
+  Network(const ScenarioConfig& scenario, const StackSpec& stack);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Run the simulation to scenario.duration_s and collect results.
+  /// Callable once.
+  metrics::RunResult run();
+
+  /// Failure injection: node `id` dies (radio goes dark permanently) at
+  /// simulation time `at`. Call before run().
+  void schedule_node_failure(mac::NodeId id, sim::Time at);
+
+  // ------------------------------------------------------ introspection ---
+  sim::Simulator& simulator() { return sim_; }
+  mac::Channel& channel() { return *channel_; }
+  mac::PsmScheduler* psm() { return psm_.get(); }
+  routing::RoutingProtocol& routing(mac::NodeId id) { return *routing_[id]; }
+  power::PowerManager& power(mac::NodeId id) { return *power_[id]; }
+  mac::NodeRadio& radio(mac::NodeId id) { return *radios_[id]; }
+  const std::vector<traffic::FlowSpec>& flows() const { return flows_; }
+  std::size_t node_count() const { return radios_.size(); }
+  const ScenarioConfig& scenario() const { return scenario_; }
+  const StackSpec& stack() const { return stack_; }
+
+ private:
+  void build_nodes(const std::vector<phy::Position>& positions);
+  void build_routing();
+  void build_traffic();
+
+  ScenarioConfig scenario_;
+  StackSpec stack_;
+  sim::Simulator sim_;
+  Rng rng_;
+
+  std::unique_ptr<mac::Channel> channel_;
+  std::unique_ptr<mac::PsmScheduler> psm_;
+  std::vector<std::unique_ptr<mac::NodeRadio>> radios_;
+  std::vector<std::unique_ptr<mac::Mac>> macs_;
+  std::vector<std::unique_ptr<power::PowerManager>> power_;
+  std::vector<std::unique_ptr<routing::RoutingProtocol>> routing_;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources_;
+  std::vector<traffic::FlowSpec> flows_;
+
+  metrics::FlowTracker tracker_;
+  std::map<int, std::vector<mac::NodeId>> flow_routes_;
+  double first_death_s_ = -1.0;
+  std::size_t depleted_nodes_ = 0;
+  bool ran_ = false;
+
+  void battery_tick();
+};
+
+}  // namespace eend::net

@@ -1,0 +1,188 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+
+namespace eend::net {
+
+ScenarioConfig::ScenarioConfig() : card(energy::cabletron()) {}
+
+void ScenarioConfig::validate() const {
+  EEND_REQUIRE_MSG(node_count > 0, "node_count must be positive");
+  EEND_REQUIRE_MSG(field_w > 0.0 && field_h > 0.0, "field must be positive");
+  EEND_REQUIRE_MSG(rate_pps > 0.0, "rate_pps must be positive");
+  EEND_REQUIRE_MSG(payload_bits > 0, "payload_bits must be positive");
+  EEND_REQUIRE_MSG(duration_s > 0.0, "duration_s must be positive");
+  EEND_REQUIRE_MSG(flow_start_min_s <= flow_start_max_s,
+                   "flow start window inverted");
+  EEND_REQUIRE_MSG(flow_start_min_s >= 0.0, "flows cannot start before t=0");
+  EEND_REQUIRE_MSG(card.max_range_m > 0.0, "card range must be positive");
+  EEND_REQUIRE_MSG(card.bandwidth_bps > 0.0, "bandwidth must be positive");
+  EEND_REQUIRE_MSG(battery_capacity_j >= 0.0, "battery cannot be negative");
+  if (placement == Placement::Grid) {
+    EEND_REQUIRE_MSG(grid_cols * grid_rows == node_count,
+                     "grid dims must multiply to node_count");
+    if (flows_left_right)
+      EEND_REQUIRE_MSG(flow_count <= grid_rows,
+                       "one left->right flow per grid row at most");
+  }
+  if (flow_count > 0 && !flows_left_right) {
+    const std::size_t pool =
+        flow_endpoint_pool > 0 ? std::min(flow_endpoint_pool, node_count)
+                               : node_count;
+    EEND_REQUIRE_MSG(pool >= 2, "need >= 2 endpoint candidates for flows");
+    EEND_REQUIRE_MSG(flow_count <= pool * (pool - 1),
+                     "more distinct flows requested than endpoint pairs");
+  }
+}
+
+ScenarioConfig ScenarioConfig::small_network() {
+  ScenarioConfig c;
+  c.node_count = 50;
+  c.field_w = c.field_h = 500.0;
+  c.flow_count = 10;
+  c.duration_s = 900.0;
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::large_network() {
+  ScenarioConfig c;
+  c.node_count = 200;
+  c.field_w = c.field_h = 1300.0;
+  c.flow_count = 20;
+  c.duration_s = 600.0;
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::density_network(std::size_t nodes) {
+  ScenarioConfig c = large_network();
+  c.node_count = nodes;
+  c.rate_pps = 4.0;  // paper: per-flow rate fixed at 4 Kb/s
+  // Endpoints stay among the base 200 nodes across all densities.
+  c.flow_endpoint_pool = 200;
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::hypothetical_grid() {
+  ScenarioConfig c;
+  c.placement = Placement::Grid;
+  c.grid_cols = 7;
+  c.grid_rows = 7;
+  c.node_count = 49;
+  c.field_w = c.field_h = 300.0;
+  c.card = energy::hypothetical_cabletron();
+  c.flow_count = 7;
+  c.flows_left_right = true;
+  c.duration_s = 900.0;
+  return c;
+}
+
+namespace {
+
+std::vector<phy::Position> draw_uniform(const ScenarioConfig& cfg,
+                                        std::uint64_t salt) {
+  std::vector<phy::Position> pos(cfg.node_count);
+  const Rng base = Rng(cfg.seed).fork(0x9051 + salt);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    Rng r = base.fork(i);
+    pos[i] = phy::Position{r.uniform(0.0, cfg.field_w),
+                           r.uniform(0.0, cfg.field_h)};
+  }
+  return pos;
+}
+
+bool connected_at_max_range(const std::vector<phy::Position>& pos,
+                            double range) {
+  graph::Graph g(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    for (std::size_t j = i + 1; j < pos.size(); ++j)
+      if (phy::distance(pos[i], pos[j]) <= range)
+        g.add_edge(static_cast<graph::NodeId>(i),
+                   static_cast<graph::NodeId>(j));
+  return graph::is_connected(g);
+}
+
+}  // namespace
+
+std::vector<phy::Position> place_nodes(const ScenarioConfig& cfg) {
+  EEND_REQUIRE(cfg.node_count > 0);
+  if (cfg.placement == Placement::Grid) {
+    EEND_REQUIRE(cfg.grid_cols * cfg.grid_rows == cfg.node_count);
+    std::vector<phy::Position> pos;
+    pos.reserve(cfg.node_count);
+    const double dx =
+        cfg.grid_cols > 1 ? cfg.field_w / static_cast<double>(cfg.grid_cols - 1)
+                          : 0.0;
+    const double dy =
+        cfg.grid_rows > 1 ? cfg.field_h / static_cast<double>(cfg.grid_rows - 1)
+                          : 0.0;
+    // Row-major: node (row r, col c) has id r * cols + c.
+    for (std::size_t r = 0; r < cfg.grid_rows; ++r)
+      for (std::size_t c = 0; c < cfg.grid_cols; ++c)
+        pos.push_back(phy::Position{static_cast<double>(c) * dx,
+                                    static_cast<double>(r) * dy});
+    return pos;
+  }
+
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    auto pos = draw_uniform(cfg, salt);
+    if (connected_at_max_range(pos, cfg.card.max_range_m)) return pos;
+  }
+  EEND_REQUIRE_MSG(false, "could not draw a connected placement (node_count="
+                              << cfg.node_count << ", field=" << cfg.field_w
+                              << "x" << cfg.field_h << ")");
+  return {};
+}
+
+std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
+  std::vector<traffic::FlowSpec> flows;
+  Rng rng = Rng(cfg.seed).fork(0xF10);
+
+  if (cfg.flows_left_right) {
+    // Grid study: source = left end of row j, destination = right end.
+    EEND_REQUIRE(cfg.placement == Placement::Grid);
+    EEND_REQUIRE(cfg.flow_count <= cfg.grid_rows);
+    for (std::size_t j = 0; j < cfg.flow_count; ++j) {
+      traffic::FlowSpec f;
+      f.flow_id = static_cast<int>(j);
+      f.source = static_cast<mac::NodeId>(j * cfg.grid_cols);
+      f.destination =
+          static_cast<mac::NodeId>(j * cfg.grid_cols + cfg.grid_cols - 1);
+      f.packets_per_s = cfg.rate_pps;
+      f.payload_bits = cfg.payload_bits;
+      f.start_s = rng.uniform(cfg.flow_start_min_s, cfg.flow_start_max_s);
+      flows.push_back(f);
+    }
+    return flows;
+  }
+
+  const std::size_t pool = cfg.flow_endpoint_pool > 0
+                               ? std::min(cfg.flow_endpoint_pool,
+                                          cfg.node_count)
+                               : cfg.node_count;
+  EEND_REQUIRE_MSG(pool >= 2, "need at least two nodes for a flow");
+  std::set<std::pair<mac::NodeId, mac::NodeId>> used;
+  for (std::size_t j = 0; j < cfg.flow_count; ++j) {
+    traffic::FlowSpec f;
+    f.flow_id = static_cast<int>(j);
+    for (;;) {
+      const auto s = static_cast<mac::NodeId>(rng.next_below(pool));
+      const auto d = static_cast<mac::NodeId>(rng.next_below(pool));
+      if (s == d) continue;
+      if (!used.insert({s, d}).second) continue;
+      f.source = s;
+      f.destination = d;
+      break;
+    }
+    f.packets_per_s = cfg.rate_pps;
+    f.payload_bits = cfg.payload_bits;
+    f.start_s = rng.uniform(cfg.flow_start_min_s, cfg.flow_start_max_s);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace eend::net

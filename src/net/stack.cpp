@@ -1,0 +1,152 @@
+#include "net/stack.hpp"
+
+namespace eend::net {
+
+routing::LinkMetric StackSpec::metric() const {
+  switch (routing) {
+    case RoutingKind::Dsr:
+    case RoutingKind::Titan:
+    case RoutingKind::Dsdv:
+      return routing::LinkMetric::Hop;
+    case RoutingKind::Mtpr:
+      return routing::LinkMetric::Mtpr;
+    case RoutingKind::MtprPlus:
+      return routing::LinkMetric::MtprPlus;
+    case RoutingKind::Dsrh:
+    case RoutingKind::Dsdvh:
+      return routing::LinkMetric::JointH;
+  }
+  return routing::LinkMetric::Hop;
+}
+
+StackSpec StackSpec::dsr_active() {
+  StackSpec s;
+  s.label = "DSR-Active";
+  s.routing = RoutingKind::Dsr;
+  s.power = PowerKind::AlwaysActive;
+  return s;
+}
+
+StackSpec StackSpec::dsr_odpm() {
+  StackSpec s;
+  s.label = "DSR-ODPM";
+  s.routing = RoutingKind::Dsr;
+  s.power = PowerKind::Odpm;
+  return s;
+}
+
+StackSpec StackSpec::dsr_odpm_pc() {
+  StackSpec s = dsr_odpm();
+  s.label = "DSR-ODPM-PC";
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::titan_pc() {
+  StackSpec s;
+  s.label = "TITAN-PC";
+  s.routing = RoutingKind::Titan;
+  s.power = PowerKind::Odpm;
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::dsrh_odpm_rate() {
+  StackSpec s;
+  s.label = "DSRH-ODPM (rate)";
+  s.routing = RoutingKind::Dsrh;
+  s.power = PowerKind::Odpm;
+  s.tpc = true;
+  s.rate_info = true;
+  return s;
+}
+
+StackSpec StackSpec::dsrh_odpm_norate() {
+  StackSpec s = dsrh_odpm_rate();
+  s.label = "DSRH-ODPM (norate)";
+  s.rate_info = false;
+  return s;
+}
+
+StackSpec StackSpec::dsdvh_odpm_psm() {
+  StackSpec s;
+  s.label = "DSDVH-ODPM(5,10)-PSM";
+  s.routing = RoutingKind::Dsdvh;
+  s.power = PowerKind::Odpm;
+  s.tpc = true;
+  s.odpm.keepalive_data_s = 5.0;
+  s.odpm.keepalive_rrep_s = 10.0;
+  s.psm.span_improvements = false;
+  s.dsdv_quality_interval_s = 2.5;
+  s.dsdv_quality_noise = 0.35;
+  return s;
+}
+
+StackSpec StackSpec::dsdvh_odpm_span() {
+  StackSpec s = dsdvh_odpm_psm();
+  s.label = "DSDVH-ODPM(0.6,1.2)-Span";
+  s.odpm.keepalive_data_s = 0.6;
+  s.odpm.keepalive_rrep_s = 1.2;
+  s.psm.span_improvements = true;
+  return s;
+}
+
+StackSpec StackSpec::mtpr_odpm() {
+  StackSpec s;
+  s.label = "MTPR-ODPM";
+  s.routing = RoutingKind::Mtpr;
+  s.power = PowerKind::Odpm;
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::mtpr_plus_odpm() {
+  StackSpec s = mtpr_odpm();
+  s.label = "MTPR+-ODPM";
+  s.routing = RoutingKind::MtprPlus;
+  return s;
+}
+
+StackSpec StackSpec::dsr_perfect() {
+  StackSpec s;
+  s.label = "DSR";
+  s.routing = RoutingKind::Dsr;
+  s.power = PowerKind::PerfectSleep;
+  return s;
+}
+
+StackSpec StackSpec::titan_pc_perfect() {
+  StackSpec s;
+  s.label = "TITAN-PC";
+  s.routing = RoutingKind::Titan;
+  s.power = PowerKind::PerfectSleep;
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::dsrh_norate_perfect() {
+  StackSpec s;
+  s.label = "DSRH (norate)";
+  s.routing = RoutingKind::Dsrh;
+  s.power = PowerKind::PerfectSleep;
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::mtpr_perfect() {
+  StackSpec s;
+  s.label = "MTPR";
+  s.routing = RoutingKind::Mtpr;
+  s.power = PowerKind::PerfectSleep;
+  s.tpc = true;
+  return s;
+}
+
+StackSpec StackSpec::mtpr_plus_perfect() {
+  StackSpec s = mtpr_perfect();
+  s.label = "MTPR+";
+  s.routing = RoutingKind::MtprPlus;
+  return s;
+}
+
+}  // namespace eend::net

@@ -1,0 +1,15 @@
+#include "phy/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eend::phy {
+
+double Propagation::range_of_level(double pt) const {
+  if (pt <= 0.0) return 0.0;
+  if (card_.alpha2 <= 0.0) return max_range();
+  const double r = std::pow(pt / card_.alpha2, 1.0 / card_.path_loss_n);
+  return std::min(r, max_range());
+}
+
+}  // namespace eend::phy

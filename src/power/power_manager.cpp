@@ -1,0 +1,31 @@
+#include "power/power_manager.hpp"
+
+namespace eend::power {
+
+Odpm::Odpm(sim::Simulator& sim, mac::PsmScheduler& psm, mac::NodeId id,
+           OdpmConfig cfg)
+    : psm_(psm), id_(id), cfg_(cfg), timer_(sim, [this] { on_expire(); }) {}
+
+void Odpm::start() { psm_.set_psm(id_, true); }
+
+void Odpm::notify_data_activity() { to_active(cfg_.keepalive_data_s); }
+
+void Odpm::notify_route_activity() { to_active(cfg_.keepalive_rrep_s); }
+
+void Odpm::to_active(double keepalive) {
+  timer_.extend_to(keepalive);
+  if (mode_ == PmMode::ActiveMode) return;
+  mode_ = PmMode::ActiveMode;
+  ++activations_;
+  psm_.set_psm(id_, false);
+  if (on_mode_change_) on_mode_change_(mode_);
+}
+
+void Odpm::on_expire() {
+  if (mode_ == PmMode::PowerSave) return;
+  mode_ = PmMode::PowerSave;
+  psm_.set_psm(id_, true);
+  if (on_mode_change_) on_mode_change_(mode_);
+}
+
+}  // namespace eend::power

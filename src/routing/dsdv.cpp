@@ -1,0 +1,240 @@
+#include "routing/dsdv.hpp"
+
+#include <algorithm>
+
+namespace eend::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+}  // namespace
+
+DsdvRouting::DsdvRouting(NodeEnv env, DsdvConfig cfg)
+    : RoutingProtocol(std::move(env)), cfg_(cfg) {
+  env_.mac->set_receive_handler(
+      [this](const mac::Packet& p, mac::NodeId from) { on_receive(p, from); });
+}
+
+DsdvEntry DsdvRouting::own_entry() {
+  return DsdvEntry{env_.id, own_seq_, 0.0};
+}
+
+void DsdvRouting::start() {
+  table_[env_.id] = Entry{0, 0.0, env_.id, true};
+  const double first = env_.rng.uniform(0.0, cfg_.startup_jitter_s);
+  env_.sim->schedule_in(first, [this] { periodic_dump(); });
+  if (cfg_.quality_update_interval_s > 0.0) schedule_quality_tick();
+}
+
+void DsdvRouting::schedule_quality_tick() {
+  const double delay =
+      cfg_.quality_update_interval_s * env_.rng.uniform(0.7, 1.3);
+  env_.sim->schedule_in(delay, [this] {
+    // Re-assess a few routes: their advertised costs will be re-adopted by
+    // neighbors with fresh quality noise, modeling fading-driven metric
+    // drift that the distance-only phy cannot produce.
+    std::vector<mac::NodeId> valid;
+    for (const auto& [dest, e] : table_)
+      if (dest != env_.id && e.valid) valid.push_back(dest);
+    env_.rng.shuffle(valid);
+    const std::size_t n =
+        std::min(cfg_.quality_update_entries, valid.size());
+    for (std::size_t i = 0; i < n; ++i) dirty_.insert(valid[i]);
+    if (n > 0) schedule_triggered();
+    schedule_quality_tick();
+  });
+}
+
+void DsdvRouting::periodic_dump() {
+  own_seq_ += 2;
+  table_[env_.id].seq = own_seq_;
+  std::vector<DsdvEntry> entries;
+  entries.reserve(table_.size());
+  for (const auto& [dest, e] : table_)
+    entries.push_back(DsdvEntry{dest, e.seq, e.valid ? e.metric : kInf});
+  broadcast_entries(entries);
+  dirty_.clear();
+  env_.sim->schedule_in(cfg_.periodic_interval_s, [this] { periodic_dump(); });
+}
+
+void DsdvRouting::schedule_triggered() {
+  if (dirty_.empty() || trigger_event_ != sim::kInvalidEvent) return;
+  const double earliest =
+      std::max(env_.sim->now(),
+               last_update_tx_ + cfg_.triggered_min_interval_s);
+  trigger_event_ = env_.sim->schedule_at(earliest, [this] {
+    trigger_event_ = sim::kInvalidEvent;
+    send_triggered();
+  });
+}
+
+void DsdvRouting::send_triggered() {
+  if (dirty_.empty()) return;
+  std::vector<DsdvEntry> entries;
+  entries.reserve(dirty_.size() + 1);
+  entries.push_back(own_entry());
+  for (mac::NodeId dest : dirty_) {
+    const auto it = table_.find(dest);
+    if (it == table_.end() || dest == env_.id) continue;
+    entries.push_back(DsdvEntry{dest, it->second.seq,
+                                it->second.valid ? it->second.metric : kInf});
+  }
+  dirty_.clear();
+  broadcast_entries(entries);
+}
+
+void DsdvRouting::broadcast_entries(const std::vector<DsdvEntry>& entries) {
+  DsdvBody body;
+  body.sender_is_am = env_.power->is_active_mode();
+  body.entries = entries;
+
+  mac::Packet p;
+  p.uid = next_uid_++;
+  p.category = energy::Category::Control;
+  p.origin = env_.id;
+  p.final_dest = mac::kBroadcast;
+  p.size_bits = dsdv_bits(entries.size());
+  p.created_at = env_.sim->now();
+  p.type = kDsdvUpdate;
+  p.payload = mac::Packet::wrap(std::move(body));
+  ++stats_.updates_sent;
+  last_update_tx_ = env_.sim->now();
+  env_.mac->send_broadcast(std::move(p), env_.max_tx_power());
+}
+
+void DsdvRouting::on_pm_mode_change() {
+  if (!cfg_.advertise_pm_changes) return;
+  // Our reachability cost (as seen by neighbors evaluating h against our
+  // PM state) changed: re-advertise the full table.
+  for (const auto& [dest, e] : table_) {
+    (void)e;
+    if (dest != env_.id) dirty_.insert(dest);
+  }
+  schedule_triggered();
+}
+
+void DsdvRouting::handle_update(const mac::Packet& p, mac::NodeId from) {
+  const auto& body = p.body<DsdvBody>();
+  double link = link_cost(cfg_.metric, env_.radio->card(),
+                          env_.distance_to(from), body.sender_is_am,
+                          env_.rate_over_b > 0 ? env_.rate_over_b : 1.0);
+  if (cfg_.quality_noise > 0.0)
+    link *= 1.0 + env_.rng.uniform(-cfg_.quality_noise, cfg_.quality_noise);
+  bool changed = false;
+  for (const DsdvEntry& adv : body.entries) {
+    if (adv.dest == env_.id) continue;
+    const bool broken = !std::isfinite(adv.metric);
+    const double via = broken ? kInf : adv.metric + link;
+    auto it = table_.find(adv.dest);
+    const bool have = it != table_.end();
+
+    bool adopt = false;
+    if (!have) {
+      adopt = !broken;
+    } else {
+      Entry& cur = it->second;
+      if (adv.seq > cur.seq) {
+        adopt = true;
+      } else if (adv.seq == cur.seq) {
+        // Same sequence: better cost wins; the current next hop is always
+        // authoritative (this is how cost *increases* — e.g. a relay
+        // dropping to PSM under DSDVH — propagate).
+        adopt = (cur.next_hop == from) || (via < cur.metric - kEps);
+      }
+    }
+    if (!adopt) continue;
+
+    Entry next;
+    next.seq = adv.seq;
+    next.metric = via;
+    next.next_hop = from;
+    next.valid = !broken;
+    const bool materially_different =
+        !have || it->second.valid != next.valid ||
+        it->second.next_hop != next.next_hop ||
+        std::abs(it->second.metric - next.metric) > kEps;
+    table_[adv.dest] = next;
+    if (materially_different) {
+      dirty_.insert(adv.dest);
+      changed = true;
+    }
+  }
+  if (changed) schedule_triggered();
+}
+
+// ----------------------------------------------------------- data plane ---
+
+void DsdvRouting::send_data(mac::Packet packet) {
+  EEND_REQUIRE(packet.origin == env_.id);
+  if (packet.final_dest == env_.id) {
+    ++stats_.data_delivered;
+    if (env_.deliver_app) env_.deliver_app(packet);
+    return;
+  }
+  env_.power->notify_data_activity();
+  forward(std::move(packet));
+}
+
+void DsdvRouting::forward(mac::Packet packet) {
+  if (packet.ttl <= 0) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  --packet.ttl;
+  const auto it = table_.find(packet.final_dest);
+  if (it == table_.end() || !it->second.valid ||
+      !std::isfinite(it->second.metric)) {
+    ++stats_.drops_no_route;
+    return;
+  }
+  const mac::NodeId next = it->second.next_hop;
+  packet.type = kData;
+  if (!packet.payload) {
+    packet.payload = mac::Packet::wrap(DataBody{});  // hop-by-hop: no route
+  }
+  env_.mac->send_unicast(packet, next, env_.data_tx_power(next),
+                         [this, next](bool ok) {
+                           if (!ok) handle_link_failure(next);
+                         });
+}
+
+void DsdvRouting::handle_data(const mac::Packet& p) {
+  env_.power->notify_data_activity();
+  if (p.final_dest == env_.id) {
+    ++stats_.data_delivered;
+    if (env_.deliver_app) env_.deliver_app(p);
+    return;
+  }
+  ++stats_.data_forwarded;
+  forward(p);
+}
+
+void DsdvRouting::handle_link_failure(mac::NodeId next_hop) {
+  ++stats_.drops_mac;
+  bool changed = false;
+  for (auto& [dest, e] : table_) {
+    if (dest == env_.id || e.next_hop != next_hop || !e.valid) continue;
+    e.valid = false;
+    e.metric = kInf;
+    e.seq += 1;  // odd sequence: link-break advertisement (DSDV rule)
+    dirty_.insert(dest);
+    changed = true;
+  }
+  if (changed) schedule_triggered();
+}
+
+void DsdvRouting::on_receive(const mac::Packet& p, mac::NodeId from) {
+  switch (p.type) {
+    case kData: handle_data(p); break;
+    case kDsdvUpdate: handle_update(p, from); break;
+    default: break;
+  }
+}
+
+mac::NodeId DsdvRouting::next_hop_to(mac::NodeId dest) const {
+  const auto it = table_.find(dest);
+  if (it == table_.end() || !it->second.valid) return mac::kBroadcast;
+  return it->second.next_hop;
+}
+
+}  // namespace eend::routing

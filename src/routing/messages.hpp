@@ -1,0 +1,94 @@
+// Routing-message payload structures and on-air size accounting.
+//
+// Nothing is serialized — payloads travel as immutable shared structs — but
+// every message carries a realistic on-air size so control overhead costs
+// airtime and energy exactly like data does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/packet.hpp"
+
+namespace eend::routing {
+
+/// Packet::type discriminators.
+enum PacketType : int {
+  kData = 0,
+  kRreq = 1,
+  kRrep = 2,
+  kRerr = 3,
+  kDsdvUpdate = 4,
+};
+
+/// Source-routed data: `route` is the full origin..destination node list;
+/// `index` is the position of the node the frame is addressed to.
+struct DataBody {
+  std::vector<mac::NodeId> route;
+  std::uint32_t index = 0;
+};
+
+/// Route request (flooded). origin/target live in the Packet header.
+struct RreqBody {
+  std::uint32_t seq = 0;
+  std::vector<mac::NodeId> route;  ///< accumulated path, starts [origin]
+  double cost = 0.0;               ///< accumulated metric
+};
+
+/// Route reply, unicast back along `route` (origin..target).
+/// `index` = position of the node currently holding the reply.
+struct RrepBody {
+  std::vector<mac::NodeId> route;
+  double cost = 0.0;
+  std::uint32_t index = 0;
+};
+
+/// Route error: link broken_from->broken_to failed; travels back along the
+/// original data route toward the origin.
+struct RerrBody {
+  mac::NodeId broken_from = mac::kBroadcast;
+  mac::NodeId broken_to = mac::kBroadcast;
+  std::vector<mac::NodeId> route;
+  std::uint32_t index = 0;
+};
+
+/// One DSDV table entry advertisement.
+struct DsdvEntry {
+  mac::NodeId dest;
+  std::uint32_t seq;
+  double metric;
+};
+
+/// DSDV update broadcast. `sender_is_am` lets receivers evaluate the
+/// JointH metric against the advertiser's power-management state (DSDVH).
+struct DsdvBody {
+  bool sender_is_am = true;
+  std::vector<DsdvEntry> entries;
+};
+
+// --------------------------------------------------------------- sizes ---
+inline constexpr std::uint32_t kCtrlHeaderBits = 160;      // 20 B
+inline constexpr std::uint32_t kRouteEntryBits = 32;       // 4 B per hop
+inline constexpr std::uint32_t kDsdvEntryBits = 48;        // 6 B per entry
+
+inline std::uint32_t rreq_bits(std::size_t route_len) {
+  return kCtrlHeaderBits +
+         kRouteEntryBits * static_cast<std::uint32_t>(route_len);
+}
+inline std::uint32_t rrep_bits(std::size_t route_len) {
+  return kCtrlHeaderBits +
+         kRouteEntryBits * static_cast<std::uint32_t>(route_len);
+}
+inline std::uint32_t rerr_bits() { return kCtrlHeaderBits; }
+inline std::uint32_t dsdv_bits(std::size_t entries) {
+  return kCtrlHeaderBits +
+         kDsdvEntryBits * static_cast<std::uint32_t>(entries);
+}
+/// Source-routed data carries its route in the header.
+inline std::uint32_t data_bits(std::uint32_t payload_bits,
+                               std::size_t route_len) {
+  return payload_bits +
+         kRouteEntryBits * static_cast<std::uint32_t>(route_len);
+}
+
+}  // namespace eend::routing

@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+namespace eend::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  EEND_REQUIRE_MSG(at >= now_, "scheduling into the past: at=" << at
+                                                               << " now="
+                                                               << now_);
+  EEND_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;  // cancelled (tombstone)
+    EEND_CHECK(e.at >= now_);
+    now_ = e.at;
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time end) {
+  EEND_REQUIRE(end >= now_);
+  while (!queue_.empty()) {
+    // Peek through tombstones.
+    const Entry e = queue_.top();
+    if (handlers_.count(e.id) == 0) {
+      queue_.pop();
+      continue;
+    }
+    if (e.at > end) break;
+    step();
+  }
+  now_ = end;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+void Timer::restart(Time delay) {
+  cancel();
+  expiry_ = sim_->now() + delay;
+  id_ = sim_->schedule_in(delay, [this] {
+    id_ = kInvalidEvent;
+    on_expire_();
+  });
+}
+
+void Timer::extend_to(Time delay) {
+  const Time new_expiry = sim_->now() + delay;
+  if (armed() && expiry_ >= new_expiry) return;
+  restart(delay);
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEvent) {
+    sim_->cancel(id_);
+    id_ = kInvalidEvent;
+  }
+}
+
+}  // namespace eend::sim

@@ -1,0 +1,117 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events execute in (time, insertion-seq)
+// order so runs are exactly reproducible for a given seed. Cancellation is
+// O(log n) amortized via tombstones (the handler map drops the entry; stale
+// heap records are skipped on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace eend::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Handle for a scheduled event; used to cancel.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// The event-driven simulator. All protocol stacks, MACs and traffic
+/// generators schedule closures on one Simulator instance per experiment.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Absolute-time scheduling. `at` must not be in the past.
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Relative scheduling: fire `delay` seconds from now (delay >= 0).
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    EEND_REQUIRE_MSG(delay >= 0.0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const { return handlers_.count(id) > 0; }
+
+  Time now() const { return now_; }
+
+  /// Execute events until the queue empties or `end` is passed. The clock
+  /// is left at min(end, last event time); events at exactly `end` run.
+  void run_until(Time end);
+
+  /// Execute every remaining event (use with care: traffic generators that
+  /// reschedule forever will never drain).
+  void run_all();
+
+  /// Execute the single next event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t queue_size() const { return handlers_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+/// A restartable one-shot timer — the idiom behind ODPM keep-alive timers,
+/// route-request timeouts and beacon schedules. Restarting replaces any
+/// pending expiry.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_expire)
+      : sim_(&sim), on_expire_(std::move(on_expire)) {}
+
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm to fire `delay` seconds from now.
+  void restart(Time delay);
+
+  /// Arm only if the new expiry is later than the current one ("extend").
+  void extend_to(Time delay);
+
+  void cancel();
+
+  bool armed() const { return id_ != kInvalidEvent && sim_->pending(id_); }
+
+  /// Absolute expiry time; only meaningful while armed().
+  Time expiry() const { return expiry_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_expire_;
+  EventId id_ = kInvalidEvent;
+  Time expiry_ = 0.0;
+};
+
+}  // namespace eend::sim

@@ -1,0 +1,33 @@
+#include "traffic/cbr.hpp"
+
+namespace eend::traffic {
+
+CbrSource::CbrSource(sim::Simulator& sim, routing::RoutingProtocol& routing,
+                     FlowSpec spec, std::function<void(const FlowSpec&)> on_sent)
+    : sim_(sim), routing_(routing), spec_(spec), on_sent_(std::move(on_sent)) {
+  EEND_REQUIRE(spec_.packets_per_s > 0.0);
+  EEND_REQUIRE(spec_.payload_bits > 0);
+}
+
+void CbrSource::start() {
+  const double at = std::max(spec_.start_s, sim_.now());
+  sim_.schedule_at(at, [this] { tick(); });
+}
+
+void CbrSource::tick() {
+  if (sim_.now() >= spec_.stop_s) return;
+  mac::Packet p;
+  p.uid = (static_cast<std::uint64_t>(spec_.flow_id + 1) << 40) | next_uid_++;
+  p.category = energy::Category::Data;
+  p.flow_id = spec_.flow_id;
+  p.origin = spec_.source;
+  p.final_dest = spec_.destination;
+  p.size_bits = spec_.payload_bits;
+  p.created_at = sim_.now();
+  ++sent_;
+  if (on_sent_) on_sent_(spec_);
+  routing_.send_data(std::move(p));
+  sim_.schedule_in(1.0 / spec_.packets_per_s, [this] { tick(); });
+}
+
+}  // namespace eend::traffic

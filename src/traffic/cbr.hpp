@@ -1,0 +1,48 @@
+// Constant-bit-rate traffic sources — the workload of every experiment in
+// the paper (§5.2: CBR flows, 128-byte packets, "2-6 Kbit/s (i.e., 2-6
+// packets/s)", start times uniform in [20 s, 25 s]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "routing/protocol.hpp"
+
+namespace eend::traffic {
+
+/// Specification of one CBR flow.
+struct FlowSpec {
+  int flow_id = 0;
+  mac::NodeId source = 0;
+  mac::NodeId destination = 0;
+  double packets_per_s = 2.0;
+  std::uint32_t payload_bits = 1024;  ///< 128-byte packets
+  double start_s = 20.0;
+  double stop_s = 1e18;  ///< defaults to "until simulation end"
+};
+
+/// CBR generator living at the flow's source node.
+class CbrSource {
+ public:
+  /// `on_sent` fires for every generated packet (metrics hook).
+  CbrSource(sim::Simulator& sim, routing::RoutingProtocol& routing,
+            FlowSpec spec, std::function<void(const FlowSpec&)> on_sent);
+
+  /// Arm the first packet at spec.start_s.
+  void start();
+
+  const FlowSpec& spec() const { return spec_; }
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  routing::RoutingProtocol& routing_;
+  FlowSpec spec_;
+  std::function<void(const FlowSpec&)> on_sent_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace eend::traffic

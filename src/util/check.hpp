@@ -1,0 +1,66 @@
+// Lightweight precondition / invariant checking in the spirit of the C++
+// Core Guidelines Expects()/Ensures(). Violations throw, so tests can assert
+// on them and simulations fail loudly instead of silently corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eend {
+
+/// Thrown when an EEND_REQUIRE / EEND_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace eend
+
+/// Precondition check: use at function entry to validate arguments.
+#define EEND_REQUIRE(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::eend::detail::check_failed("Precondition", #cond, __FILE__,         \
+                                   __LINE__, "");                           \
+  } while (false)
+
+/// Precondition check with a message streamed into the exception text.
+#define EEND_REQUIRE_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream eend_os_;                                          \
+      eend_os_ << msg;                                                      \
+      ::eend::detail::check_failed("Precondition", #cond, __FILE__,         \
+                                   __LINE__, eend_os_.str());               \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check: something the module itself must guarantee.
+#define EEND_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::eend::detail::check_failed("Invariant", #cond, __FILE__, __LINE__,  \
+                                   "");                                     \
+  } while (false)
+
+#define EEND_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream eend_os_;                                          \
+      eend_os_ << msg;                                                      \
+      ::eend::detail::check_failed("Invariant", #cond, __FILE__, __LINE__,  \
+                                   eend_os_.str());                         \
+    }                                                                       \
+  } while (false)

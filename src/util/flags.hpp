@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for bench binaries and examples.
+// Supports --key=value, --key value, and bare --flag booleans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eend {
+
+/// Parsed command-line flags. Unknown flags are retained and can be listed,
+/// so binaries can warn on typos instead of silently ignoring them.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  double get_double(const std::string& key, double def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed keys (for diagnostics).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eend

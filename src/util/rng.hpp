@@ -1,0 +1,166 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Simulation results must be reproducible bit-for-bit across platforms, so we
+// implement splitmix64 (seeding) and xoshiro256** (generation) from scratch
+// instead of relying on std::mt19937 distributions, whose std::*_distribution
+// outputs are not portable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace eend {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: all-purpose 64-bit generator (Blackman & Vigna, 2018).
+/// Period 2^256 - 1; passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper bundling the generator with portable distributions.
+/// Every experiment owns one Rng; sub-streams are derived with fork() so
+/// adding a consumer does not perturb unrelated random sequences.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed), seed_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits — the standard xoshiro double recipe.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    EEND_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    EEND_REQUIRE(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = gen_();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    EEND_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (portable, no std distribution).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    spare_ = r * std::sin(two_pi * u2);
+    have_spare_ = true;
+    return r * std::cos(two_pi * u2);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    EEND_REQUIRE(mean > 0);
+    double u = 0.0;
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Random index-free element pick.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    EEND_REQUIRE(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Derive an independent child stream. Deterministic in (seed, salt).
+  Rng fork(std::uint64_t salt) const {
+    SplitMix64 sm(seed_ ^ (salt * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  Xoshiro256& engine() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  std::uint64_t seed_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace eend

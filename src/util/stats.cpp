@@ -1,0 +1,43 @@
+#include "util/stats.hpp"
+
+#include <array>
+
+namespace eend {
+
+double student_t_95(std::size_t df) {
+  // Two-sided 0.95 quantiles of the t distribution, df = 1..30.
+  static constexpr std::array<double, 30> kT95 = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= kT95.size()) return kT95[df - 1];
+  return 1.96;
+}
+
+double mean_of(std::span<const double> xs) {
+  EEND_REQUIRE(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+SampleStats summarize(std::span<const double> xs) {
+  EEND_REQUIRE(!xs.empty());
+  SampleStats s;
+  s.n = xs.size();
+  s.mean = mean_of(xs);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci95_half_width = student_t_95(s.n - 1) * s.stddev /
+                        std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace eend

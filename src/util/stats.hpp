@@ -1,0 +1,39 @@
+// Small-sample statistics used by the evaluation harness: mean, sample
+// standard deviation and Student-t 95% confidence intervals, matching the
+// paper's "average of N runs and 95% confidence intervals" methodology.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace eend {
+
+/// Summary of a sample of independent runs.
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;        ///< sample (n-1) standard deviation
+  double ci95_half_width = 0.0;  ///< half-width of the 95% Student-t CI
+};
+
+/// Two-sided 95% Student-t critical value for df degrees of freedom.
+/// Table-driven for df <= 30, asymptotic 1.96 beyond.
+double student_t_95(std::size_t df);
+
+/// Compute mean / stddev / 95% CI of a sample. Empty samples are invalid.
+SampleStats summarize(std::span<const double> xs);
+
+/// Mean of a sample (n must be > 0).
+double mean_of(std::span<const double> xs);
+
+/// Relative difference (a-b)/b, guarded against b == 0.
+inline double rel_diff(double a, double b) {
+  if (b == 0.0) return a == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return (a - b) / b;
+}
+
+}  // namespace eend

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace eend {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EEND_REQUIRE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EEND_REQUIRE_MSG(cells.size() == header_.size(),
+                   "row arity " << cells.size() << " != header arity "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num_ci(double mean, double ci, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " +- " << ci;
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::setw(static_cast<int>(width[i])) << row[i];
+      os << (i + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << row[i] << (i + 1 == row.size() ? "\n" : ",");
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+void print_table(std::ostream& os, const std::string& title, const Table& t,
+                 bool with_csv) {
+  print_banner(os, title);
+  os << t.to_text();
+  if (with_csv) os << "\n[csv]\n" << t.to_csv();
+  os.flush();
+}
+
+}  // namespace eend

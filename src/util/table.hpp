@@ -1,0 +1,48 @@
+// Text table / CSV emission for the benchmark harness. Every bench binary
+// prints (a) an aligned human-readable table mirroring the paper's figure or
+// table and (b) machine-readable CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eend {
+
+/// Collects rows of strings and renders them either as an aligned text table
+/// or as CSV. The first added row is treated as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Format "mean ± ci" the way the paper's Table 2 reports values.
+  static std::string num_ci(double mean, double ci, int precision = 3);
+
+  /// Render with space-padded, right-aligned columns.
+  std::string to_text() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting needed for our content).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a table under a titled banner: used by all bench binaries so output
+/// for each figure/table is uniform and easy to grep.
+void print_banner(std::ostream& os, const std::string& title);
+void print_table(std::ostream& os, const std::string& title, const Table& t,
+                 bool with_csv = true);
+
+}  // namespace eend

@@ -1,0 +1,22 @@
+// Unit conventions used across the library.
+//
+// All internal quantities are SI: seconds, meters, watts, joules, bits.
+// The paper's Table 1 lists powers in milliwatts; card definitions convert
+// at construction. Helpers here make unit conversions explicit at call
+// sites instead of scattering bare 1e-3 factors.
+#pragma once
+
+namespace eend {
+
+constexpr double milliwatts(double mw) { return mw * 1e-3; }
+constexpr double watts(double w) { return w; }
+constexpr double as_milliwatts(double w) { return w * 1e3; }
+
+constexpr double kilobits(double kb) { return kb * 1e3; }
+constexpr double megabits(double mb) { return mb * 1e6; }
+constexpr double bytes_to_bits(double bytes) { return bytes * 8.0; }
+
+constexpr double milliseconds(double ms) { return ms * 1e-3; }
+constexpr double microseconds(double us) { return us * 1e-6; }
+
+}  // namespace eend

@@ -1,0 +1,159 @@
+// Unit tests: Table 1 radio cards and the energy meter.
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.hpp"
+#include "energy/radio_card.hpp"
+#include "util/units.hpp"
+
+namespace eend::energy {
+namespace {
+
+TEST(RadioCard, Table1Cabletron) {
+  const RadioCard c = cabletron();
+  EXPECT_DOUBLE_EQ(c.p_idle, 0.830);
+  EXPECT_DOUBLE_EQ(c.p_rx, 1.000);
+  EXPECT_DOUBLE_EQ(c.p_base, 1.118);
+  // Ptx(250) = 1118 + 7.2e-8 * 250^4 mW = 1118 + 281.25 mW
+  EXPECT_NEAR(c.transmit_power(250.0), 1.118 + 0.28125, 1e-9);
+  EXPECT_DOUBLE_EQ(c.max_range_m, 250.0);
+}
+
+TEST(RadioCard, Table1Aironet) {
+  const RadioCard c = aironet350();
+  EXPECT_DOUBLE_EQ(c.p_idle, 1.350);
+  EXPECT_DOUBLE_EQ(c.p_rx, 1.350);
+  // Ptx(140) = 2165 + 3.6e-7 * 140^4 mW
+  EXPECT_NEAR(as_milliwatts(c.transmit_power(140.0)),
+              2165.0 + 3.6e-7 * std::pow(140.0, 4), 1e-6);
+}
+
+TEST(RadioCard, Table1Mica2AndLeach) {
+  const RadioCard m = mica2();
+  EXPECT_DOUBLE_EQ(m.p_idle, 0.021);
+  EXPECT_NEAR(as_milliwatts(m.transmit_power(68.0)),
+              10.2 + 9.4e-7 * std::pow(68.0, 4), 1e-6);
+  const RadioCard l4 = leach_n4();
+  EXPECT_DOUBLE_EQ(l4.path_loss_n, 4.0);
+  const RadioCard l2 = leach_n2();
+  EXPECT_DOUBLE_EQ(l2.path_loss_n, 2.0);
+  EXPECT_NEAR(as_milliwatts(l2.transmit_power(75.0)),
+              50.0 + 1e-2 * 75.0 * 75.0, 1e-6);
+}
+
+TEST(RadioCard, HypotheticalCabletronAlpha) {
+  const RadioCard h = hypothetical_cabletron();
+  EXPECT_DOUBLE_EQ(h.alpha2, milliwatts(5.2e-6));
+  // The paper: transmit power to reach 250 m rises to ~20 W.
+  EXPECT_NEAR(h.transmit_power(250.0), 1.118 + 5.2e-6 * 1e-3 * std::pow(250.0, 4),
+              1e-6);
+  EXPECT_GT(h.transmit_power(250.0), 20.0);
+}
+
+TEST(RadioCard, CardLookupByName) {
+  EXPECT_EQ(card_by_name("cabletron").name, "Cabletron");
+  EXPECT_EQ(card_by_name("MICA2").name, "Mica2");
+  EXPECT_THROW(card_by_name("nosuchcard"), CheckError);
+}
+
+TEST(RadioCard, TxDuration) {
+  const RadioCard c = cabletron();  // 2 Mbit/s
+  EXPECT_DOUBLE_EQ(c.tx_duration(2e6), 1.0);
+  EXPECT_DOUBLE_EQ(c.tx_duration(1024), 1024 / 2e6);
+}
+
+TEST(EnergyMeter, IdleIntegration) {
+  const RadioCard c = cabletron();
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Idle);
+  m.finish(10.0);
+  EXPECT_NEAR(m.total(), 10.0 * c.p_idle, 1e-12);
+  EXPECT_NEAR(m.passive_energy(), 10.0 * c.p_idle, 1e-12);
+  EXPECT_DOUBLE_EQ(m.data_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.time_in(RadioMode::Idle), 10.0);
+}
+
+TEST(EnergyMeter, SleepIsCheaperThanIdle) {
+  const RadioCard c = cabletron();
+  EnergyMeter idle(c), sleep(c);
+  idle.begin(0.0, RadioMode::Idle);
+  idle.finish(10.0);
+  sleep.begin(0.0, RadioMode::Sleep);
+  sleep.finish(10.0);
+  EXPECT_LT(sleep.total(), idle.total());
+  EXPECT_NEAR(sleep.sleep_energy(), 10.0 * c.p_sleep, 1e-12);
+}
+
+TEST(EnergyMeter, TransmitAttribution) {
+  const RadioCard c = cabletron();
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Idle);
+  m.set_transmit(1.0, 1.4, Category::Data);
+  m.set_passive_mode(2.0, RadioMode::Idle);
+  m.set_transmit(3.0, 1.4, Category::Control);
+  m.set_passive_mode(4.0, RadioMode::Idle);
+  m.finish(5.0);
+  EXPECT_NEAR(m.transmit_energy(), 2.0 * 1.4, 1e-12);
+  EXPECT_NEAR(m.data_energy(), 1.4, 1e-12);
+  EXPECT_NEAR(m.control_energy(), 1.4, 1e-12);
+  EXPECT_NEAR(m.idle_energy(), 3.0 * c.p_idle, 1e-12);
+  EXPECT_NEAR(m.total(), 2.8 + 3.0 * c.p_idle, 1e-12);
+}
+
+TEST(EnergyMeter, ReceiveUsesCardRxPower) {
+  const RadioCard c = cabletron();
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Idle);
+  m.set_receive(1.0, Category::Data);
+  m.set_passive_mode(3.0, RadioMode::Idle);
+  m.finish(4.0);
+  EXPECT_NEAR(m.receive_energy(), 2.0 * c.p_rx, 1e-12);
+  EXPECT_NEAR(m.data_energy(), 2.0 * c.p_rx, 1e-12);
+}
+
+TEST(EnergyMeter, SwitchCostCharged) {
+  RadioCard c = cabletron();
+  c.switch_energy_j = 0.005;
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Idle);
+  m.set_passive_mode(1.0, RadioMode::Sleep);   // 1 switch
+  m.set_passive_mode(2.0, RadioMode::Idle);    // 2 switches
+  m.set_passive_mode(3.0, RadioMode::Idle);    // no transition
+  m.finish(4.0);
+  EXPECT_EQ(m.switch_count(), 2u);
+  EXPECT_NEAR(m.switch_energy(), 0.010, 1e-12);
+  EXPECT_NEAR(m.passive_energy(),
+              3.0 * c.p_idle + 1.0 * c.p_sleep + 0.010, 1e-12);
+}
+
+TEST(EnergyMeter, BurstCharging) {
+  const RadioCard c = cabletron();
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Idle);
+  m.charge_tx_burst(0.001, 2.0, Category::Control);
+  m.finish(1.0);
+  EXPECT_NEAR(m.control_energy(), 0.002, 1e-12);
+  EXPECT_NEAR(m.total(), 1.0 * c.p_idle + 0.002, 1e-12);
+}
+
+TEST(EnergyMeter, TimeMovingBackwardThrows) {
+  EnergyMeter m(cabletron());
+  m.begin(5.0, RadioMode::Idle);
+  EXPECT_THROW(m.finish(4.0), CheckError);
+}
+
+TEST(EnergyMeter, TotalEqualsSumOfParts) {
+  const RadioCard c = cabletron();
+  EnergyMeter m(c);
+  m.begin(0.0, RadioMode::Sleep);
+  m.set_passive_mode(1.0, RadioMode::Idle);
+  m.set_transmit(1.5, 1.4, Category::Data);
+  m.set_receive(2.0, Category::Control);
+  m.set_passive_mode(2.5, RadioMode::Sleep);
+  m.finish(4.0);
+  EXPECT_NEAR(m.total(),
+              m.data_energy() + m.control_energy() + m.passive_energy(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace eend::energy

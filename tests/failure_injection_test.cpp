@@ -1,0 +1,161 @@
+// Failure-injection tests: nodes dying mid-run; protocols must recover
+// (reactive: RERR + rediscovery; proactive: break advertisements) and the
+// accounting must stay consistent.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace eend {
+namespace {
+
+net::ScenarioConfig dense_scenario() {
+  net::ScenarioConfig sc;
+  sc.node_count = 30;           // dense: plenty of alternate relays
+  sc.field_w = sc.field_h = 500.0;
+  sc.flow_count = 3;
+  sc.rate_pps = 2.0;
+  sc.duration_s = 120.0;
+  sc.seed = 42;
+  return sc;
+}
+
+/// Pick victims that are neither sources nor destinations.
+std::vector<mac::NodeId> pick_victims(const net::Network& n, std::size_t k) {
+  std::set<mac::NodeId> endpoints;
+  for (const auto& f : n.flows()) {
+    endpoints.insert(f.source);
+    endpoints.insert(f.destination);
+  }
+  std::vector<mac::NodeId> victims;
+  for (mac::NodeId v = 0; victims.size() < k &&
+                          v < static_cast<mac::NodeId>(n.node_count());
+       ++v)
+    if (endpoints.count(v) == 0) victims.push_back(v);
+  return victims;
+}
+
+TEST(FailureInjection, DsrRecoversFromRelayDeaths) {
+  net::Network n(dense_scenario(), net::StackSpec::dsr_active());
+  for (mac::NodeId v : pick_victims(n, 5))
+    n.schedule_node_failure(v, 60.0);
+  const auto r = n.run();
+  // Five arbitrary non-endpoint deaths in a dense network: most traffic
+  // still arrives (rediscovery around the holes).
+  EXPECT_GT(r.delivery_ratio, 0.85);
+}
+
+TEST(FailureInjection, OdpmStackSurvivesDeaths) {
+  net::Network n(dense_scenario(), net::StackSpec::dsr_odpm_pc());
+  for (mac::NodeId v : pick_victims(n, 5))
+    n.schedule_node_failure(v, 60.0);
+  const auto r = n.run();
+  EXPECT_GT(r.delivery_ratio, 0.75);
+}
+
+TEST(FailureInjection, TitanSurvivesBackboneDeaths) {
+  net::Network n(dense_scenario(), net::StackSpec::titan_pc());
+  for (mac::NodeId v : pick_victims(n, 5))
+    n.schedule_node_failure(v, 60.0);
+  const auto r = n.run();
+  EXPECT_GT(r.delivery_ratio, 0.75);
+}
+
+TEST(FailureInjection, DsdvAdvertisesBreaksAndReRoutes) {
+  net::Network n(dense_scenario(), net::StackSpec::dsdvh_odpm_psm());
+  for (mac::NodeId v : pick_victims(n, 3))
+    n.schedule_node_failure(v, 60.0);
+  const auto r = n.run();
+  EXPECT_GT(r.delivery_ratio, 0.6);
+}
+
+TEST(FailureInjection, DeadNodesStopConsumingIdleEnergy) {
+  auto sc = dense_scenario();
+  net::Network with(sc, net::StackSpec::dsr_active());
+  const auto victims = pick_victims(with, 8);
+  for (mac::NodeId v : victims) with.schedule_node_failure(v, 10.0);
+  const auto rw = with.run();
+
+  net::Network without(sc, net::StackSpec::dsr_active());
+  const auto ro = without.run();
+  // 8 nodes idle for 110 fewer seconds: total energy clearly lower.
+  EXPECT_LT(rw.total_energy_j, ro.total_energy_j - 100.0);
+}
+
+TEST(FailureInjection, EnergyAccountingSurvivesFailures) {
+  net::Network n(dense_scenario(), net::StackSpec::titan_pc());
+  for (mac::NodeId v : pick_victims(n, 5))
+    n.schedule_node_failure(v, 30.0);
+  const auto r = n.run();
+  EXPECT_NEAR(r.total_energy_j,
+              r.data_energy_j + r.control_energy_j + r.passive_energy_j,
+              1e-6);
+}
+
+TEST(FailureInjection, KillingAllRelaysPartitionsGracefully) {
+  // Kill every non-endpoint node: delivery can only happen on direct
+  // source->destination links; the run must still terminate cleanly.
+  auto sc = dense_scenario();
+  sc.duration_s = 60.0;
+  net::Network n(sc, net::StackSpec::dsr_active());
+  for (mac::NodeId v = 0; v < static_cast<mac::NodeId>(n.node_count()); ++v) {
+    bool endpoint = false;
+    for (const auto& f : n.flows())
+      if (f.source == v || f.destination == v) endpoint = true;
+    if (!endpoint) n.schedule_node_failure(v, 25.0);
+  }
+  const auto r = n.run();
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GE(r.delivery_ratio, 0.0);
+}
+
+TEST(FailureInjection, FailureBeforeRunThrowsAfterRun) {
+  net::Network n(dense_scenario(), net::StackSpec::dsr_active());
+  (void)n.run();
+  EXPECT_THROW(n.schedule_node_failure(0, 1.0), CheckError);
+}
+
+// ----------------------------- lifetime extension (finite batteries) ----
+
+TEST(Lifetime, InfiniteBatteryNeverDies) {
+  net::Network n(dense_scenario(), net::StackSpec::dsr_active());
+  const auto r = n.run();
+  EXPECT_DOUBLE_EQ(r.first_death_s, -1.0);
+  EXPECT_EQ(r.depleted_nodes, 0u);
+}
+
+TEST(Lifetime, AlwaysActiveDrainsPredictably) {
+  auto sc = dense_scenario();
+  // Cabletron idle = 0.83 W: a 50 J budget lasts ~60 s of idling.
+  sc.battery_capacity_j = 50.0;
+  net::Network n(sc, net::StackSpec::dsr_active());
+  const auto r = n.run();
+  EXPECT_GT(r.first_death_s, 40.0);
+  EXPECT_LT(r.first_death_s, 75.0);
+  // All nodes idle at the same draw: everyone dies before the run ends.
+  EXPECT_EQ(r.depleted_nodes, n.node_count());
+}
+
+TEST(Lifetime, PowerManagementExtendsFirstDeath) {
+  auto sc = dense_scenario();
+  sc.battery_capacity_j = 60.0;
+  net::Network active(sc, net::StackSpec::dsr_active());
+  const auto ra = active.run();
+  net::Network odpm(sc, net::StackSpec::dsr_odpm_pc());
+  const auto ro = odpm.run();
+  ASSERT_GT(ra.first_death_s, 0.0);
+  // ODPM keeps non-relays asleep: the first relay may die early, but far
+  // fewer nodes deplete overall.
+  EXPECT_LT(ro.depleted_nodes, ra.depleted_nodes);
+}
+
+TEST(Lifetime, DeadNetworkStopsDelivering) {
+  auto sc = dense_scenario();
+  sc.battery_capacity_j = 30.0;  // everyone dies ~36 s in (flows start ~20)
+  net::Network n(sc, net::StackSpec::dsr_active());
+  const auto r = n.run();
+  EXPECT_EQ(r.depleted_nodes, n.node_count());
+  EXPECT_LT(r.delivery_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace eend

@@ -1,0 +1,78 @@
+// Unit tests: the §5.2.3 grid-study harness (route freezing + analytic
+// re-costing under perfect / ODPM / always-active scheduling).
+#include <gtest/gtest.h>
+
+#include "core/grid_study.hpp"
+
+namespace eend::core {
+namespace {
+
+net::ScenarioConfig quick_grid() {
+  auto sc = net::ScenarioConfig::hypothetical_grid();
+  sc.duration_s = 120.0;  // enough for routes to stabilize at 2 pkt/s
+  sc.rate_pps = 2.0;
+  sc.seed = 5;
+  return sc;
+}
+
+TEST(GridStudy, FreezesRoutesForAllFlows) {
+  const auto s = grid_series(quick_grid(), net::StackSpec::titan_pc(),
+                             {2.0, 4.0});
+  EXPECT_EQ(s.label, "TITAN-PC");
+  EXPECT_GE(s.active_nodes.size(), 14u);  // at least sources + sinks
+  ASSERT_EQ(s.points.size(), 2u);
+  for (const auto& pt : s.points) {
+    EXPECT_GT(pt.goodput_bit_per_j, 0.0);
+    EXPECT_GT(pt.network_power_w, 0.0);
+    EXPECT_NEAR(pt.network_power_w, pt.data_power_w + pt.passive_power_w,
+                1e-9);
+  }
+}
+
+TEST(GridStudy, DataPowerScalesLinearlyWithRate) {
+  const auto s = grid_series(quick_grid(), net::StackSpec::mtpr_perfect(),
+                             {2.0, 4.0, 8.0});
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_NEAR(s.points[1].data_power_w, 2.0 * s.points[0].data_power_w, 1e-6);
+  EXPECT_NEAR(s.points[2].data_power_w, 4.0 * s.points[0].data_power_w, 1e-6);
+}
+
+TEST(GridStudy, PerfectSleepBeatsOdpmAtLowRates) {
+  const auto perfect =
+      grid_series(quick_grid(), net::StackSpec::titan_pc_perfect(), {2.0});
+  const auto odpm =
+      grid_series(quick_grid(), net::StackSpec::titan_pc(), {2.0});
+  EXPECT_GT(perfect.points[0].goodput_bit_per_j,
+            odpm.points[0].goodput_bit_per_j * 2.0);
+}
+
+TEST(GridStudy, MtprUsesShortHopsTitanUsesFew) {
+  // MTPR minimizes transmit power => more, shorter hops => lower data
+  // power per packet than TITAN-PC's min-hop routes on the hypothetical
+  // card (this is the Fig. 15 crossover mechanism).
+  const auto mtpr =
+      grid_series(quick_grid(), net::StackSpec::mtpr_perfect(), {100.0});
+  const auto titan =
+      grid_series(quick_grid(), net::StackSpec::titan_pc_perfect(), {100.0});
+  EXPECT_LT(mtpr.points[0].data_power_w, titan.points[0].data_power_w);
+}
+
+TEST(GridStudy, AlwaysActivePaysIdleEverywhere) {
+  const auto active =
+      grid_series(quick_grid(), net::StackSpec::dsr_active(), {2.0});
+  const auto card = energy::hypothetical_cabletron();
+  // 49 idling nodes minus airtime: passive power close to 49 x Pidle.
+  EXPECT_NEAR(active.points[0].passive_power_w, 49 * card.p_idle,
+              49 * card.p_idle * 0.05);
+}
+
+TEST(GridStudy, GoodputIncreasesWithRateUnderFixedIdle) {
+  // With ODPM idle dominating, higher rates amortize it: goodput rises.
+  const auto s = grid_series(quick_grid(), net::StackSpec::dsr_odpm_pc(),
+                             {2.0, 5.0, 20.0});
+  EXPECT_LT(s.points[0].goodput_bit_per_j, s.points[1].goodput_bit_per_j);
+  EXPECT_LT(s.points[1].goodput_bit_per_j, s.points[2].goodput_bit_per_j);
+}
+
+}  // namespace
+}  // namespace eend::core

@@ -1,0 +1,91 @@
+// Unit tests: propagation model, ranges and TPC inversion.
+#include <gtest/gtest.h>
+
+#include "phy/position.hpp"
+#include "phy/propagation.hpp"
+
+namespace eend::phy {
+namespace {
+
+Propagation make_prop(PropagationConfig cfg = {}) {
+  return Propagation(energy::cabletron(), cfg);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Propagation, MaxRangeBoundary) {
+  const auto p = make_prop();
+  EXPECT_TRUE(p.in_max_range(250.0));
+  EXPECT_FALSE(p.in_max_range(250.1));
+  EXPECT_DOUBLE_EQ(p.max_range(), 250.0);
+}
+
+TEST(Propagation, RequiredPowerRoundTrip) {
+  const auto p = make_prop();
+  // For any reachable distance, transmitting at the required power must
+  // produce a decode range covering that distance.
+  for (double d : {10.0, 50.0, 124.7, 199.99, 250.0}) {
+    const double pw = p.required_power(d);
+    EXPECT_GE(p.rx_range(pw), d) << "d=" << d;
+    // And not wastefully larger (within 1%).
+    EXPECT_LE(p.rx_range(pw), d * 1.01 + 1.0) << "d=" << d;
+  }
+}
+
+TEST(Propagation, RequiredPowerBeyondRangeThrows) {
+  const auto p = make_prop();
+  EXPECT_THROW(p.required_power(251.0), CheckError);
+}
+
+TEST(Propagation, RangesScaleWithConfigFactors) {
+  PropagationConfig cfg;
+  cfg.cs_range_factor = 2.0;
+  cfg.interference_range_factor = 1.5;
+  const auto p = make_prop(cfg);
+  const double full = energy::cabletron().max_transmit_power();
+  EXPECT_NEAR(p.cs_range(full), 2.0 * p.rx_range(full), 1e-9);
+  EXPECT_NEAR(p.interference_range(full), 1.5 * p.rx_range(full), 1e-9);
+}
+
+TEST(Propagation, FootprintScalingCanBeDisabled) {
+  PropagationConfig cfg;
+  cfg.scale_footprint_with_power = false;
+  const auto p = make_prop(cfg);
+  const double low = p.required_power(50.0);
+  // With scaling off, even a low-power frame occupies the full footprint.
+  EXPECT_DOUBLE_EQ(p.rx_range(low), 250.0);
+
+  const auto scaled = make_prop();
+  EXPECT_LT(scaled.rx_range(low), 80.0);
+}
+
+TEST(Propagation, RangeOfLevelMonotone) {
+  const auto p = make_prop();
+  double prev = 0.0;
+  for (double pt = 0.01; pt < 0.3; pt += 0.02) {
+    const double r = p.range_of_level(pt);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Propagation, ZeroAndNegativeLevels) {
+  const auto p = make_prop();
+  EXPECT_DOUBLE_EQ(p.range_of_level(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.range_of_level(-1.0), 0.0);
+}
+
+TEST(Propagation, MaxPowerCoversMaxRange) {
+  for (const auto& card : energy::fig7_cards()) {
+    const Propagation p(card, {});
+    EXPECT_GE(p.rx_range(card.max_transmit_power()) + 1e-6, card.max_range_m)
+        << card.name;
+  }
+}
+
+}  // namespace
+}  // namespace eend::phy

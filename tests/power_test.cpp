@@ -1,0 +1,183 @@
+// Unit tests: power-management policies (AlwaysActive, PSM, ODPM,
+// PerfectSleep) and ODPM keep-alive semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "power/power_manager.hpp"
+
+namespace eend::power {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  mac::PsmScheduler psm{sim, {}};
+  std::vector<std::unique_ptr<mac::NodeRadio>> radios;
+
+  mac::NodeRadio& add() {
+    auto r = std::make_unique<mac::NodeRadio>(
+        static_cast<mac::NodeId>(radios.size()),
+        phy::Position{0.0, 100.0 * radios.size()}, energy::cabletron(), sim);
+    psm.register_radio(r.get());
+    r->begin_metering(energy::RadioMode::Idle);
+    radios.push_back(std::move(r));
+    return *radios.back();
+  }
+};
+
+TEST(AlwaysActive, StaysInActiveMode) {
+  AlwaysActive p;
+  p.start();
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+  p.notify_data_activity();  // no-ops
+  EXPECT_TRUE(p.is_active_mode());
+}
+
+TEST(AlwaysPsm, EntersPowerSave) {
+  Rig r;
+  r.add();
+  AlwaysPsm p(r.psm, 0);
+  r.psm.start();
+  p.start();
+  EXPECT_EQ(p.mode(), PmMode::PowerSave);
+  r.sim.run_until(0.05);
+  EXPECT_TRUE(r.radios[0]->sleeping());
+}
+
+TEST(Odpm, StartsInPowerSave) {
+  Rig r;
+  r.add();
+  Odpm p(r.sim, r.psm, 0, {});
+  r.psm.start();
+  p.start();
+  EXPECT_EQ(p.mode(), PmMode::PowerSave);
+  r.sim.run_until(0.05);
+  EXPECT_TRUE(r.radios[0]->sleeping());
+}
+
+TEST(Odpm, DataActivitySwitchesToActive) {
+  Rig r;
+  r.add();
+  Odpm p(r.sim, r.psm, 0, {});
+  r.psm.start();
+  p.start();
+  r.sim.run_until(1.0);
+  p.notify_data_activity();
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+  EXPECT_FALSE(r.radios[0]->sleeping());
+  EXPECT_EQ(p.activations(), 1u);
+}
+
+TEST(Odpm, KeepaliveExpiryReturnsToPsm) {
+  Rig r;
+  r.add();
+  OdpmConfig cfg;
+  cfg.keepalive_data_s = 2.0;
+  Odpm p(r.sim, r.psm, 0, cfg);
+  r.psm.start();
+  p.start();
+  r.sim.run_until(1.0);
+  p.notify_data_activity();
+  r.sim.run_until(2.5);  // expires at t=3.0
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+  r.sim.run_until(3.5);
+  EXPECT_EQ(p.mode(), PmMode::PowerSave);
+}
+
+TEST(Odpm, ActivityRefreshesKeepalive) {
+  Rig r;
+  r.add();
+  OdpmConfig cfg;
+  cfg.keepalive_data_s = 2.0;
+  Odpm p(r.sim, r.psm, 0, cfg);
+  r.psm.start();
+  p.start();
+  r.sim.run_until(1.0);
+  p.notify_data_activity();  // expires 3.0
+  r.sim.run_until(2.5);
+  p.notify_data_activity();  // refreshed: expires 4.5
+  r.sim.run_until(3.5);
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+  r.sim.run_until(5.0);
+  EXPECT_EQ(p.mode(), PmMode::PowerSave);
+  EXPECT_EQ(p.activations(), 1u);  // never flapped in between
+}
+
+TEST(Odpm, RrepKeepaliveIsLonger) {
+  Rig r;
+  r.add();
+  OdpmConfig cfg;  // defaults: data 5 s, RREP 10 s (paper values)
+  Odpm p(r.sim, r.psm, 0, cfg);
+  r.psm.start();
+  p.start();
+  r.sim.run_until(1.0);
+  p.notify_route_activity();
+  r.sim.run_until(9.0);  // data keep-alive would have expired at 6.0
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+  r.sim.run_until(11.5);
+  EXPECT_EQ(p.mode(), PmMode::PowerSave);
+}
+
+TEST(Odpm, ShorterTimerDoesNotTruncateLonger) {
+  Rig r;
+  r.add();
+  Odpm p(r.sim, r.psm, 0, {});  // data 5, rrep 10
+  r.psm.start();
+  p.start();
+  r.sim.run_until(1.0);
+  p.notify_route_activity();  // expires 11
+  p.notify_data_activity();   // would expire 6; must NOT shorten
+  r.sim.run_until(10.0);
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);
+}
+
+TEST(Odpm, ModeChangeHookFires) {
+  Rig r;
+  r.add();
+  OdpmConfig cfg;
+  cfg.keepalive_data_s = 1.0;
+  Odpm p(r.sim, r.psm, 0, cfg);
+  std::vector<PmMode> changes;
+  p.set_mode_change_hook([&](PmMode m) { changes.push_back(m); });
+  r.psm.start();
+  p.start();
+  r.sim.run_until(0.5);
+  p.notify_data_activity();
+  r.sim.run_until(3.0);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0], PmMode::ActiveMode);
+  EXPECT_EQ(changes[1], PmMode::PowerSave);
+}
+
+TEST(PerfectSleep, BillsPassiveTimeAtSleepDraw) {
+  Rig r;
+  auto& radio = r.add();
+  PerfectSleep p(radio);
+  p.start();
+  EXPECT_EQ(p.mode(), PmMode::ActiveMode);  // always receivable
+  r.sim.run_until(10.0);
+  radio.finish_metering();
+  const auto& card = radio.card();
+  EXPECT_NEAR(radio.meter().total(), 10.0 * card.p_sleep, 1e-9);
+  EXPECT_FALSE(radio.sleeping());  // logically awake the whole time
+}
+
+TEST(PerfectSleep, CheaperThanOdpmIdle) {
+  Rig a, b;
+  auto& ra = a.add();
+  PerfectSleep pa(ra);
+  pa.start();
+  a.sim.run_until(10.0);
+  ra.finish_metering();
+
+  auto& rb = b.add();
+  AlwaysActive pb;
+  pb.start();
+  b.sim.run_until(10.0);
+  rb.finish_metering();
+
+  EXPECT_LT(ra.meter().total(), rb.meter().total() / 5.0);
+}
+
+}  // namespace
+}  // namespace eend::power

@@ -1,0 +1,248 @@
+// Unit tests: 802.11 PSM scheduler — beacon/ATIM cycles, holds, announce
+// capacity, Span reconsideration, and PSM-deferred MAC delivery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/mac.hpp"
+#include "mac/psm.hpp"
+
+namespace eend::mac {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  phy::Propagation prop{energy::cabletron(), {}};
+  Channel ch{sim, prop};
+  PsmConfig psm_cfg;
+  std::unique_ptr<PsmScheduler> psm;
+  std::vector<std::unique_ptr<NodeRadio>> radios;
+  std::vector<std::unique_ptr<Mac>> macs;
+  MacConfig mac_cfg;
+
+  void add(double x, double y) {
+    auto r = std::make_unique<NodeRadio>(
+        static_cast<NodeId>(radios.size()), phy::Position{x, y},
+        energy::cabletron(), sim);
+    ch.register_radio(r.get());
+    radios.push_back(std::move(r));
+  }
+  void freeze() {
+    psm = std::make_unique<PsmScheduler>(sim, psm_cfg);
+    psm->set_announce_range(
+        prop.cs_range(energy::cabletron().max_transmit_power()));
+    ch.freeze_topology();
+    for (std::size_t i = 0; i < radios.size(); ++i) {
+      psm->register_radio(radios[i].get());
+      radios[i]->begin_metering(energy::RadioMode::Idle);
+      macs.push_back(std::make_unique<Mac>(sim, ch, *radios[i], psm.get(),
+                                           Rng(200 + i), mac_cfg));
+    }
+    psm->start();
+  }
+  Packet data() {
+    Packet p;
+    p.size_bits = 1024;
+    return p;
+  }
+  double max_power() const {
+    return energy::cabletron().max_transmit_power();
+  }
+};
+
+TEST(Psm, PsmNodeSleepsAfterAtimWindow) {
+  Rig r;
+  r.add(0, 0);
+  r.freeze();
+  r.psm->set_psm(0, true);
+  r.sim.run_until(0.01);
+  EXPECT_TRUE(r.radios[0]->sleeping());  // slept immediately (no holds)
+  // At the next beacon it wakes for the ATIM window...
+  r.sim.run_until(0.305);
+  EXPECT_FALSE(r.radios[0]->sleeping());
+  // ...and sleeps again after it.
+  r.sim.run_until(0.33);
+  EXPECT_TRUE(r.radios[0]->sleeping());
+}
+
+TEST(Psm, AmNodeStaysAwake) {
+  Rig r;
+  r.add(0, 0);
+  r.freeze();
+  r.sim.run_until(1.0);
+  EXPECT_FALSE(r.radios[0]->sleeping());
+  EXPECT_EQ(r.psm->psm_count(), 0u);
+}
+
+TEST(Psm, SwitchingToAmWakesImmediately) {
+  Rig r;
+  r.add(0, 0);
+  r.freeze();
+  r.psm->set_psm(0, true);
+  r.sim.run_until(0.1);
+  ASSERT_TRUE(r.radios[0]->sleeping());
+  r.psm->set_psm(0, false);
+  EXPECT_FALSE(r.radios[0]->sleeping());
+}
+
+TEST(Psm, HoldKeepsNodeAwakeThroughAtimEnd) {
+  Rig r;
+  r.add(0, 0);
+  r.freeze();
+  r.psm->set_psm(0, true);
+  r.sim.run_until(0.31);  // inside ATIM of the second beacon
+  r.radios[0]->hold_awake_until(0.5);
+  r.sim.run_until(0.4);
+  EXPECT_FALSE(r.radios[0]->sleeping());
+}
+
+TEST(Psm, UnicastToSleepingNodeDeliversNextWindow) {
+  Rig r;
+  r.add(0, 0);
+  r.add(100, 0);
+  r.freeze();
+  r.psm->set_psm(1, true);
+  r.sim.run_until(0.05);
+  ASSERT_TRUE(r.radios[1]->sleeping());
+
+  double delivered_at = -1.0;
+  r.macs[1]->set_receive_handler(
+      [&](const Packet&, NodeId) { delivered_at = r.sim.now(); });
+  bool ok = false;
+  r.sim.schedule_at(0.1, [&] {
+    r.macs[0]->send_unicast(r.data(), 1, r.max_power(),
+                            [&](bool s) { ok = s; });
+  });
+  r.sim.run_until(2.0);
+  EXPECT_TRUE(ok);
+  // Delivery happens in the data window after the next beacon (t=0.3).
+  EXPECT_GT(delivered_at, 0.3);
+  EXPECT_LT(delivered_at, 0.45);
+}
+
+TEST(Psm, BroadcastWakesPsmNeighbors) {
+  Rig r;
+  r.add(0, 0);
+  r.add(100, 0);
+  r.add(0, 100);
+  r.freeze();
+  r.psm->set_psm(1, true);
+  r.psm->set_psm(2, true);
+  int received = 0;
+  for (int i = 1; i <= 2; ++i)
+    r.macs[i]->set_receive_handler([&](const Packet&, NodeId) { ++received; });
+  r.sim.schedule_at(0.1, [&] {
+    r.macs[0]->send_broadcast(r.data(), r.max_power());
+  });
+  r.sim.run_until(2.0);
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Psm, NaivePsmHoldsForWholeInterval) {
+  Rig r;
+  r.psm_cfg.span_improvements = false;
+  r.add(0, 0);
+  r.add(100, 0);
+  r.freeze();
+  r.psm->set_psm(1, true);
+  r.sim.schedule_at(0.1, [&] {
+    r.macs[0]->send_unicast(r.data(), 1, r.max_power());
+  });
+  // Frame delivered shortly after t=0.32; naive PSM keeps the receiver
+  // awake until the interval end (t=0.6).
+  r.sim.run_until(0.55);
+  EXPECT_FALSE(r.radios[1]->sleeping());
+}
+
+TEST(Psm, SpanSleepsRightAfterAnnouncedTraffic) {
+  Rig r;
+  r.psm_cfg.span_improvements = true;
+  r.add(0, 0);
+  r.add(100, 0);
+  r.freeze();
+  r.psm->set_psm(1, true);
+  r.sim.schedule_at(0.1, [&] {
+    r.macs[0]->send_unicast(r.data(), 1, r.max_power());
+  });
+  // With the advertised-traffic window the receiver re-sleeps well before
+  // the interval ends.
+  r.sim.run_until(0.55);
+  EXPECT_TRUE(r.radios[1]->sleeping());
+}
+
+TEST(Psm, SpanSavesEnergyVersusNaive) {
+  auto run = [](bool span) {
+    Rig r;
+    r.psm_cfg.span_improvements = span;
+    r.add(0, 0);
+    r.add(100, 0);
+    r.freeze();
+    r.psm->set_psm(1, true);
+    // One packet per interval for 30 intervals.
+    for (int i = 0; i < 30; ++i)
+      r.sim.schedule_at(0.05 + 0.3 * i, [&r] {
+        r.macs[0]->send_unicast(r.data(), 1,
+                                energy::cabletron().max_transmit_power());
+      });
+    r.sim.run_until(10.0);
+    r.radios[1]->finish_metering();
+    return r.radios[1]->meter().total();
+  };
+  EXPECT_LT(run(true), run(false) * 0.75);
+}
+
+TEST(Psm, AnnounceBudgetExhausts) {
+  Rig r;
+  r.psm_cfg.atim_frame_s = 0.004;      // 4 ms per announcement
+  r.psm_cfg.atim_utilization = 0.5;    // 10 ms usable => 2 fit
+  r.add(0, 0);
+  r.add(10, 0);
+  r.add(20, 0);
+  r.add(30, 0);
+  r.freeze();
+  EXPECT_TRUE(r.psm->try_announce(0));
+  EXPECT_TRUE(r.psm->try_announce(1));
+  EXPECT_FALSE(r.psm->try_announce(2));
+  EXPECT_EQ(r.psm->announce_failures(), 1u);
+  // Far-away node has its own neighborhood budget.
+  r.radios.clear();
+}
+
+TEST(Psm, AnnounceBudgetIsPerNeighborhood) {
+  Rig r;
+  r.psm_cfg.atim_frame_s = 0.004;
+  r.psm_cfg.atim_utilization = 0.5;
+  r.add(0, 0);
+  r.add(10, 0);
+  r.add(9000, 0);  // different region
+  r.freeze();
+  EXPECT_TRUE(r.psm->try_announce(0));
+  EXPECT_TRUE(r.psm->try_announce(1));
+  EXPECT_TRUE(r.psm->try_announce(2));  // unaffected by the far cluster
+}
+
+TEST(Psm, AnnounceBudgetResetsEachBeacon) {
+  Rig r;
+  r.psm_cfg.atim_frame_s = 0.009;
+  r.psm_cfg.atim_utilization = 0.5;  // one per interval
+  r.add(0, 0);
+  r.add(10, 0);
+  r.freeze();
+  EXPECT_TRUE(r.psm->try_announce(0));
+  EXPECT_FALSE(r.psm->try_announce(1));
+  r.sim.run_until(0.31);  // past the next beacon
+  EXPECT_TRUE(r.psm->try_announce(1));
+}
+
+TEST(Psm, NextBeaconMath) {
+  Rig r;
+  r.add(0, 0);
+  r.freeze();
+  EXPECT_NEAR(r.psm->next_beacon(0.0), 0.3, 1e-12);
+  EXPECT_NEAR(r.psm->next_beacon(0.3), 0.6, 1e-12);
+  EXPECT_NEAR(r.psm->next_beacon(0.31), 0.6, 1e-12);
+  EXPECT_NEAR(r.psm->next_data_window(0.0), 0.32, 1e-12);
+}
+
+}  // namespace
+}  // namespace eend::mac

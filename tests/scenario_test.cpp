@@ -1,0 +1,183 @@
+// Unit tests: scenario placement and flow construction.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "net/scenario.hpp"
+
+namespace eend::net {
+namespace {
+
+TEST(Scenario, PlacementDeterministicPerSeed) {
+  const auto cfg = ScenarioConfig::small_network();
+  const auto a = place_nodes(cfg);
+  const auto b = place_nodes(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(Scenario, DifferentSeedsDifferentLayouts) {
+  auto cfg = ScenarioConfig::small_network();
+  const auto a = place_nodes(cfg);
+  cfg.seed = 2;
+  const auto b = place_nodes(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].x != b[i].x) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, DensityGrowthKeepsPrefixPositions) {
+  // Table 2 methodology: adding nodes must not move existing ones.
+  auto c300 = ScenarioConfig::density_network(300);
+  auto c400 = ScenarioConfig::density_network(400);
+  const auto a = place_nodes(c300);
+  const auto b = place_nodes(c400);
+  ASSERT_EQ(b.size(), 400u);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x) << i;
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y) << i;
+  }
+}
+
+TEST(Scenario, PlacementsWithinField) {
+  const auto cfg = ScenarioConfig::large_network();
+  for (const auto& p : place_nodes(cfg)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, cfg.field_w);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, cfg.field_h);
+  }
+}
+
+TEST(Scenario, PlacementIsConnected) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    auto cfg = ScenarioConfig::small_network();
+    cfg.seed = seed;
+    const auto pos = place_nodes(cfg);
+    graph::Graph g(pos.size());
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      for (std::size_t j = i + 1; j < pos.size(); ++j)
+        if (phy::distance(pos[i], pos[j]) <= cfg.card.max_range_m)
+          g.add_edge(static_cast<graph::NodeId>(i),
+                     static_cast<graph::NodeId>(j));
+    EXPECT_TRUE(graph::is_connected(g)) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, GridLayout) {
+  const auto cfg = ScenarioConfig::hypothetical_grid();
+  const auto pos = place_nodes(cfg);
+  ASSERT_EQ(pos.size(), 49u);
+  // Row-major 7x7 over 300x300: spacing 50 m.
+  EXPECT_DOUBLE_EQ(pos[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(pos[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(pos[6].x, 300.0);
+  EXPECT_DOUBLE_EQ(pos[6].y, 0.0);
+  EXPECT_DOUBLE_EQ(pos[7].x, 0.0);
+  EXPECT_DOUBLE_EQ(pos[7].y, 50.0);
+  EXPECT_DOUBLE_EQ(pos[48].x, 300.0);
+  EXPECT_DOUBLE_EQ(pos[48].y, 300.0);
+}
+
+TEST(Scenario, GridFlowsRunLeftToRight) {
+  const auto cfg = ScenarioConfig::hypothetical_grid();
+  const auto flows = make_flows(cfg);
+  ASSERT_EQ(flows.size(), 7u);
+  for (std::size_t j = 0; j < flows.size(); ++j) {
+    EXPECT_EQ(flows[j].source, j * 7);
+    EXPECT_EQ(flows[j].destination, j * 7 + 6);
+    EXPECT_GE(flows[j].start_s, cfg.flow_start_min_s);
+    EXPECT_LE(flows[j].start_s, cfg.flow_start_max_s);
+  }
+}
+
+TEST(Scenario, RandomFlowsDistinctEndpoints) {
+  const auto cfg = ScenarioConfig::large_network();
+  const auto flows = make_flows(cfg);
+  ASSERT_EQ(flows.size(), 20u);
+  std::set<std::pair<mac::NodeId, mac::NodeId>> pairs;
+  for (const auto& f : flows) {
+    EXPECT_NE(f.source, f.destination);
+    EXPECT_TRUE(pairs.insert({f.source, f.destination}).second);
+  }
+}
+
+TEST(Scenario, FlowEndpointPoolRestrictsChoices) {
+  auto cfg = ScenarioConfig::density_network(400);
+  const auto flows = make_flows(cfg);
+  for (const auto& f : flows) {
+    EXPECT_LT(f.source, 200u);
+    EXPECT_LT(f.destination, 200u);
+  }
+}
+
+TEST(Scenario, FlowsStableAcrossDensities) {
+  // Same endpoints for 300 and 400 nodes (Table 2 requirement).
+  const auto f300 = make_flows(ScenarioConfig::density_network(300));
+  const auto f400 = make_flows(ScenarioConfig::density_network(400));
+  ASSERT_EQ(f300.size(), f400.size());
+  for (std::size_t i = 0; i < f300.size(); ++i) {
+    EXPECT_EQ(f300[i].source, f400[i].source);
+    EXPECT_EQ(f300[i].destination, f400[i].destination);
+  }
+}
+
+TEST(Scenario, ValidateAcceptsPresets) {
+  EXPECT_NO_THROW(ScenarioConfig::small_network().validate());
+  EXPECT_NO_THROW(ScenarioConfig::large_network().validate());
+  EXPECT_NO_THROW(ScenarioConfig::density_network(400).validate());
+  EXPECT_NO_THROW(ScenarioConfig::hypothetical_grid().validate());
+}
+
+TEST(Scenario, ValidateRejectsNonsense) {
+  auto bad = ScenarioConfig::small_network();
+  bad.rate_pps = 0.0;
+  EXPECT_THROW(bad.validate(), CheckError);
+
+  bad = ScenarioConfig::small_network();
+  bad.duration_s = -1.0;
+  EXPECT_THROW(bad.validate(), CheckError);
+
+  bad = ScenarioConfig::small_network();
+  bad.flow_start_min_s = 30.0;
+  bad.flow_start_max_s = 20.0;
+  EXPECT_THROW(bad.validate(), CheckError);
+
+  bad = ScenarioConfig::hypothetical_grid();
+  bad.grid_cols = 6;  // 6*7 != 49
+  EXPECT_THROW(bad.validate(), CheckError);
+
+  bad = ScenarioConfig::small_network();
+  bad.node_count = 1;  // cannot host a flow
+  EXPECT_THROW(bad.validate(), CheckError);
+
+  bad = ScenarioConfig::small_network();
+  bad.battery_capacity_j = -5.0;
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
+TEST(Scenario, PaperPresetsMatchSection52) {
+  const auto small = ScenarioConfig::small_network();
+  EXPECT_EQ(small.node_count, 50u);
+  EXPECT_DOUBLE_EQ(small.field_w, 500.0);
+  EXPECT_EQ(small.flow_count, 10u);
+  EXPECT_DOUBLE_EQ(small.duration_s, 900.0);
+  EXPECT_EQ(small.payload_bits, 1024u);  // 128 B
+
+  const auto large = ScenarioConfig::large_network();
+  EXPECT_EQ(large.node_count, 200u);
+  EXPECT_DOUBLE_EQ(large.field_w, 1300.0);
+  EXPECT_EQ(large.flow_count, 20u);
+  EXPECT_DOUBLE_EQ(large.duration_s, 600.0);
+
+  const auto grid = ScenarioConfig::hypothetical_grid();
+  EXPECT_EQ(grid.node_count, 49u);
+  EXPECT_EQ(grid.card.name, "HypoCabletron");
+  EXPECT_DOUBLE_EQ(grid.field_w, 300.0);
+}
+
+}  // namespace
+}  // namespace eend::net

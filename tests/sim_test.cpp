@@ -1,0 +1,159 @@
+// Unit tests: discrete-event simulator and timers.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace eend::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, FifoAmongEqualTimes) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.schedule_at(3.0, [&] { ++fired; });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly t=2 run
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_in(1.0, chain);
+  };
+  s.schedule_in(1.0, chain);
+  s.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule_at(2.0, [] {});
+  s.run_until(2.0);
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), CheckError);
+  EXPECT_THROW(s.schedule_in(-0.5, [] {}), CheckError);
+}
+
+TEST(Simulator, QueueSizeTracksPending) {
+  Simulator s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.queue_size(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.queue_size(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.queue_size(), 0u);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(2.0);
+  EXPECT_TRUE(t.armed());
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RestartReplacesExpiry) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(2.0);
+  s.run_until(1.0);
+  t.restart(5.0);  // now expires at 6.0
+  s.run_until(5.9);
+  EXPECT_EQ(fired, 0);
+  s.run_until(6.1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, ExtendToOnlyExtends) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(5.0);
+  t.extend_to(2.0);  // shorter: ignored
+  EXPECT_DOUBLE_EQ(t.expiry(), 5.0);
+  t.extend_to(8.0);  // longer: applied
+  EXPECT_DOUBLE_EQ(t.expiry(), 8.0);
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(1.0);
+  t.cancel();
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DestructorCancels) {
+  Simulator s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.restart(1.0);
+  }
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace eend::sim

@@ -1,0 +1,155 @@
+// Unit tests: protocol-stack presets, flow tracking, message sizing and
+// link-metric tables — the glue the evaluation harness depends on.
+#include <gtest/gtest.h>
+
+#include "metrics/run_metrics.hpp"
+#include "net/stack.hpp"
+#include "routing/messages.hpp"
+#include "routing/metric.hpp"
+
+namespace eend {
+namespace {
+
+// ----------------------------------------------------------- presets ----
+
+TEST(StackSpec, PresetsMatchFigureLegends) {
+  EXPECT_EQ(net::StackSpec::dsr_active().label, "DSR-Active");
+  EXPECT_EQ(net::StackSpec::titan_pc().label, "TITAN-PC");
+  EXPECT_EQ(net::StackSpec::dsdvh_odpm_psm().label, "DSDVH-ODPM(5,10)-PSM");
+  EXPECT_EQ(net::StackSpec::dsdvh_odpm_span().label,
+            "DSDVH-ODPM(0.6,1.2)-Span");
+  EXPECT_EQ(net::StackSpec::dsrh_odpm_rate().label, "DSRH-ODPM (rate)");
+  EXPECT_EQ(net::StackSpec::mtpr_plus_odpm().label, "MTPR+-ODPM");
+}
+
+TEST(StackSpec, PowerManagementAssignments) {
+  EXPECT_EQ(net::StackSpec::dsr_active().power, net::PowerKind::AlwaysActive);
+  EXPECT_EQ(net::StackSpec::dsr_odpm().power, net::PowerKind::Odpm);
+  EXPECT_EQ(net::StackSpec::titan_pc().power, net::PowerKind::Odpm);
+  EXPECT_EQ(net::StackSpec::dsr_perfect().power, net::PowerKind::PerfectSleep);
+  EXPECT_EQ(net::StackSpec::mtpr_perfect().power,
+            net::PowerKind::PerfectSleep);
+}
+
+TEST(StackSpec, TpcFlags) {
+  EXPECT_FALSE(net::StackSpec::dsr_active().tpc);
+  EXPECT_FALSE(net::StackSpec::dsr_odpm().tpc);
+  EXPECT_TRUE(net::StackSpec::dsr_odpm_pc().tpc);
+  EXPECT_TRUE(net::StackSpec::titan_pc().tpc);
+  EXPECT_TRUE(net::StackSpec::mtpr_odpm().tpc);  // MTPR is PC by definition
+}
+
+TEST(StackSpec, MetricsFollowRoutingKind) {
+  EXPECT_EQ(net::StackSpec::dsr_active().metric(), routing::LinkMetric::Hop);
+  EXPECT_EQ(net::StackSpec::titan_pc().metric(), routing::LinkMetric::Hop);
+  EXPECT_EQ(net::StackSpec::mtpr_odpm().metric(), routing::LinkMetric::Mtpr);
+  EXPECT_EQ(net::StackSpec::mtpr_plus_odpm().metric(),
+            routing::LinkMetric::MtprPlus);
+  EXPECT_EQ(net::StackSpec::dsrh_odpm_rate().metric(),
+            routing::LinkMetric::JointH);
+  EXPECT_EQ(net::StackSpec::dsdvh_odpm_psm().metric(),
+            routing::LinkMetric::JointH);
+}
+
+TEST(StackSpec, PaperKeepaliveTimers) {
+  const auto psm = net::StackSpec::dsdvh_odpm_psm();
+  EXPECT_DOUBLE_EQ(psm.odpm.keepalive_data_s, 5.0);
+  EXPECT_DOUBLE_EQ(psm.odpm.keepalive_rrep_s, 10.0);
+  EXPECT_FALSE(psm.psm.span_improvements);
+  const auto span = net::StackSpec::dsdvh_odpm_span();
+  EXPECT_DOUBLE_EQ(span.odpm.keepalive_data_s, 0.6);
+  EXPECT_DOUBLE_EQ(span.odpm.keepalive_rrep_s, 1.2);
+  EXPECT_TRUE(span.psm.span_improvements);
+}
+
+TEST(StackSpec, RateInfoOnlyOnRateVariant) {
+  EXPECT_TRUE(net::StackSpec::dsrh_odpm_rate().rate_info);
+  EXPECT_FALSE(net::StackSpec::dsrh_odpm_norate().rate_info);
+}
+
+TEST(StackSpec, Paper802Dot11PsmParameters) {
+  const auto s = net::StackSpec::dsr_odpm();
+  EXPECT_DOUBLE_EQ(s.psm.beacon_interval_s, 0.3);
+  EXPECT_DOUBLE_EQ(s.psm.atim_window_s, 0.02);
+}
+
+// ------------------------------------------------------- flow tracker ---
+
+TEST(FlowTracker, CountsAndDelays) {
+  metrics::FlowTracker t;
+  traffic::FlowSpec spec;
+  spec.flow_id = 0;
+  t.register_flow(spec);
+  EXPECT_DOUBLE_EQ(t.delivery_ratio(), 1.0);  // vacuous before traffic
+
+  t.on_sent(spec);
+  t.on_sent(spec);
+  mac::Packet p;
+  p.size_bits = 1024;
+  p.created_at = 1.0;
+  t.on_delivered(p, 1.5);
+  EXPECT_EQ(t.sent(), 2u);
+  EXPECT_EQ(t.delivered(), 1u);
+  EXPECT_DOUBLE_EQ(t.delivery_ratio(), 0.5);
+  EXPECT_EQ(t.delivered_bits(), 1024u);
+  EXPECT_DOUBLE_EQ(t.average_delay_s(), 0.5);
+}
+
+// ------------------------------------------------------ message sizes ---
+
+TEST(Messages, SizesGrowWithContent) {
+  EXPECT_EQ(routing::rreq_bits(1), 192u);
+  EXPECT_EQ(routing::rreq_bits(5), routing::rreq_bits(1) + 4 * 32);
+  EXPECT_EQ(routing::dsdv_bits(0), 160u);
+  EXPECT_EQ(routing::dsdv_bits(10), 160u + 480u);
+  EXPECT_EQ(routing::data_bits(1024, 3), 1024u + 96u);
+  EXPECT_EQ(routing::rerr_bits(), 160u);
+}
+
+// --------------------------------------------------------- link costs ---
+
+TEST(LinkMetric, HopIsConstant) {
+  const auto card = energy::cabletron();
+  EXPECT_DOUBLE_EQ(
+      routing::link_cost(routing::LinkMetric::Hop, card, 10.0, true, 1.0),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      routing::link_cost(routing::LinkMetric::Hop, card, 250.0, false, 0.1),
+      1.0);
+}
+
+TEST(LinkMetric, MtprGrowsWithDistanceToTheFourth) {
+  const auto card = energy::cabletron();
+  const double c100 =
+      routing::link_cost(routing::LinkMetric::Mtpr, card, 100.0, true, 1.0);
+  const double c200 =
+      routing::link_cost(routing::LinkMetric::Mtpr, card, 200.0, true, 1.0);
+  EXPECT_NEAR(c200 / c100, 16.0, 1e-9);
+}
+
+TEST(LinkMetric, MtprPlusAddsFixedCosts) {
+  const auto card = energy::cabletron();
+  const double mtpr =
+      routing::link_cost(routing::LinkMetric::Mtpr, card, 150.0, true, 1.0);
+  const double plus = routing::link_cost(routing::LinkMetric::MtprPlus, card,
+                                         150.0, true, 1.0);
+  EXPECT_NEAR(plus - mtpr, card.p_base + card.p_rx, 1e-12);
+}
+
+TEST(LinkMetric, JointHNeverNegative) {
+  // Even for a card where Ptx + Prx < 2*Pidle (relaying "cheaper than
+  // idling"), the clamped metric stays Dijkstra-safe.
+  energy::RadioCard odd = energy::cabletron();
+  odd.p_idle = 2.0;  // exaggerated idle power
+  const double c =
+      routing::link_cost(routing::LinkMetric::JointH, odd, 50.0, true, 1.0);
+  EXPECT_GE(c, 0.0);
+}
+
+TEST(LinkMetric, Names) {
+  EXPECT_STREQ(routing::to_string(routing::LinkMetric::Hop), "hop");
+  EXPECT_STREQ(routing::to_string(routing::LinkMetric::JointH), "h");
+}
+
+}  // namespace
+}  // namespace eend

@@ -1,0 +1,170 @@
+// Unit tests: Steiner-tree approximations (KMB edge-weighted, Klein-Ravi
+// node-weighted) against hand-built instances and the exact oracle.
+#include <gtest/gtest.h>
+
+#include "graph/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace eend::graph {
+namespace {
+
+TEST(Kmb, TwoTerminalsIsShortestPath) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 3, 5.0);
+  g.add_edge(3, 2, 5.0);
+  const std::vector<NodeId> terms{0, 2};
+  const auto t = kmb_steiner_tree(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.edge_cost, 2.0);
+}
+
+TEST(Kmb, StarSteinerPoint) {
+  // Three terminals around a cheap hub; best tree uses the hub.
+  Graph g(4);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 3.0);
+  const std::vector<NodeId> terms{0, 1, 2};
+  const auto t = kmb_steiner_tree(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.edge_cost, 3.0);
+  EXPECT_EQ(t.edges.size(), 3u);
+}
+
+TEST(Kmb, DisconnectedTerminalsInfeasible) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<NodeId> terms{0, 3};
+  const auto t = kmb_steiner_tree(g, terms);
+  EXPECT_FALSE(t.feasible);
+}
+
+TEST(Kmb, SingleTerminalTrivial) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  const std::vector<NodeId> terms{0};
+  const auto t = kmb_steiner_tree(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_TRUE(t.edges.empty());
+}
+
+TEST(KleinRavi, PrefersCheapRelay) {
+  // Terminals 0,1; relays 2 (cheap) and 3 (expensive), both connect them.
+  Graph g(4);
+  g.set_node_weight(2, 1.0);
+  g.set_node_weight(3, 10.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 1, 1.0);
+  const std::vector<NodeId> terms{0, 1};
+  const auto t = klein_ravi_steiner(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.node_cost, 1.0);
+}
+
+TEST(KleinRavi, SharedRelayBeatsDedicatedRelays) {
+  // The SF1/SF2 structure: k pairs can each use a dedicated relay (cost k)
+  // or all share the center (cost 1). Node-weighted Steiner on the union
+  // of terminals must pick the shared center.
+  const int k = 4;
+  Graph g;
+  const NodeId center = g.add_node(1.0);
+  std::vector<NodeId> terms;
+  for (int i = 0; i < k; ++i) {
+    const NodeId s = g.add_node(0.0);
+    const NodeId d = g.add_node(0.0);
+    const NodeId r = g.add_node(1.0);
+    g.add_edge(s, r, 1.0);
+    g.add_edge(r, d, 1.0);
+    g.add_edge(s, center, 1.0);
+    g.add_edge(center, d, 1.0);
+    terms.push_back(s);
+    terms.push_back(d);
+  }
+  const auto t = klein_ravi_steiner(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.node_cost, 1.0);  // only the center pays
+}
+
+TEST(ExactOracle, MatchesHandAnalysis) {
+  Graph g(5);
+  g.set_node_weight(2, 5.0);
+  g.set_node_weight(3, 1.0);
+  g.set_node_weight(4, 1.0);
+  // 0-2-1 (one relay cost 5) vs 0-3-4-1 (two relays cost 2).
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 1, 1.0);
+  const std::vector<NodeId> terms{0, 1};
+  const auto t = exact_node_weighted_steiner(g, terms);
+  EXPECT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.node_cost, 2.0);
+}
+
+TEST(KleinRavi, WithinLogFactorOfExactOnRandomGraphs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10;
+    Graph g(n);
+    for (NodeId v = 0; v < n; ++v)
+      g.set_node_weight(v, rng.uniform(0.5, 3.0));
+    // Random connected-ish graph: ring + chords.
+    for (NodeId v = 0; v < n; ++v)
+      g.add_edge(v, (v + 1) % n, 1.0);
+    for (int c = 0; c < 6; ++c) {
+      const auto a = static_cast<NodeId>(rng.next_below(n));
+      const auto b = static_cast<NodeId>(rng.next_below(n));
+      if (a != b) g.add_edge(a, b, 1.0);
+    }
+    const std::vector<NodeId> terms{0, static_cast<NodeId>(n / 2),
+                                    static_cast<NodeId>(n - 2)};
+    const auto approx = klein_ravi_steiner(g, terms);
+    const auto exact = exact_node_weighted_steiner(g, terms);
+    ASSERT_TRUE(approx.feasible);
+    ASSERT_TRUE(exact.feasible);
+    // 2 ln(3) ~ 2.2; allow the proven bound.
+    EXPECT_LE(approx.node_cost, exact.node_cost * 2.2 + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(approx.node_cost, exact.node_cost - 1e-9);
+  }
+}
+
+TEST(Kmb, TreeHasNoNonTerminalLeaves) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12;
+    Graph g(n);
+    for (NodeId v = 0; v < n; ++v)
+      g.add_edge(v, (v + 1) % n, rng.uniform(1.0, 4.0));
+    for (int c = 0; c < 8; ++c) {
+      const auto a = static_cast<NodeId>(rng.next_below(n));
+      const auto b = static_cast<NodeId>(rng.next_below(n));
+      if (a != b) g.add_edge(a, b, rng.uniform(1.0, 4.0));
+    }
+    const std::vector<NodeId> terms{1, 5, 9};
+    const auto t = kmb_steiner_tree(g, terms);
+    ASSERT_TRUE(t.feasible);
+    // Count degrees within the tree.
+    std::map<NodeId, int> deg;
+    for (EdgeId e : t.edges) {
+      deg[g.edge(e).u]++;
+      deg[g.edge(e).v]++;
+    }
+    for (const auto& [v, d] : deg) {
+      if (std::find(terms.begin(), terms.end(), v) == terms.end()) {
+        EXPECT_GE(d, 2) << "non-terminal leaf " << v << " in trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eend::graph

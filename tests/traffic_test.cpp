@@ -1,0 +1,111 @@
+// Unit tests: CBR traffic generation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/protocol.hpp"
+#include "traffic/cbr.hpp"
+
+namespace eend::traffic {
+namespace {
+
+/// Routing stub that records packets instead of sending them.
+class SinkRouting final : public routing::RoutingProtocol {
+ public:
+  explicit SinkRouting(routing::NodeEnv env)
+      : routing::RoutingProtocol(std::move(env)) {}
+  void start() override {}
+  void send_data(mac::Packet p) override { packets.push_back(std::move(p)); }
+  std::vector<mac::Packet> packets;
+};
+
+struct Rig {
+  sim::Simulator sim;
+  routing::NodeEnv env;  // mostly-empty: SinkRouting touches nothing
+  SinkRouting sink{[this] {
+    routing::NodeEnv e;
+    e.id = 0;
+    e.sim = &sim;
+    return e;
+  }()};
+};
+
+TEST(Cbr, GeneratesAtConfiguredRate) {
+  Rig r;
+  FlowSpec spec;
+  spec.flow_id = 3;
+  spec.source = 0;
+  spec.destination = 9;
+  spec.packets_per_s = 4.0;
+  spec.start_s = 10.0;
+  int sent = 0;
+  CbrSource cbr(r.sim, r.sink, spec, [&](const FlowSpec&) { ++sent; });
+  cbr.start();
+  r.sim.run_until(20.0);
+  // start at 10.0, then every 0.25 s: t=10.0 .. 20.0 inclusive => 41.
+  EXPECT_EQ(sent, 41);
+  EXPECT_EQ(cbr.packets_sent(), 41u);
+  EXPECT_EQ(r.sink.packets.size(), 41u);
+}
+
+TEST(Cbr, PacketFieldsPopulated) {
+  Rig r;
+  FlowSpec spec;
+  spec.flow_id = 7;
+  spec.source = 2;
+  spec.destination = 5;
+  spec.payload_bits = 1024;
+  spec.start_s = 1.0;
+  CbrSource cbr(r.sim, r.sink, spec, nullptr);
+  cbr.start();
+  r.sim.run_until(1.0);
+  ASSERT_EQ(r.sink.packets.size(), 1u);
+  const auto& p = r.sink.packets[0];
+  EXPECT_EQ(p.flow_id, 7);
+  EXPECT_EQ(p.origin, 2u);
+  EXPECT_EQ(p.final_dest, 5u);
+  EXPECT_EQ(p.size_bits, 1024u);
+  EXPECT_EQ(p.category, energy::Category::Data);
+  EXPECT_DOUBLE_EQ(p.created_at, 1.0);
+}
+
+TEST(Cbr, StopsAtStopTime) {
+  Rig r;
+  FlowSpec spec;
+  spec.packets_per_s = 2.0;
+  spec.start_s = 0.0;
+  spec.stop_s = 5.0;
+  CbrSource cbr(r.sim, r.sink, spec, nullptr);
+  cbr.start();
+  r.sim.run_until(100.0);
+  // t = 0, 0.5, ..., 4.5 => 10 packets (tick at 5.0 sees stop).
+  EXPECT_EQ(cbr.packets_sent(), 10u);
+}
+
+TEST(Cbr, UidsAreUniqueAcrossFlows) {
+  Rig r;
+  FlowSpec a;
+  a.flow_id = 0;
+  a.start_s = 0.0;
+  FlowSpec b;
+  b.flow_id = 1;
+  b.start_s = 0.0;
+  CbrSource ca(r.sim, r.sink, a, nullptr);
+  CbrSource cb(r.sim, r.sink, b, nullptr);
+  ca.start();
+  cb.start();
+  r.sim.run_until(10.0);
+  std::set<std::uint64_t> uids;
+  for (const auto& p : r.sink.packets) uids.insert(p.uid);
+  EXPECT_EQ(uids.size(), r.sink.packets.size());
+}
+
+TEST(Cbr, InvalidSpecsThrow) {
+  Rig r;
+  FlowSpec bad;
+  bad.packets_per_s = 0.0;
+  EXPECT_THROW(CbrSource(r.sim, r.sink, bad, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace eend::traffic

@@ -1,0 +1,241 @@
+// Unit tests: deterministic RNG, flags, tables, statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace eend {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.engine()(), b.engine()());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.engine()() == b.engine()()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(3.0, 5.5);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowCoversRangeWithoutBias) {
+  Rng r(13);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, n / 7.0 * 0.1);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng r(19);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a(99);
+  Rng child1 = a.fork(5);
+  a.uniform();  // consume from parent
+  Rng b(99);
+  Rng child2 = b.fork(5);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(child1.engine()(), child2.engine()());
+}
+
+TEST(Rng, ForkSaltsProduceDistinctStreams) {
+  Rng a(99);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  EXPECT_NE(c1.engine()(), c2.engine()());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng r(1);
+  EXPECT_THROW(r.next_below(0), CheckError);
+  EXPECT_THROW(r.uniform(2.0, 1.0), CheckError);
+  EXPECT_THROW(r.exponential(0.0), CheckError);
+}
+
+// ------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanOfConstant) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  // t(4, 0.975) = 2.776
+  EXPECT_NEAR(s.ci95_half_width, 2.776 * std::sqrt(2.5) / std::sqrt(5.0),
+              1e-9);
+}
+
+TEST(Stats, SingleValueHasNoCi) {
+  const std::vector<double> xs{7.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, StudentTTable) {
+  EXPECT_NEAR(student_t_95(1), 12.706, 1e-9);
+  EXPECT_NEAR(student_t_95(4), 2.776, 1e-9);
+  EXPECT_NEAR(student_t_95(9), 2.262, 1e-9);
+  EXPECT_NEAR(student_t_95(1000), 1.96, 1e-9);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(summarize({}), CheckError);
+  EXPECT_THROW(mean_of({}), CheckError);
+}
+
+// ------------------------------------------------------------- flags ----
+
+TEST(Flags, ParsesKeyValueForms) {
+  // Note: a bare boolean followed by a non-flag token would consume the
+  // token as its value (the --key value form), so positionals come first.
+  const char* argv[] = {"prog", "positional", "--alpha=1.5", "--name", "foo",
+                        "--verbose"};
+  Flags f(6, argv);
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(f.get("name", ""), "foo");
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "positional");
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(f.get_int("runs", 5), 5);
+  EXPECT_FALSE(f.has("anything"));
+}
+
+TEST(Flags, IntParsing) {
+  const char* argv[] = {"prog", "--n=42", "--neg=-7"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_EQ(f.get_int("neg", 0), -7);
+}
+
+// ------------------------------------------------------------- table ----
+
+TEST(Table, TextAndCsvRendering) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"33", "4"});
+  const std::string txt = t.to_text();
+  EXPECT_NE(txt.find("bb"), std::string::npos);
+  EXPECT_NE(txt.find("33"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,bb\n1,2\n33,4\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num_ci(1.5, 0.25, 2), "1.50 +- 0.25");
+}
+
+// ------------------------------------------------------------- units ----
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(milliwatts(830), 0.83);
+  EXPECT_DOUBLE_EQ(as_milliwatts(0.83), 830.0);
+  EXPECT_DOUBLE_EQ(kilobits(2), 2000.0);
+  EXPECT_DOUBLE_EQ(bytes_to_bits(128), 1024.0);
+  EXPECT_DOUBLE_EQ(milliseconds(300), 0.3);
+}
+
+}  // namespace
+}  // namespace eend
