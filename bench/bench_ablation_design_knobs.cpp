@@ -11,10 +11,10 @@
 int main(int argc, char** argv) {
   using namespace eend;
   const Flags flags(argc, argv);
-  const bool quick = flags.get_bool("quick", false);
-  const auto runs =
-      static_cast<std::size_t>(flags.get_int("runs", quick ? 1 : 3));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto opts = bench::parse_bench_options(flags, 3);
+  const bool quick = opts.quick;
+  const auto runs = opts.runs;
+  const auto seed = opts.seed;
 
   auto scenario = net::ScenarioConfig::small_network();
   scenario.rate_pps = 4.0;
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     cfg.stack = stack;
     cfg.runs = runs;
     cfg.base_seed = seed;
+    cfg.jobs = opts.jobs;
     return core::run_experiment(cfg);
   };
 
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
       cfg.stack = s;
       cfg.runs = runs;
       cfg.base_seed = seed;
+      cfg.jobs = opts.jobs;
       const auto r = core::run_experiment(cfg);
       double rreq = 0;
       for (const auto& raw : r.raw)
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
       cfg.stack = net::StackSpec::titan_pc();
       cfg.runs = runs;
       cfg.base_seed = seed;
+      cfg.jobs = opts.jobs;
       const auto r = core::run_experiment(cfg);
       double coll = 0;
       for (const auto& raw : r.raw)

@@ -5,8 +5,12 @@
 //                reduced default where noted for wall-clock sanity)
 //   --quick      tiny smoke configuration (1 run, short sims)
 //   --seed=S     base seed
+//   --jobs=N     worker threads for replications (1 = serial, 0 = one per
+//                hardware thread); tables are identical for every N
+//   --quiet      suppress progress lines on stderr (CI logs, piped output)
 #pragma once
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +21,31 @@
 #include "util/table.hpp"
 
 namespace eend::bench {
+
+/// The knobs shared by every bench binary, parsed once from Flags.
+struct BenchOptions {
+  std::size_t runs = 1;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  bool quick = false;
+  bool quiet = false;
+};
+
+inline BenchOptions parse_bench_options(const Flags& flags,
+                                        std::size_t full_runs,
+                                        std::size_t quick_runs = 1) {
+  BenchOptions o;
+  o.quick = flags.get_bool("quick", false);
+  o.runs = static_cast<std::size_t>(
+      flags.get_int("runs", static_cast<std::int64_t>(
+                                o.quick ? quick_runs : full_runs)));
+  o.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Negative --jobs would wrap through size_t; treat it as serial.
+  o.jobs = static_cast<std::size_t>(std::max<std::int64_t>(
+      flags.get_int("jobs", 1), 0));
+  o.quiet = flags.get_bool("quiet", false);
+  return o;
+}
 
 enum class Metric { Delivery, Goodput, TransmitEnergy };
 
@@ -39,26 +68,29 @@ inline SampleStats pick(const core::ExperimentResult& r, Metric m) {
 }
 
 /// Run a (stack x rate) sweep and print one table per metric: rows = rate,
-/// one column per stack, cells = "mean +- ci95".
+/// one column per stack, cells = "mean +- ci95". Replications run on
+/// opts.jobs workers; the tables are identical for every jobs value.
 inline void sweep_and_print(std::ostream& os, const std::string& title,
                             const net::ScenarioConfig& scenario,
                             const std::vector<net::StackSpec>& stacks,
                             const std::vector<double>& rates,
-                            std::size_t runs, std::uint64_t seed,
+                            const BenchOptions& opts,
                             const std::vector<Metric>& metrics,
                             int precision = 3) {
+  core::ExperimentConfig cfg;
+  cfg.scenario = scenario;
+  cfg.runs = opts.runs;
+  cfg.base_seed = opts.seed;
+  cfg.jobs = opts.jobs;
+
+  core::StackProgressFn progress;
+  if (!opts.quiet)
+    progress = [&title](const net::StackSpec& s) {
+      std::cerr << "  [" << title << "] " << s.label << " done\n";
+    };
+
   // results[stack][rate]
-  std::vector<std::vector<core::ExperimentResult>> results;
-  results.reserve(stacks.size());
-  for (const auto& stack : stacks) {
-    core::ExperimentConfig cfg;
-    cfg.scenario = scenario;
-    cfg.stack = stack;
-    cfg.runs = runs;
-    cfg.base_seed = seed;
-    results.push_back(core::sweep_rates(cfg, rates));
-    std::cerr << "  [" << title << "] " << stack.label << " done\n";
-  }
+  const auto results = core::sweep_grid(cfg, stacks, rates, progress);
 
   for (Metric m : metrics) {
     std::vector<std::string> header{"rate (pkt/s)"};

@@ -21,9 +21,7 @@ int main(int argc, char** argv) {
   // Cabletron idles at 0.83 W: a 300 J budget kills an always-idle node
   // after ~360 s — mid-run, so the ranking is visible.
   scenario.battery_capacity_j = flags.get_double("battery", 300.0);
-  const auto runs = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 3));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto opts = bench::parse_bench_options(flags, 3);
 
   const std::vector<net::StackSpec> stacks = {
       net::StackSpec::dsr_active(),  net::StackSpec::dsr_odpm(),
@@ -34,24 +32,26 @@ int main(int argc, char** argv) {
   Table t({"stack", "first death (s)", "depleted nodes", "delivery",
            "goodput (bit/J)"});
   for (const auto& stack : stacks) {
-    std::vector<double> deaths, depleted, delivery, goodput;
-    for (std::size_t i = 0; i < runs; ++i) {
-      auto sc = scenario;
-      sc.seed = seed + i;
-      net::Network n(sc, stack);
-      const auto r = n.run();
-      deaths.push_back(r.first_death_s < 0 ? sc.duration_s
-                                           : r.first_death_s);
-      depleted.push_back(static_cast<double>(r.depleted_nodes));
-      delivery.push_back(r.delivery_ratio);
-      goodput.push_back(r.goodput_bit_per_j);
+    core::ExperimentConfig cfg;
+    cfg.scenario = scenario;
+    cfg.stack = stack;
+    cfg.runs = opts.runs;
+    cfg.base_seed = opts.seed;
+    cfg.jobs = opts.jobs;
+    const auto r = core::run_experiment(cfg);
+    std::vector<double> deaths, depleted;
+    for (const auto& raw : r.raw) {
+      deaths.push_back(raw.first_death_s < 0 ? scenario.duration_s
+                                             : raw.first_death_s);
+      depleted.push_back(static_cast<double>(raw.depleted_nodes));
     }
     const auto d = summarize(deaths);
     t.add_row({stack.label, Table::num_ci(d.mean, d.ci95_half_width, 0),
                Table::num(summarize(depleted).mean, 1),
-               Table::num(summarize(delivery).mean, 3),
-               Table::num(summarize(goodput).mean, 1)});
-    std::cerr << "  [lifetime] " << stack.label << " done\n";
+               Table::num(r.delivery_ratio.mean, 3),
+               Table::num(r.goodput_bit_per_j.mean, 1)});
+    if (!opts.quiet)
+      std::cerr << "  [lifetime] " << stack.label << " done\n";
   }
   print_table(std::cout,
               "Extension — network lifetime with " +

@@ -27,19 +27,15 @@ int main(int argc, char** argv) {
     small.duration_s = 120.0;
     large.duration_s = 120.0;
   }
-  const auto runs_small = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 5));
-  const auto runs_large = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 5));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto opts = bench::parse_bench_options(flags, 5);
 
   bench::sweep_and_print(std::cout,
                          "Figure 10 — transmit energy, 500x500 m^2", small,
-                         stacks, rates, runs_small, seed,
+                         stacks, rates, opts,
                          {bench::Metric::TransmitEnergy}, 2);
   bench::sweep_and_print(std::cout,
                          "Figure 10 — transmit energy, 1300x1300 m^2", large,
-                         stacks, rates, runs_large, seed,
+                         stacks, rates, opts,
                          {bench::Metric::TransmitEnergy}, 2);
   return 0;
 }

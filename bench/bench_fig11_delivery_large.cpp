@@ -26,13 +26,10 @@ int main(int argc, char** argv) {
   const auto rates = bench::parse_rates(
       flags, quick ? std::vector<double>{4}
                    : std::vector<double>{2, 3.5, 5, 6});
-  const auto runs = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 3));
+  const auto opts = bench::parse_bench_options(flags, 3);
 
   bench::sweep_and_print(
       std::cout, "Figure 11 — delivery ratio, 1300x1300 m^2 (200 nodes)",
-      scenario, stacks, rates, runs,
-      static_cast<std::uint64_t>(flags.get_int("seed", 1)),
-      {bench::Metric::Delivery}, 3);
+      scenario, stacks, rates, opts, {bench::Metric::Delivery}, 3);
   return 0;
 }

@@ -4,6 +4,7 @@
 // Shape targets: every real card stays below m_opt = 2 at all utilizations
 // (relays never pay off); the hypothetical Cabletron crosses 2 at
 // R/B ~ 0.25.
+#include <algorithm>
 #include <iostream>
 
 #include "analytical/route_energy.hpp"
@@ -32,7 +33,10 @@ int main(int argc, char** argv) {
                      Table::num(c.distance, 0) + "m)");
   Table t(std::move(header));
 
-  for (double rb = 0.10; rb <= 0.50 + 1e-9; rb += step) {
+  // Index-based stepping: accumulating rb += step overshoots 0.5 by one
+  // ulp and trips the R/B <= 0.5 precondition in mopt_continuous.
+  for (int i = 0; 0.10 + i * step <= 0.50 + 1e-9; ++i) {
+    const double rb = std::min(0.10 + i * step, 0.50);
     std::vector<std::string> row{Table::num(rb, 2)};
     for (const auto& c : configs)
       row.push_back(
@@ -45,9 +49,11 @@ int main(int argc, char** argv) {
   std::cout << "\nChecks:\n";
   for (const auto& c : configs) {
     bool ever_two = false;
-    for (double rb = 0.10; rb <= 0.50 + 1e-9; rb += 0.01)
+    for (int i = 0; 0.10 + i * 0.01 <= 0.50 + 1e-9; ++i) {
+      const double rb = std::min(0.10 + i * 0.01, 0.50);
       if (analytical::mopt_continuous(c.card, c.distance, rb) >= 2.0)
         ever_two = true;
+    }
     std::cout << "  " << c.card.name << ": relays "
               << (ever_two ? "CAN pay off (m_opt >= 2 reached)"
                            : "never pay off (m_opt < 2 everywhere)")

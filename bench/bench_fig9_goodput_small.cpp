@@ -25,13 +25,11 @@ int main(int argc, char** argv) {
   const auto rates = bench::parse_rates(
       flags, quick ? std::vector<double>{2, 6}
                    : std::vector<double>{2, 3, 4, 5, 6});
-  const auto runs = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 5));
+  const auto opts = bench::parse_bench_options(flags, 5);
 
   bench::sweep_and_print(std::cout,
                          "Figure 9 — energy goodput, 500x500 m^2 (50 nodes)",
-                         scenario, stacks, rates, runs,
-                         static_cast<std::uint64_t>(flags.get_int("seed", 1)),
+                         scenario, stacks, rates, opts,
                          {bench::Metric::Goodput}, 1);
   return 0;
 }

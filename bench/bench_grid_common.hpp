@@ -1,12 +1,17 @@
 // Shared driver for the §5.2.3 hypothetical-card grid figures (13-16):
 // run the base-rate (2 pkt/s) simulation per stack, freeze routes, and
 // print the analytic goodput series (Kbit/J, as the paper plots).
+//
+// Accepts --jobs=N (stacks evaluated in parallel, output order fixed) and
+// --quiet (suppress stderr progress) like the replication benches.
 #pragma once
 
 #include <iostream>
+#include <mutex>
 #include <vector>
 
 #include "core/grid_study.hpp"
+#include "core/parallel_runner.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -22,14 +27,22 @@ inline void run_grid_figure(const std::string& title,
       flags.get_double("duration", flags.get_bool("quick", false) ? 120.0
                                                                   : 900.0);
   scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  const bool quiet = flags.get_bool("quiet", false);
 
-  std::vector<core::GridSeries> series;
-  series.reserve(stacks.size());
-  for (const auto& stack : stacks) {
-    series.push_back(core::grid_series(scenario, stack, rates));
-    std::cerr << "  [" << title << "] " << stack.label << " done ("
-              << series.back().active_nodes.size() << " active nodes)\n";
-  }
+  // Each stack's base-rate simulation is independent; fan them out and
+  // keep the results in stack order so the tables never change with jobs.
+  std::vector<core::GridSeries> series(stacks.size());
+  std::mutex io_m;
+  core::ParallelRunner pool(jobs);
+  pool.for_each_index(stacks.size(), [&](std::size_t i) {
+    series[i] = core::grid_series(scenario, stacks[i], rates);
+    if (!quiet) {
+      std::lock_guard<std::mutex> lk(io_m);
+      std::cerr << "  [" << title << "] " << stacks[i].label << " done ("
+                << series[i].active_nodes.size() << " active nodes)\n";
+    }
+  });
 
   std::vector<std::string> header{"rate (pkt/s)"};
   for (const auto& s : series) header.push_back(s.label);

@@ -14,10 +14,8 @@
 int main(int argc, char** argv) {
   using namespace eend;
   const Flags flags(argc, argv);
-  const bool quick = flags.get_bool("quick", false);
-  const auto runs = static_cast<std::size_t>(
-      flags.get_int("runs", quick ? 1 : 5));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto opts = bench::parse_bench_options(flags, 5);
+  const bool quick = opts.quick;
 
   const std::vector<std::size_t> densities = quick
                                                  ? std::vector<std::size_t>{300}
@@ -42,8 +40,9 @@ int main(int argc, char** argv) {
       core::ExperimentConfig cfg;
       cfg.scenario = scenario;
       cfg.stack = stack;
-      cfg.runs = runs;
-      cfg.base_seed = seed;
+      cfg.runs = opts.runs;
+      cfg.base_seed = opts.seed;
+      cfg.jobs = opts.jobs;
       const auto r = core::run_experiment(cfg);
       drow.push_back(Table::num_ci(r.delivery_ratio.mean,
                                    r.delivery_ratio.ci95_half_width, 3));
@@ -56,7 +55,8 @@ int main(int argc, char** argv) {
       }
       crow.push_back(Table::num(rreq / static_cast<double>(r.raw.size()), 0));
       crow2.push_back(Table::num(coll / static_cast<double>(r.raw.size()), 0));
-      std::cerr << "  [table2] " << stack.label << " n=" << n << " done\n";
+      if (!opts.quiet)
+        std::cerr << "  [table2] " << stack.label << " n=" << n << " done\n";
     }
     del.add_row(std::move(drow));
     gp.add_row(std::move(grow));

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure, build, ctest) plus one --quick
+# bench smoke per figure family and a jobs=1 vs jobs=4 determinism check.
+# Usable locally too: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure + build =="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+
+echo "== ctest =="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== bench smokes (--quick, one per figure family) =="
+run() {
+  echo "-- $*"
+  local bin="$1"
+  shift
+  "./build/bench/$bin" "$@" > /dev/null
+}
+run bench_fig7_characteristic_hop_count              # analytic: m_opt curves
+run bench_table1_radio_cards                         # analytic: card registry
+run bench_sec3_steiner_case_studies                  # analytic: Steiner cases
+run bench_fig8_delivery_small --quick --quiet --jobs=0   # small-net sims (Figs 8-10)
+run bench_fig11_delivery_large --quick --quiet --jobs=0  # large-net sims (Figs 11-12)
+run bench_fig13_hypo_low_perfect --quick --quiet --jobs=0  # grid study (Figs 13-16)
+run bench_table2_density --quick --quiet --jobs=0    # density sweep (Table 2)
+run bench_ablation_design_knobs --quick --quiet --jobs=0   # ablations
+run bench_ext_lifetime --quick --quiet --jobs=0      # lifetime extension
+
+echo "== parallel determinism: jobs=1 vs jobs=4 must match byte-for-byte =="
+./build/bench/bench_fig8_delivery_small --quick --quiet --jobs=1 > /tmp/eend_j1.out
+./build/bench/bench_fig8_delivery_small --quick --quiet --jobs=4 > /tmp/eend_j4.out
+cmp /tmp/eend_j1.out /tmp/eend_j4.out
+echo "OK: tables identical"
+
+echo "== CI passed =="

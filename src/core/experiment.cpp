@@ -1,19 +1,30 @@
 #include "core/experiment.hpp"
 
-namespace eend::core {
+#include <mutex>
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  EEND_REQUIRE(cfg.runs >= 1);
+#include "core/parallel_runner.hpp"
+
+namespace eend::core {
+namespace {
+
+// One replication: private Network (and thus private Simulator/Rng), seed
+// derived from the replication index — identical whichever worker runs it.
+metrics::RunResult run_replication(const ExperimentConfig& cfg,
+                                   std::size_t rep) {
+  net::ScenarioConfig sc = cfg.scenario;
+  sc.seed = cfg.base_seed + rep;
+  net::Network network(sc, cfg.stack);
+  return network.run();
+}
+
+ExperimentResult aggregate(const ExperimentConfig& cfg,
+                           std::vector<metrics::RunResult> raw) {
   ExperimentResult out;
   out.stack_label = cfg.stack.label;
   out.rate_pps = cfg.scenario.rate_pps;
 
   std::vector<double> delivery, goodput, tx, total, control, passive, active;
-  for (std::size_t i = 0; i < cfg.runs; ++i) {
-    net::ScenarioConfig sc = cfg.scenario;
-    sc.seed = cfg.base_seed + i;
-    net::Network network(sc, cfg.stack);
-    metrics::RunResult r = network.run();
+  for (const metrics::RunResult& r : raw) {
     delivery.push_back(r.delivery_ratio);
     goodput.push_back(r.goodput_bit_per_j);
     tx.push_back(r.transmit_energy_j);
@@ -21,8 +32,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     control.push_back(r.control_energy_j);
     passive.push_back(r.passive_energy_j);
     active.push_back(static_cast<double>(r.nodes_carrying_data));
-    out.raw.push_back(std::move(r));
   }
+  out.raw = std::move(raw);
   out.delivery_ratio = summarize(delivery);
   out.goodput_bit_per_j = summarize(goodput);
   out.transmit_energy_j = summarize(tx);
@@ -33,14 +44,87 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   return out;
 }
 
+// Shared engine: evaluate `cells` (each `runs` replications) on one pool;
+// results in cell-major, then seed, order — independent of scheduling.
+std::vector<ExperimentResult> run_cells(
+    const std::vector<ExperimentConfig>& cells, std::size_t jobs,
+    const std::function<void(std::size_t)>& on_cell_done = {}) {
+  if (cells.empty()) return {};
+  const std::size_t runs = cells.front().runs;
+  std::vector<metrics::RunResult> raw(cells.size() * runs);
+
+  std::mutex progress_m;
+  std::vector<std::size_t> remaining(cells.size(), runs);
+
+  ParallelRunner pool(jobs);
+  pool.for_each_index(raw.size(), [&](std::size_t k) {
+    const std::size_t cell = k / runs;
+    raw[k] = run_replication(cells[cell], k % runs);
+    if (on_cell_done) {
+      std::lock_guard<std::mutex> lk(progress_m);
+      if (--remaining[cell] == 0) on_cell_done(cell);
+    }
+  });
+
+  std::vector<ExperimentResult> out;
+  out.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<metrics::RunResult> slice(
+        std::make_move_iterator(raw.begin() + c * runs),
+        std::make_move_iterator(raw.begin() + (c + 1) * runs));
+    out.push_back(aggregate(cells[c], std::move(slice)));
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  EEND_REQUIRE(cfg.runs >= 1);
+  return std::move(run_cells({cfg}, cfg.jobs).front());
+}
+
 std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,
                                           const std::vector<double>& rates) {
-  std::vector<ExperimentResult> out;
-  out.reserve(rates.size());
+  EEND_REQUIRE(cfg.runs >= 1);
+  std::vector<ExperimentConfig> cells;
+  cells.reserve(rates.size());
   for (double r : rates) {
     cfg.scenario.rate_pps = r;
-    out.push_back(run_experiment(cfg));
+    cells.push_back(cfg);
   }
+  return run_cells(cells, cfg.jobs);
+}
+
+std::vector<std::vector<ExperimentResult>> sweep_grid(
+    const ExperimentConfig& cfg, const std::vector<net::StackSpec>& stacks,
+    const std::vector<double>& rates, const StackProgressFn& on_stack_done) {
+  EEND_REQUIRE(cfg.runs >= 1);
+  std::vector<ExperimentConfig> cells;  // stack-major
+  cells.reserve(stacks.size() * rates.size());
+  for (const auto& stack : stacks) {
+    ExperimentConfig c = cfg;
+    c.stack = stack;
+    for (double r : rates) {
+      c.scenario.rate_pps = r;
+      cells.push_back(c);
+    }
+  }
+
+  // A stack's row is done when all of its rate cells are done.
+  std::vector<std::size_t> cells_left(stacks.size(), rates.size());
+  auto on_cell = [&](std::size_t cell) {
+    const std::size_t si = cell / rates.size();
+    if (--cells_left[si] == 0 && on_stack_done) on_stack_done(stacks[si]);
+  };
+
+  auto flat = run_cells(cells, cfg.jobs, on_cell);
+
+  std::vector<std::vector<ExperimentResult>> out(stacks.size());
+  for (std::size_t si = 0; si < stacks.size(); ++si)
+    out[si].assign(std::make_move_iterator(flat.begin() + si * rates.size()),
+                   std::make_move_iterator(flat.begin() +
+                                           (si + 1) * rates.size()));
   return out;
 }
 

@@ -2,8 +2,13 @@
 // multiple seeds and aggregate the paper's metrics with 95% confidence
 // intervals — the exact methodology of §5.2 ("Each graph depicts an average
 // of N runs and 95% confidence intervals").
+//
+// Replications are dispatched across `jobs` worker threads (each owning a
+// private sim::Simulator via its Network) and merged back in seed order, so
+// results are bit-identical to the serial path for any jobs value.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +23,9 @@ struct ExperimentConfig {
   net::StackSpec stack;
   std::size_t runs = 5;
   std::uint64_t base_seed = 1;
+  /// Worker threads for replications: 1 = serial (default), 0 = one per
+  /// hardware thread. Output is identical for every value of `jobs`.
+  std::size_t jobs = 1;
 };
 
 /// Aggregated results of one experiment cell.
@@ -33,14 +41,28 @@ struct ExperimentResult {
   SampleStats passive_energy_j;
   SampleStats nodes_carrying_data;
 
-  std::vector<metrics::RunResult> raw;  ///< per-run detail
+  std::vector<metrics::RunResult> raw;  ///< per-run detail, in seed order
 };
 
 /// Run `cfg.runs` independent replications (seeds base_seed..base_seed+R-1).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
-/// Sweep helper: same scenario/stack across a list of per-flow rates.
+/// Sweep helper: same scenario/stack across a list of per-flow rates. All
+/// (rate × replication) cells share one worker pool.
 std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,
                                           const std::vector<double>& rates);
+
+/// Invoked (serialized, from the pool) when the last replication of a
+/// stack's row completes — progress reporting for long sweeps.
+using StackProgressFn = std::function<void(const net::StackSpec&)>;
+
+/// Full (stack × rate) grid, the shape of every figure bench; returns
+/// results[stack][rate]. Every replication in the grid is one task in a
+/// shared pool of `cfg.jobs` workers, so wide grids keep all cores busy
+/// even when individual cells have few runs. `cfg.stack` is ignored.
+std::vector<std::vector<ExperimentResult>> sweep_grid(
+    const ExperimentConfig& cfg, const std::vector<net::StackSpec>& stacks,
+    const std::vector<double>& rates,
+    const StackProgressFn& on_stack_done = {});
 
 }  // namespace eend::core

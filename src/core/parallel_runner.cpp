@@ -1,0 +1,86 @@
+#include "core/parallel_runner.hpp"
+
+#include <algorithm>
+
+namespace eend::core {
+
+std::size_t default_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+ParallelRunner::ParallelRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : std::min(jobs, kMaxJobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (std::size_t i = 0; i + 1 < jobs_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelRunner::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    drain(lk);
+  }
+}
+
+void ParallelRunner::drain(std::unique_lock<std::mutex>& lk) {
+  while (next_ < n_) {
+    const std::size_t i = next_++;
+    const auto* fn = fn_;
+    lk.unlock();
+    std::exception_ptr caught;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      caught = std::current_exception();
+    }
+    lk.lock();
+    if (caught && (!err_ || i < err_index_)) {
+      err_ = caught;
+      err_index_ = i;
+    }
+    if (++completed_ == n_) cv_done_.notify_all();
+  }
+}
+
+void ParallelRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);  // serial fast path
+    return;
+  }
+  std::unique_lock<std::mutex> lk(m_);
+  n_ = n;
+  fn_ = &fn;
+  next_ = 0;
+  completed_ = 0;
+  err_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  drain(lk);  // the calling thread works too
+  cv_done_.wait(lk, [&] { return completed_ == n_; });
+  n_ = 0;
+  fn_ = nullptr;
+  if (err_) {
+    auto err = err_;
+    err_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace eend::core

@@ -1,0 +1,79 @@
+// Thread-pool-backed dispatcher for the replication engine.
+//
+// The paper's §5.2 methodology evaluates every figure cell as an average of
+// N seeded replications; those replications (and the (stack × rate) cells
+// around them) are embarrassingly parallel because each one owns a private
+// sim::Simulator. ParallelRunner fans an index space [0, n) out across a
+// fixed set of worker threads; callers write results into pre-sized slots
+// keyed by index, so merged output is deterministic regardless of which
+// worker ran which index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eend::core {
+
+/// Worker count used for jobs = 0 ("auto"): one per hardware thread, or 1
+/// when the runtime cannot report the hardware concurrency.
+std::size_t default_jobs();
+
+/// A small fixed-size thread pool exposing one operation: run a closure
+/// over every index in [0, n), blocking until all complete.
+///
+/// * jobs == 1 (the default everywhere) executes inline on the calling
+///   thread — byte-for-byte the old serial path, no threads created.
+/// * jobs == 0 means default_jobs(); requests above kMaxJobs are clamped
+///   (more workers than that is never useful and a negative flag value
+///   cast through size_t must not try to spawn 2^64 threads).
+/// * The calling thread participates as a worker, so `jobs` is the total
+///   parallelism, not the number of helper threads.
+/// * If closures throw, the batch still drains and the exception raised by
+///   the smallest index is rethrown (deterministic error reporting).
+///
+/// Not thread-safe: one batch at a time, driven from one thread.
+class ParallelRunner {
+ public:
+  static constexpr std::size_t kMaxJobs = 256;
+
+  explicit ParallelRunner(std::size_t jobs = 1);
+  ~ParallelRunner();
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Invoke fn(i) once for every i in [0, n); returns when all are done.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain(std::unique_lock<std::mutex>& lk);
+
+  std::size_t jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped per batch to wake workers
+
+  // Current batch (guarded by m_; indices are claimed under the lock, the
+  // closure itself runs unlocked).
+  std::size_t n_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t err_index_ = 0;
+  std::exception_ptr err_;
+};
+
+}  // namespace eend::core

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace eend::sim {
 
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
@@ -8,19 +10,45 @@ EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
                                                                << now_);
   EEND_REQUIRE(fn != nullptr);
   const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
+  heap_.push_back(Entry{at, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   handlers_.emplace(id, std::move(fn));
   return id;
 }
 
-bool Simulator::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Simulator::cancel(EventId id) {
+  if (handlers_.erase(id) == 0) return false;
+  ++stale_;
+  compact_if_stale();
+  return true;
+}
+
+void Simulator::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+}
+
+void Simulator::compact_if_stale() {
+  // Rebuild once tombstones outnumber live entries: O(heap) per rebuild,
+  // amortized O(1) per cancel, and the heap never holds more than half
+  // garbage afterwards.
+  if (stale_ < kCompactMin || stale_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return handlers_.find(e.id) == handlers_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  stale_ = 0;
+}
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    pop_top();
     const auto it = handlers_.find(e.id);
-    if (it == handlers_.end()) continue;  // cancelled (tombstone)
+    if (it == handlers_.end()) {  // cancelled (tombstone)
+      --stale_;
+      continue;
+    }
     EEND_CHECK(e.at >= now_);
     now_ = e.at;
     auto fn = std::move(it->second);
@@ -34,11 +62,12 @@ bool Simulator::step() {
 
 void Simulator::run_until(Time end) {
   EEND_REQUIRE(end >= now_);
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Peek through tombstones.
-    const Entry e = queue_.top();
+    const Entry e = heap_.front();
     if (handlers_.count(e.id) == 0) {
-      queue_.pop();
+      pop_top();
+      --stale_;
       continue;
     }
     if (e.at > end) break;

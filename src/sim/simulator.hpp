@@ -2,13 +2,14 @@
 //
 // Single-threaded, deterministic: events execute in (time, insertion-seq)
 // order so runs are exactly reproducible for a given seed. Cancellation is
-// O(log n) amortized via tombstones (the handler map drops the entry; stale
-// heap records are skipped on pop).
+// O(1) amortized via tombstones: the handler map drops the entry, stale heap
+// records are skipped on pop, and the heap is compacted in place whenever
+// tombstones outnumber live entries — bounding memory on cancel-heavy
+// workloads (PSM/MAC keep-alive timer churn).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +62,12 @@ class Simulator {
   bool step();
 
   std::size_t queue_size() const { return handlers_.size(); }
+
+  /// Heap storage size, including not-yet-reclaimed cancellation
+  /// tombstones. Compaction keeps this within a small constant plus twice
+  /// queue_size(); exposed so tests can assert the bound.
+  std::size_t heap_size() const { return heap_.size(); }
+
   std::uint64_t executed_events() const { return executed_; }
 
  private:
@@ -74,11 +81,19 @@ class Simulator {
     }
   };
 
+  /// Don't bother compacting heaps smaller than this: the rebuild has a
+  /// fixed cost and tiny heaps can't hold meaningful garbage.
+  static constexpr std::size_t kCompactMin = 64;
+
+  void pop_top();
+  void compact_if_stale();
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<Entry> heap_;   // min-heap via std::*_heap with std::greater
+  std::size_t stale_ = 0;     // heap entries whose handler is gone
   std::unordered_map<EventId, std::function<void()>> handlers_;
 };
 

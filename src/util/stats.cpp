@@ -12,7 +12,29 @@ double student_t_95(std::size_t df) {
       2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
   if (df == 0) return 0.0;
   if (df <= kT95.size()) return kT95[df - 1];
-  return 1.96;
+  // Past the dense table, interpolate linearly in 1/df through the standard
+  // sparse anchors (the quantile is nearly affine in 1/df), ending at the
+  // normal 1.960 as df -> infinity. Without this the critical value used to
+  // step from 2.042 straight to 1.96 when a sweep crossed --runs=31.
+  struct Anchor {
+    double inv_df;
+    double t;
+  };
+  static constexpr std::array<Anchor, 5> kTail = {{{1.0 / 30.0, 2.042},
+                                                   {1.0 / 40.0, 2.021},
+                                                   {1.0 / 60.0, 2.000},
+                                                   {1.0 / 120.0, 1.980},
+                                                   {0.0, 1.960}}};
+  const double x = 1.0 / static_cast<double>(df);
+  for (std::size_t i = 0; i + 1 < kTail.size(); ++i) {
+    const Anchor& hi = kTail[i];      // larger 1/df (smaller df)
+    const Anchor& lo = kTail[i + 1];  // smaller 1/df (larger df)
+    if (x <= hi.inv_df && x >= lo.inv_df) {
+      const double w = (x - lo.inv_df) / (hi.inv_df - lo.inv_df);
+      return lo.t + w * (hi.t - lo.t);
+    }
+  }
+  return 1.960;
 }
 
 double mean_of(std::span<const double> xs) {

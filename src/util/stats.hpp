@@ -21,7 +21,9 @@ struct SampleStats {
 };
 
 /// Two-sided 95% Student-t critical value for df degrees of freedom.
-/// Table-driven for df <= 30, asymptotic 1.96 beyond.
+/// Table-driven for df <= 30; beyond that, interpolated in 1/df through the
+/// df = 40/60/120 anchors toward the asymptotic 1.960, so the value decays
+/// smoothly instead of stepping at df = 31.
 double student_t_95(std::size_t df);
 
 /// Compute mean / stddev / 95% CI of a sample. Empty samples are invalid.

@@ -97,6 +97,64 @@ TEST(Simulator, StepExecutesSingleEvent) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, CancelHeavyHeapIsCompacted) {
+  // Mass cancellation must not leave the heap full of tombstones: once
+  // stale entries exceed the live ones the heap is rebuilt in place.
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i)
+    ids.push_back(s.schedule_at(1.0 + i, [] {}));
+  int live = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 100 == 0) {
+      ++live;
+      continue;  // keep every 100th event
+    }
+    EXPECT_TRUE(s.cancel(ids[i]));
+  }
+  EXPECT_EQ(s.queue_size(), static_cast<std::size_t>(live));
+  EXPECT_LE(s.heap_size(), 2 * s.queue_size() + 64);
+
+  // The survivors still fire, in time order.
+  std::uint64_t before = s.executed_events();
+  s.run_all();
+  EXPECT_EQ(s.executed_events() - before, static_cast<std::uint64_t>(live));
+  EXPECT_DOUBLE_EQ(s.now(), 1.0 + 9900);
+}
+
+TEST(Simulator, CompactionPreservesOrderAcrossRescheduling) {
+  // Interleave cancels with new schedules so compaction happens while the
+  // heap is hot, then verify execution order is still (time, seq).
+  Simulator s;
+  std::vector<double> fired;
+  std::vector<EventId> cancel_me;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i)
+      cancel_me.push_back(
+          s.schedule_at(500.0 + round * 40 + i, [] { FAIL(); }));
+    const double at = 100.0 - round;  // reverse order insertion
+    s.schedule_at(at, [&fired, at] { fired.push_back(at); });
+    for (EventId id : cancel_me) s.cancel(id);
+    cancel_me.clear();
+  }
+  EXPECT_LE(s.heap_size(), 2 * s.queue_size() + 64);
+  s.run_all();
+  ASSERT_EQ(fired.size(), 50u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LT(fired[i - 1], fired[i]);
+}
+
+TEST(Timer, RestartChurnBoundsHeap) {
+  // The ODPM keep-alive idiom: a timer restarted far more often than it
+  // fires. Each restart cancels the previous event; compaction keeps the
+  // heap from growing with the churn count.
+  Simulator s;
+  Timer t(s, [] {});
+  for (int i = 0; i < 5000; ++i) t.restart(1.0);
+  EXPECT_EQ(s.queue_size(), 1u);
+  EXPECT_LE(s.heap_size(), 2 * s.queue_size() + 64);
+}
+
 TEST(Timer, FiresOnceAfterDelay) {
   Simulator s;
   int fired = 0;

@@ -168,7 +168,28 @@ TEST(Stats, StudentTTable) {
   EXPECT_NEAR(student_t_95(1), 12.706, 1e-9);
   EXPECT_NEAR(student_t_95(4), 2.776, 1e-9);
   EXPECT_NEAR(student_t_95(9), 2.262, 1e-9);
-  EXPECT_NEAR(student_t_95(1000), 1.96, 1e-9);
+  // Sparse anchors past the dense table.
+  EXPECT_NEAR(student_t_95(40), 2.021, 1e-9);
+  EXPECT_NEAR(student_t_95(60), 2.000, 1e-9);
+  EXPECT_NEAR(student_t_95(120), 1.980, 1e-9);
+  // True t(1000, 0.975) is 1.9623; the 1/df interpolation lands close,
+  // instead of the old hard 1.96 step.
+  EXPECT_NEAR(student_t_95(1000), 1.962, 1e-3);
+  EXPECT_NEAR(student_t_95(100000000), 1.960, 1e-4);
+}
+
+TEST(Stats, StudentTTailIsSmoothAndMonotone) {
+  // The regression: df=30 -> 2.042 used to drop straight to 1.96 at df=31.
+  EXPECT_LT(student_t_95(31), student_t_95(30));
+  EXPECT_GT(student_t_95(31), student_t_95(40));
+  EXPECT_LT(student_t_95(30) - student_t_95(31), 0.005);
+  double prev = student_t_95(30);
+  for (std::size_t df = 31; df <= 300; ++df) {
+    const double t = student_t_95(df);
+    EXPECT_LE(t, prev) << "df=" << df;
+    EXPECT_GT(t, 1.96) << "df=" << df;
+    prev = t;
+  }
 }
 
 TEST(Stats, EmptySampleThrows) {
