@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/experiment_engine.hpp"
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
 #include "net/network.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -49,27 +52,39 @@ inline BenchOptions parse_bench_options(const Flags& flags,
 
 enum class Metric { Delivery, Goodput, TransmitEnergy };
 
-inline const char* metric_name(Metric m) {
+inline const char* metric_key(Metric m) {
   switch (m) {
-    case Metric::Delivery: return "delivery ratio";
-    case Metric::Goodput: return "energy goodput (bit/J)";
-    case Metric::TransmitEnergy: return "transmit energy (J)";
+    case Metric::Delivery: return "delivery_ratio";
+    case Metric::Goodput: return "goodput_bit_per_j";
+    case Metric::TransmitEnergy: return "transmit_energy_j";
   }
   return "?";
 }
 
-inline SampleStats pick(const core::ExperimentResult& r, Metric m) {
-  switch (m) {
-    case Metric::Delivery: return r.delivery_ratio;
-    case Metric::Goodput: return r.goodput_bit_per_j;
-    case Metric::TransmitEnergy: return r.transmit_energy_j;
-  }
-  return {};
+/// Build the manifest experiment a figure bench describes: one sweep over
+/// (stacks x rates) with the bench's already-resolved scenario.
+inline core::Experiment make_sweep_experiment(
+    const std::string& title, const net::ScenarioConfig& scenario,
+    const std::vector<net::StackSpec>& stacks,
+    const std::vector<double>& rates, const BenchOptions& opts,
+    const std::vector<Metric>& metrics, int precision) {
+  core::Experiment e;
+  e.id = "bench";
+  e.title = title;
+  e.kind = core::ExperimentKind::Sweep;
+  e.scenario_config = scenario;
+  e.stack_specs = stacks;
+  e.rates_pps = rates;
+  e.runs = opts.runs;
+  e.seed = opts.seed;
+  for (Metric m : metrics) e.metrics.push_back({metric_key(m), precision});
+  return e;
 }
 
-/// Run a (stack x rate) sweep and print one table per metric: rows = rate,
-/// one column per stack, cells = "mean +- ci95". Replications run on
-/// opts.jobs workers; the tables are identical for every jobs value.
+/// Run a (stack x rate) sweep through the manifest engine and print one
+/// pivot table per metric: rows = rate, one column per stack, cells =
+/// "mean +- ci95". Replications run on opts.jobs workers; the tables are
+/// identical for every jobs value.
 inline void sweep_and_print(std::ostream& os, const std::string& title,
                             const net::ScenarioConfig& scenario,
                             const std::vector<net::StackSpec>& stacks,
@@ -77,36 +92,15 @@ inline void sweep_and_print(std::ostream& os, const std::string& title,
                             const BenchOptions& opts,
                             const std::vector<Metric>& metrics,
                             int precision = 3) {
-  core::ExperimentConfig cfg;
-  cfg.scenario = scenario;
-  cfg.runs = opts.runs;
-  cfg.base_seed = opts.seed;
-  cfg.jobs = opts.jobs;
+  core::EngineOptions engine_opts;
+  engine_opts.jobs = opts.jobs;
+  engine_opts.progress = opts.quiet ? nullptr : &std::cerr;
 
-  core::StackProgressFn progress;
-  if (!opts.quiet)
-    progress = [&title](const net::StackSpec& s) {
-      std::cerr << "  [" << title << "] " << s.label << " done\n";
-    };
-
-  // results[stack][rate]
-  const auto results = core::sweep_grid(cfg, stacks, rates, progress);
-
-  for (Metric m : metrics) {
-    std::vector<std::string> header{"rate (pkt/s)"};
-    for (const auto& s : stacks) header.push_back(s.label);
-    Table t(std::move(header));
-    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
-      std::vector<std::string> row{Table::num(rates[ri], 1)};
-      for (std::size_t si = 0; si < stacks.size(); ++si) {
-        const auto stats = pick(results[si][ri], m);
-        row.push_back(
-            Table::num_ci(stats.mean, stats.ci95_half_width, precision));
-      }
-      t.add_row(std::move(row));
-    }
-    print_table(os, title + " — " + metric_name(m), t);
-  }
+  core::ExperimentEngine engine(engine_opts);
+  core::TableSink table(os);
+  engine.add_sink(table);
+  engine.run(make_sweep_experiment(title, scenario, stacks, rates, opts,
+                                   metrics, precision));
 }
 
 inline std::vector<double> parse_rates(const Flags& flags,

@@ -1,5 +1,9 @@
 // Figure 7 — characteristic hop count m_opt vs bandwidth utilization R/B
-// for the six card configurations of the plot legend.
+// for the six card configurations of the plot legend, driven through the
+// manifest engine's analytic "mopt" kind. The checked-in
+// examples/manifests/fig7_small.json describes this figure declaratively
+// and is the golden-pinned reproduction path; this bench is a convenience
+// wrapper with a --step knob.
 //
 // Shape targets: every real card stays below m_opt = 2 at all utilizations
 // (relays never pay off); the hypothetical Cabletron crosses 2 at
@@ -8,6 +12,9 @@
 #include <iostream>
 
 #include "analytical/route_energy.hpp"
+#include "core/experiment_engine.hpp"
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -15,46 +22,38 @@ int main(int argc, char** argv) {
   using namespace eend;
   const Flags flags(argc, argv);
   const double step = flags.get_double("step", 0.05);
+  // Lower bound keeps the rb list at <= ~4000 points; a denormal step
+  // would otherwise grow it unboundedly before the engine even runs.
+  EEND_REQUIRE_MSG(step >= 1e-4, "--step must be >= 1e-4, got " << step);
 
-  struct Config {
-    energy::RadioCard card;
-    double distance;
-  };
-  const std::vector<Config> configs = {
-      {energy::aironet350(), 140.0},   {energy::cabletron(), 250.0},
-      {energy::mica2(), 68.0},         {energy::leach_n4(), 100.0},
-      {energy::leach_n2(), 75.0},      {energy::hypothetical_cabletron(),
-                                        250.0},
-  };
-
-  std::vector<std::string> header{"R/B"};
-  for (const auto& c : configs)
-    header.push_back(c.card.name + " (D=" +
-                     Table::num(c.distance, 0) + "m)");
-  Table t(std::move(header));
-
+  core::Experiment e;
+  e.id = "fig7";
+  e.title = "Figure 7 — m_opt vs bandwidth utilization (R/B) per card";
+  e.kind = core::ExperimentKind::Mopt;
+  e.cards = {{"Aironet350", 140.0}, {"Cabletron", 250.0}, {"Mica2", 68.0},
+             {"LEACH-n4", 100.0},   {"LEACH-n2", 75.0},
+             {"HypoCabletron", 250.0}};
   // Index-based stepping: accumulating rb += step overshoots 0.5 by one
   // ulp and trips the R/B <= 0.5 precondition in mopt_continuous.
-  for (int i = 0; 0.10 + i * step <= 0.50 + 1e-9; ++i) {
-    const double rb = std::min(0.10 + i * step, 0.50);
-    std::vector<std::string> row{Table::num(rb, 2)};
-    for (const auto& c : configs)
-      row.push_back(
-          Table::num(analytical::mopt_continuous(c.card, c.distance, rb), 3));
-    t.add_row(std::move(row));
-  }
-  print_table(std::cout,
-              "Figure 7 — m_opt vs bandwidth utilization (R/B) per card", t);
+  for (int i = 0; 0.10 + i * step <= 0.50 + 1e-9; ++i)
+    e.rb.push_back(std::min(0.10 + i * step, 0.50));
+  e.metrics = {{"mopt", 3}};
+
+  core::ExperimentEngine engine;
+  core::TableSink table(std::cout);
+  engine.add_sink(table);
+  engine.run(e);
 
   std::cout << "\nChecks:\n";
-  for (const auto& c : configs) {
+  for (const auto& c : e.cards) {
+    const auto card = energy::card_by_name(c.card);
     bool ever_two = false;
     for (int i = 0; 0.10 + i * 0.01 <= 0.50 + 1e-9; ++i) {
       const double rb = std::min(0.10 + i * 0.01, 0.50);
-      if (analytical::mopt_continuous(c.card, c.distance, rb) >= 2.0)
+      if (analytical::mopt_continuous(card, c.distance_m, rb) >= 2.0)
         ever_two = true;
     }
-    std::cout << "  " << c.card.name << ": relays "
+    std::cout << "  " << card.name << ": relays "
               << (ever_two ? "CAN pay off (m_opt >= 2 reached)"
                            : "never pay off (m_opt < 2 everywhere)")
               << "\n";

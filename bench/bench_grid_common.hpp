@@ -1,67 +1,60 @@
 // Shared driver for the §5.2.3 hypothetical-card grid figures (13-16):
 // run the base-rate (2 pkt/s) simulation per stack, freeze routes, and
-// print the analytic goodput series (Kbit/J, as the paper plots).
+// print the analytic goodput series (Kbit/J, as the paper plots) plus the
+// frozen-route summary — all through the manifest engine's grid kind.
 //
 // Accepts --jobs=N (stacks evaluated in parallel, output order fixed) and
 // --quiet (suppress stderr progress) like the replication benches.
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <vector>
 
-#include "core/grid_study.hpp"
-#include "core/parallel_runner.hpp"
+#include "core/experiment_engine.hpp"
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace eend::bench {
 
+/// The grid-figure experiment as a manifest object; also reused by tests.
+inline core::Experiment make_grid_experiment(
+    const std::string& title, const std::vector<net::StackSpec>& stacks,
+    const std::vector<double>& rates, const Flags& flags) {
+  auto scenario = net::ScenarioConfig::hypothetical_grid();
+  scenario.duration_s =
+      flags.get_double("duration", flags.get_bool("quick", false) ? 120.0
+                                                                  : 900.0);
+
+  core::Experiment e;
+  e.id = "bench";
+  e.title = title;
+  e.kind = core::ExperimentKind::Grid;
+  e.scenario_config = scenario;
+  e.stack_specs = stacks;
+  e.rates_pps = rates;
+  e.base_rate_pps = flags.get_double("base-rate", 2.0);
+  e.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  e.metrics = {{"goodput_kbit_per_j", 3},
+               {"active_nodes", 0},
+               {"data_power_w", 2},
+               {"passive_power_w", 2}};
+  return e;
+}
+
 inline void run_grid_figure(const std::string& title,
                             const std::vector<net::StackSpec>& stacks,
                             const std::vector<double>& rates,
                             const Flags& flags) {
-  auto scenario = net::ScenarioConfig::hypothetical_grid();
-  scenario.rate_pps = flags.get_double("base-rate", 2.0);
-  scenario.duration_s =
-      flags.get_double("duration", flags.get_bool("quick", false) ? 120.0
-                                                                  : 900.0);
-  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
-  const bool quiet = flags.get_bool("quiet", false);
+  core::EngineOptions opts;
+  opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  opts.progress = flags.get_bool("quiet", false) ? nullptr : &std::cerr;
 
-  // Each stack's base-rate simulation is independent; fan them out and
-  // keep the results in stack order so the tables never change with jobs.
-  std::vector<core::GridSeries> series(stacks.size());
-  std::mutex io_m;
-  core::ParallelRunner pool(jobs);
-  pool.for_each_index(stacks.size(), [&](std::size_t i) {
-    series[i] = core::grid_series(scenario, stacks[i], rates);
-    if (!quiet) {
-      std::lock_guard<std::mutex> lk(io_m);
-      std::cerr << "  [" << title << "] " << stacks[i].label << " done ("
-                << series[i].active_nodes.size() << " active nodes)\n";
-    }
-  });
-
-  std::vector<std::string> header{"rate (pkt/s)"};
-  for (const auto& s : series) header.push_back(s.label);
-  Table t(std::move(header));
-  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
-    std::vector<std::string> row{Table::num(rates[ri], 1)};
-    for (const auto& s : series)
-      row.push_back(Table::num(s.points[ri].goodput_bit_per_j / 1e3, 3));
-    t.add_row(std::move(row));
-  }
-  print_table(std::cout, title + " — energy goodput (Kbit/J)", t);
-
-  // Supplement: active-node counts explain the idle-cost differences.
-  Table a({"stack", "active nodes", "data W @max rate", "passive W @max rate"});
-  for (const auto& s : series)
-    a.add_row({s.label, std::to_string(s.active_nodes.size()),
-               Table::num(s.points.back().data_power_w, 2),
-               Table::num(s.points.back().passive_power_w, 2)});
-  print_table(std::cout, title + " — frozen-route summary", a);
+  core::ExperimentEngine engine(opts);
+  core::TableSink table(std::cout);
+  engine.add_sink(table);
+  engine.run(make_grid_experiment(title, stacks, rates, flags));
 }
 
 }  // namespace eend::bench

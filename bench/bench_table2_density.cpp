@@ -1,6 +1,9 @@
 // Table 2 — performance with node density: DSR-ODPM-PC vs TITAN-PC at
 // 300 and 400 nodes (1300x1300 m^2, 20 flows at 4 pkt/s), keeping flow
-// endpoints fixed across densities.
+// endpoints fixed across densities, driven through the manifest engine's
+// "density" kind. examples/manifests/table2_density.json describes this
+// table declaratively and is the golden-pinned reproduction path; this
+// bench is a convenience wrapper around the same engine.
 //
 // Shape target: TITAN-PC dominates and the gap grows with density — its
 // probabilistic, backbone-biased participation keeps route-discovery
@@ -15,59 +18,32 @@ int main(int argc, char** argv) {
   using namespace eend;
   const Flags flags(argc, argv);
   const auto opts = bench::parse_bench_options(flags, 5);
-  const bool quick = opts.quick;
 
-  const std::vector<std::size_t> densities = quick
-                                                 ? std::vector<std::size_t>{300}
-                                                 : std::vector<std::size_t>{
-                                                       300, 400};
-  const std::vector<net::StackSpec> stacks = {net::StackSpec::dsr_odpm_pc(),
-                                              net::StackSpec::titan_pc()};
+  auto scenario = net::ScenarioConfig::density_network(300);
+  if (opts.quick) scenario.duration_s = 120.0;
 
-  Table del({"# of nodes", "DSR-ODPM-PC", "TITAN-PC"});
-  Table gp({"# of nodes", "DSR-ODPM-PC", "TITAN-PC"});
-  Table ctrl({"# of nodes", "DSR-ODPM-PC RREQ tx", "TITAN-PC RREQ tx",
-              "DSR-ODPM-PC collisions", "TITAN-PC collisions"});
+  core::Experiment e;
+  e.id = "table2";
+  e.title = "Table 2 — node density, 1300x1300 m^2";
+  e.kind = core::ExperimentKind::Density;
+  e.scenario_config = scenario;
+  e.stack_specs = {{net::StackSpec::dsr_odpm_pc(), net::StackSpec::titan_pc()}};
+  e.node_counts = opts.quick ? std::vector<std::size_t>{300}
+                             : std::vector<std::size_t>{300, 400};
+  e.runs = opts.runs;
+  e.seed = opts.seed;
+  e.metrics = {{"delivery_ratio", 3},
+               {"goodput_bit_per_j", 1},
+               {"rreq_transmissions", 0},
+               {"mac_collisions", 0}};
 
-  for (std::size_t n : densities) {
-    auto scenario = net::ScenarioConfig::density_network(n);
-    if (quick) scenario.duration_s = 120.0;
-    std::vector<std::string> drow{std::to_string(n)};
-    std::vector<std::string> grow{std::to_string(n)};
-    std::vector<std::string> crow{std::to_string(n)};
-    std::vector<std::string> crow2;
-    for (const auto& stack : stacks) {
-      core::ExperimentConfig cfg;
-      cfg.scenario = scenario;
-      cfg.stack = stack;
-      cfg.runs = opts.runs;
-      cfg.base_seed = opts.seed;
-      cfg.jobs = opts.jobs;
-      const auto r = core::run_experiment(cfg);
-      drow.push_back(Table::num_ci(r.delivery_ratio.mean,
-                                   r.delivery_ratio.ci95_half_width, 3));
-      grow.push_back(Table::num_ci(r.goodput_bit_per_j.mean,
-                                   r.goodput_bit_per_j.ci95_half_width, 1));
-      double rreq = 0, coll = 0;
-      for (const auto& raw : r.raw) {
-        rreq += static_cast<double>(raw.rreq_transmissions);
-        coll += static_cast<double>(raw.mac_collisions);
-      }
-      crow.push_back(Table::num(rreq / static_cast<double>(r.raw.size()), 0));
-      crow2.push_back(Table::num(coll / static_cast<double>(r.raw.size()), 0));
-      if (!opts.quiet)
-        std::cerr << "  [table2] " << stack.label << " n=" << n << " done\n";
-    }
-    del.add_row(std::move(drow));
-    gp.add_row(std::move(grow));
-    crow.insert(crow.end(), crow2.begin(), crow2.end());
-    ctrl.add_row(std::move(crow));
-  }
-  print_table(std::cout, "Table 2 — delivery ratio vs node density", del);
-  print_table(std::cout, "Table 2 — energy goodput (bit/J) vs node density",
-              gp);
-  print_table(std::cout,
-              "Table 2 (supplement) — routing overhead vs node density",
-              ctrl);
+  core::EngineOptions engine_opts;
+  engine_opts.jobs = opts.jobs;
+  engine_opts.progress = opts.quiet ? nullptr : &std::cerr;
+
+  core::ExperimentEngine engine(engine_opts);
+  core::TableSink table(std::cout);
+  engine.add_sink(table);
+  engine.run(e);
   return 0;
 }

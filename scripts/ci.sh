@@ -37,4 +37,24 @@ echo "== parallel determinism: jobs=1 vs jobs=4 must match byte-for-byte =="
 cmp /tmp/eend_j1.out /tmp/eend_j4.out
 echo "OK: tables identical"
 
+echo "== manifest engine: eend_run reproduces Fig 7, CSV/JSONL deterministic =="
+./build/tools/eend_run --manifest examples/manifests/fig7_small.json \
+  --jobs=0 --quiet --csv=/tmp/eend_fig7.csv --jsonl=/tmp/eend_fig7.jsonl \
+  > /tmp/eend_fig7.out
+grep -q "Figure 7" /tmp/eend_fig7.out
+# stdout tables AND machine files must be byte-identical for any --jobs.
+for j in 1 8; do
+  ./build/tools/eend_run --manifest examples/manifests/small_field.json \
+    --quick --quiet --csv="/tmp/eend_sf_j$j.csv" \
+    --jsonl="/tmp/eend_sf_j$j.jsonl" --jobs="$j" > "/tmp/eend_sf_j$j.out"
+done
+cmp /tmp/eend_sf_j1.out /tmp/eend_sf_j8.out
+cmp /tmp/eend_sf_j1.csv /tmp/eend_sf_j8.csv
+cmp /tmp/eend_sf_j1.jsonl /tmp/eend_sf_j8.jsonl
+echo "OK: eend_run output identical for jobs=1 and jobs=8"
+
+# The golden regression suite runs under ctest above (from build/tests, so
+# any golden_diff_*.txt reports land where the workflow's artifact upload
+# looks for them).
+
 echo "== CI passed =="

@@ -84,6 +84,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   return std::move(run_cells({cfg}, cfg.jobs).front());
 }
 
+std::vector<ExperimentResult> run_experiment_cells(
+    const std::vector<ExperimentConfig>& cells, std::size_t jobs,
+    const std::function<void(std::size_t)>& on_cell_done) {
+  for (const ExperimentConfig& c : cells) {
+    EEND_REQUIRE(c.runs >= 1);
+    // run_cells slices the flat result array as cell * runs, so a ragged
+    // runs count would misattribute replications.
+    EEND_REQUIRE_MSG(c.runs == cells.front().runs,
+                     "all cells in one batch must share the runs count");
+  }
+  return run_cells(cells, jobs, on_cell_done);
+}
+
 std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,
                                           const std::vector<double>& rates) {
   EEND_REQUIRE(cfg.runs >= 1);

@@ -47,6 +47,15 @@ struct ExperimentResult {
 /// Run `cfg.runs` independent replications (seeds base_seed..base_seed+R-1).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
+/// Evaluate an arbitrary list of fully-specified cells — every (scenario,
+/// stack) combination with the same `runs` — on one shared pool of `jobs`
+/// workers. Results come back in cell order regardless of scheduling;
+/// `on_cell_done(index)` fires (serialized) as each cell's last replication
+/// completes. The manifest engine's density kind is built on this.
+std::vector<ExperimentResult> run_experiment_cells(
+    const std::vector<ExperimentConfig>& cells, std::size_t jobs,
+    const std::function<void(std::size_t)>& on_cell_done = {});
+
 /// Sweep helper: same scenario/stack across a list of per-flow rates. All
 /// (rate × replication) cells share one worker pool.
 std::vector<ExperimentResult> sweep_rates(ExperimentConfig cfg,

@@ -1,0 +1,292 @@
+#include "core/experiment_engine.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <ostream>
+
+#include "analytical/route_energy.hpp"
+#include "core/experiment.hpp"
+#include "core/grid_study.hpp"
+#include "core/parallel_runner.hpp"
+#include "energy/radio_card.hpp"
+#include "util/table.hpp"
+
+namespace eend::core {
+
+namespace {
+
+/// Short simulations used by --quick when the experiment does not specify
+/// its own quick.duration_s — matches the bench binaries' --quick.
+constexpr double kQuickDurationS = 120.0;
+
+MetricValue sim_metric(const ExperimentResult& r, const std::string& name) {
+  MetricValue out;
+  out.name = name;
+  const auto from_stats = [&](const SampleStats& s) {
+    out.mean = s.mean;
+    out.ci95 = s.ci95_half_width;
+    out.n = s.n;
+  };
+  const auto from_raw = [&](auto pick) {
+    std::vector<double> xs;
+    xs.reserve(r.raw.size());
+    for (const auto& run : r.raw) xs.push_back(pick(run));
+    from_stats(summarize(xs));
+  };
+  if (name == "delivery_ratio") from_stats(r.delivery_ratio);
+  else if (name == "goodput_bit_per_j") from_stats(r.goodput_bit_per_j);
+  else if (name == "transmit_energy_j") from_stats(r.transmit_energy_j);
+  else if (name == "total_energy_j") from_stats(r.total_energy_j);
+  else if (name == "control_energy_j") from_stats(r.control_energy_j);
+  else if (name == "passive_energy_j") from_stats(r.passive_energy_j);
+  else if (name == "nodes_carrying_data") from_stats(r.nodes_carrying_data);
+  else if (name == "rreq_transmissions")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.rreq_transmissions);
+    });
+  else if (name == "mac_collisions")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.mac_collisions);
+    });
+  else if (name == "average_delay_s")
+    from_raw([](const metrics::RunResult& x) { return x.average_delay_s; });
+  else
+    EEND_REQUIRE_MSG(false, "unknown sim metric \"" << name << "\"");
+  return out;
+}
+
+MetricValue grid_metric(const GridSeries& s, const GridPoint& p,
+                        const std::string& name) {
+  MetricValue out;
+  out.name = name;
+  out.n = 1;
+  if (name == "goodput_kbit_per_j") out.mean = p.goodput_bit_per_j / 1e3;
+  else if (name == "network_power_w") out.mean = p.network_power_w;
+  else if (name == "data_power_w") out.mean = p.data_power_w;
+  else if (name == "passive_power_w") out.mean = p.passive_power_w;
+  else if (name == "active_nodes")
+    out.mean = static_cast<double>(s.active_nodes.size());
+  else
+    EEND_REQUIRE_MSG(false, "unknown grid metric \"" << name << "\"");
+  return out;
+}
+
+}  // namespace
+
+void ExperimentEngine::run(const Manifest& m) {
+  for (const Experiment& e : m.experiments) run(e);
+}
+
+void ExperimentEngine::run(const Experiment& e) {
+  for (ResultSink* s : sinks_) s->begin_experiment(e);
+  switch (e.kind) {
+    case ExperimentKind::Sweep: run_sweep(e); break;
+    case ExperimentKind::Density: run_density(e); break;
+    case ExperimentKind::Grid: run_grid(e); break;
+    case ExperimentKind::Mopt: run_mopt(e); break;
+  }
+  for (ResultSink* s : sinks_) s->end_experiment(e);
+}
+
+void ExperimentEngine::emit(const ResultRow& r) {
+  for (ResultSink* s : sinks_) s->row(r);
+}
+
+void ExperimentEngine::note(const std::string& line) {
+  if (opts_.progress) *opts_.progress << line << '\n';
+}
+
+net::ScenarioConfig ExperimentEngine::resolve_scenario(
+    const Experiment& e) const {
+  net::ScenarioConfig sc =
+      e.scenario_config ? *e.scenario_config : e.scenario.resolve();
+  if (opts_.quick)
+    sc.duration_s =
+        std::min(sc.duration_s, e.quick.duration_s.value_or(kQuickDurationS));
+  return sc;
+}
+
+std::size_t ExperimentEngine::effective_runs(const Experiment& e) const {
+  if (opts_.runs_override) return *opts_.runs_override;
+  if (opts_.quick) return e.quick.runs.value_or(1);
+  return e.runs;
+}
+
+std::uint64_t ExperimentEngine::effective_seed(const Experiment& e) const {
+  return opts_.seed_override ? *opts_.seed_override : e.seed;
+}
+
+std::vector<net::StackSpec> ExperimentEngine::resolve_stacks(
+    const Experiment& e) {
+  if (e.stack_specs) return *e.stack_specs;
+  std::vector<net::StackSpec> out;
+  out.reserve(e.stacks.size());
+  for (const auto& name : e.stacks) out.push_back(net::stack_preset(name));
+  return out;
+}
+
+void ExperimentEngine::run_sweep(const Experiment& e) {
+  ExperimentConfig cfg;
+  cfg.scenario = resolve_scenario(e);
+  cfg.runs = effective_runs(e);
+  cfg.base_seed = effective_seed(e);
+  cfg.jobs = opts_.jobs;
+
+  const std::vector<net::StackSpec> stacks = resolve_stacks(e);
+
+  const std::vector<double>& rates =
+      (opts_.quick && e.quick.rates_pps) ? *e.quick.rates_pps : e.rates_pps;
+
+  StackProgressFn progress;
+  if (opts_.progress)
+    progress = [this, &e](const net::StackSpec& s) {
+      note("  [" + e.title + "] " + s.label + " done");
+    };
+
+  // results[stack][rate]
+  const auto results = sweep_grid(cfg, stacks, rates, progress);
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    for (std::size_t si = 0; si < stacks.size(); ++si) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = stacks[si].label;
+      row.x_name = "rate_pps";
+      row.x = rates[ri];
+      row.runs = cfg.runs;
+      row.seed = cfg.base_seed;
+      for (const MetricSpec& m : e.metrics)
+        row.metrics.push_back(sim_metric(results[si][ri], m.name));
+      emit(row);
+    }
+  }
+}
+
+void ExperimentEngine::run_density(const Experiment& e) {
+  const std::vector<std::size_t>& nodes =
+      (opts_.quick && e.quick.node_counts) ? *e.quick.node_counts
+                                           : e.node_counts;
+  const std::vector<net::StackSpec> stacks = resolve_stacks(e);
+
+  // All (node count × stack) cells share one pool so wide density tables
+  // keep every core busy even at runs=1; emission order (n-major,
+  // stack-minor) matches the cell list and never depends on scheduling.
+  std::vector<ExperimentConfig> cells;
+  for (const std::size_t n : nodes) {
+    net::ScenarioConfig sc = resolve_scenario(e);
+    sc.node_count = n;
+    for (const auto& stack : stacks) {
+      ExperimentConfig cfg;
+      cfg.scenario = sc;
+      cfg.stack = stack;
+      cfg.runs = effective_runs(e);
+      cfg.base_seed = effective_seed(e);
+      cells.push_back(std::move(cfg));
+    }
+  }
+
+  std::function<void(std::size_t)> on_cell_done;
+  if (opts_.progress)
+    on_cell_done = [&](std::size_t i) {
+      note("  [" + e.title + "] " + cells[i].stack.label + " n=" +
+           std::to_string(cells[i].scenario.node_count) + " done");
+    };
+  const auto results = run_experiment_cells(cells, opts_.jobs, on_cell_done);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ResultRow row;
+    row.experiment = e.id;
+    row.kind = kind_name(e.kind);
+    row.series = cells[i].stack.label;
+    row.x_name = "nodes";
+    row.x = static_cast<double>(cells[i].scenario.node_count);
+    row.runs = cells[i].runs;
+    row.seed = cells[i].base_seed;
+    for (const MetricSpec& m : e.metrics)
+      row.metrics.push_back(sim_metric(results[i], m.name));
+    emit(row);
+  }
+}
+
+void ExperimentEngine::run_grid(const Experiment& e) {
+  net::ScenarioConfig sc = resolve_scenario(e);
+  sc.rate_pps = e.base_rate_pps;
+  sc.seed = effective_seed(e);
+
+  const std::vector<net::StackSpec> stacks = resolve_stacks(e);
+
+  const std::vector<double>& rates =
+      (opts_.quick && e.quick.rates_pps) ? *e.quick.rates_pps : e.rates_pps;
+
+  // One base-rate simulation per stack; fan out, keep stack order.
+  std::vector<GridSeries> series(stacks.size());
+  std::mutex io_m;
+  ParallelRunner pool(opts_.jobs);
+  pool.for_each_index(stacks.size(), [&](std::size_t i) {
+    series[i] = grid_series(sc, stacks[i], rates);
+    if (opts_.progress) {
+      std::lock_guard<std::mutex> lk(io_m);
+      note("  [" + e.title + "] " + stacks[i].label + " done (" +
+           std::to_string(series[i].active_nodes.size()) + " active nodes)");
+    }
+  });
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = series[si].label;
+      row.x_name = "rate_pps";
+      row.x = rates[ri];
+      row.runs = 1;
+      row.seed = sc.seed;
+      for (const MetricSpec& m : e.metrics)
+        row.metrics.push_back(
+            grid_metric(series[si], series[si].points[ri], m.name));
+      emit(row);
+    }
+  }
+}
+
+void ExperimentEngine::run_mopt(const Experiment& e) {
+  struct Curve {
+    energy::RadioCard card;
+    double distance;
+    std::string legend;
+  };
+  std::vector<Curve> curves;
+  for (const CardSpec& c : e.cards) {
+    Curve cv;
+    cv.card = energy::card_by_name(c.card);
+    cv.distance = c.distance_m;
+    cv.legend = cv.card.name + " (D=" + Table::num(c.distance_m, 0) + "m)";
+    curves.push_back(std::move(cv));
+  }
+
+  for (const double rb : e.rb) {
+    for (const Curve& cv : curves) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = cv.legend;
+      row.x_name = "rb";
+      row.x = rb;
+      row.runs = 1;
+      row.seed = 0;
+      for (const MetricSpec& m : e.metrics) {
+        MetricValue mv;
+        mv.name = m.name;
+        mv.n = 1;
+        EEND_REQUIRE_MSG(m.name == "mopt",
+                         "unknown mopt metric \"" << m.name << "\"");
+        mv.mean = analytical::mopt_continuous(cv.card, cv.distance, rb);
+        row.metrics.push_back(std::move(mv));
+      }
+      emit(row);
+    }
+  }
+}
+
+}  // namespace eend::core

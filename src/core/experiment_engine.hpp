@@ -1,0 +1,64 @@
+// ExperimentEngine: executes a Manifest, streaming every cell's aggregated
+// results through the registered ResultSinks.
+//
+// Determinism contract: for a given manifest and options, the byte stream
+// each sink receives is identical for every jobs value — replication and
+// per-stack parallelism reuse ParallelRunner's index-slot merging, and rows
+// are emitted x-major / series-minor in manifest order after each
+// experiment's cells complete. --jobs only changes wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
+
+namespace eend::core {
+
+struct EngineOptions {
+  /// Worker threads: 1 = serial, 0 = one per hardware thread.
+  std::size_t jobs = 1;
+  /// Apply each experiment's QuickSpec (reduced duration / runs / axes).
+  bool quick = false;
+  /// When set, override every experiment's replication count / seed
+  /// (seed 0 is a valid override, hence optionals rather than sentinels).
+  std::optional<std::size_t> runs_override;
+  std::optional<std::uint64_t> seed_override;
+  /// Progress lines ("  [title] STACK done") go here; nullptr = silent.
+  std::ostream* progress = nullptr;
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions opts = {}) : opts_(opts) {}
+
+  /// Sinks are not owned and must outlive run() calls.
+  void add_sink(ResultSink& sink) { sinks_.push_back(&sink); }
+
+  /// Execute every experiment in manifest order.
+  void run(const Manifest& m);
+
+  /// Execute one experiment (benches drive single figures this way).
+  void run(const Experiment& e);
+
+ private:
+  void run_sweep(const Experiment& e);
+  void run_density(const Experiment& e);
+  void run_grid(const Experiment& e);
+  void run_mopt(const Experiment& e);
+
+  void emit(const ResultRow& r);
+  net::ScenarioConfig resolve_scenario(const Experiment& e) const;
+  static std::vector<net::StackSpec> resolve_stacks(const Experiment& e);
+  std::size_t effective_runs(const Experiment& e) const;
+  std::uint64_t effective_seed(const Experiment& e) const;
+  void note(const std::string& line);
+
+  EngineOptions opts_;
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace eend::core

@@ -1,0 +1,718 @@
+#include "core/manifest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "energy/radio_card.hpp"
+#include "util/check.hpp"
+
+namespace eend::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw CheckError("manifest: " + msg);
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- readers ---
+
+/// Wraps one JSON object; every field access marks its key as consumed so
+/// finish() can reject leftovers ("unknown key") with the allowed set —
+/// typo-proofing for hand-written manifests.
+class ObjectReader {
+ public:
+  ObjectReader(const json::Value& v, std::string ctx) : ctx_(std::move(ctx)) {
+    if (!v.is_object()) fail(ctx_ + " must be a JSON object");
+    obj_ = &v.as_object();
+    consumed_.assign(obj_->size(), false);
+  }
+
+  const json::Value* optional(const std::string& key) {
+    for (std::size_t i = 0; i < obj_->size(); ++i) {
+      if ((*obj_)[i].first == key) {
+        consumed_[i] = true;
+        return &(*obj_)[i].second;
+      }
+    }
+    known_.push_back(key);
+    return nullptr;
+  }
+
+  const json::Value& required(const std::string& key) {
+    const json::Value* v = optional(key);
+    if (!v) fail("missing required key \"" + key + "\" in " + ctx_);
+    return *v;
+  }
+
+  /// Declare a key as recognized (for the unknown-key message) without
+  /// reading it — used for keys that are invalid for the current kind.
+  void forbid(const std::string& key, const std::string& why) {
+    for (std::size_t i = 0; i < obj_->size(); ++i)
+      if ((*obj_)[i].first == key)
+        fail("key \"" + key + "\" in " + ctx_ + " " + why);
+  }
+
+  void finish() {
+    std::vector<std::string> allowed;
+    for (std::size_t i = 0; i < obj_->size(); ++i)
+      if (consumed_[i]) allowed.push_back((*obj_)[i].first);
+    for (std::size_t i = 0; i < obj_->size(); ++i) {
+      if (consumed_[i]) continue;
+      std::vector<std::string> names = known_;
+      for (const auto& a : allowed) names.push_back(a);
+      std::sort(names.begin(), names.end());
+      names.erase(std::unique(names.begin(), names.end()), names.end());
+      fail("unknown key \"" + (*obj_)[i].first + "\" in " + ctx_ +
+           " (allowed: " + join(names) + ")");
+    }
+  }
+
+  const std::string& ctx() const { return ctx_; }
+
+ private:
+  const json::Object* obj_ = nullptr;
+  std::vector<bool> consumed_;
+  std::vector<std::string> known_;  // keys probed but absent
+  std::string ctx_;
+};
+
+std::string as_string(const json::Value& v, const std::string& ctx) {
+  if (!v.is_string()) fail(ctx + " must be a string");
+  return v.as_string();
+}
+
+double as_finite(const json::Value& v, const std::string& ctx) {
+  if (!v.is_number()) fail(ctx + " must be a number");
+  return v.as_number();
+}
+
+std::uint64_t as_uint(const json::Value& v, const std::string& ctx) {
+  const double d = as_finite(v, ctx);
+  if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15)
+    fail(ctx + " must be a non-negative integer, got " + json::dump(v));
+  return static_cast<std::uint64_t>(d);
+}
+
+std::vector<double> as_rate_list(const json::Value& v, const std::string& ctx) {
+  if (!v.is_array() || v.as_array().empty())
+    fail(ctx + " must be a non-empty array of rates");
+  std::vector<double> out;
+  for (const auto& e : v.as_array()) {
+    const double r = as_finite(e, ctx + " entry");
+    if (!(r > 0.0) || !std::isfinite(r) || r > 1e6)
+      fail(ctx + " entries must be in (0, 1e6] pkt/s, got " + json::dump(e));
+    out.push_back(r);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::size_t j = i + 1; j < out.size(); ++j)
+      if (out[i] == out[j])
+        fail("duplicate rate " + json::dump(json::Value(out[i])) + " in " +
+             ctx + " — each rate defines one cell");
+  return out;
+}
+
+std::vector<std::size_t> as_node_list(const json::Value& v,
+                                      const std::string& ctx) {
+  if (!v.is_array() || v.as_array().empty())
+    fail(ctx + " must be a non-empty array of node counts");
+  std::vector<std::size_t> out;
+  for (const auto& e : v.as_array()) {
+    const auto n = as_uint(e, ctx + " entry");
+    if (n < 2) fail(ctx + " entries must be >= 2 nodes, got " + json::dump(e));
+    out.push_back(static_cast<std::size_t>(n));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::size_t j = i + 1; j < out.size(); ++j)
+      if (out[i] == out[j])
+        fail("duplicate node count " + std::to_string(out[i]) + " in " + ctx +
+             " — each count defines one cell");
+  return out;
+}
+
+// ----------------------------------------------------------------- metrics ---
+
+// Single registry of metric names and their table-banner labels: valid
+// names per kind and display lookup both derive from these, so a metric
+// added here is complete (the engine's extractors are the remaining
+// counterpart, and they fail loudly on unknown names).
+struct MetricInfo {
+  const char* name;
+  const char* display;
+};
+
+constexpr MetricInfo kSimMetricInfo[] = {
+    {"delivery_ratio", "delivery ratio"},
+    {"goodput_bit_per_j", "energy goodput (bit/J)"},
+    {"transmit_energy_j", "transmit energy (J)"},
+    {"total_energy_j", "total energy (J)"},
+    {"control_energy_j", "control energy (J)"},
+    {"passive_energy_j", "passive energy (J)"},
+    {"nodes_carrying_data", "nodes carrying data"},
+    {"rreq_transmissions", "RREQ transmissions"},
+    {"mac_collisions", "MAC collisions"},
+    {"average_delay_s", "average delay (s)"},
+};
+constexpr MetricInfo kGridMetricInfo[] = {
+    {"goodput_kbit_per_j", "energy goodput (Kbit/J)"},
+    {"network_power_w", "network power (W)"},
+    {"data_power_w", "data power (W)"},
+    {"passive_power_w", "passive power (W)"},
+    {"active_nodes", "active nodes"},
+};
+constexpr MetricInfo kMoptMetricInfo[] = {
+    {"mopt", "m_opt"},
+};
+
+template <std::size_t N>
+std::vector<std::string> names_of(const MetricInfo (&infos)[N]) {
+  std::vector<std::string> out;
+  out.reserve(N);
+  for (const MetricInfo& m : infos) out.emplace_back(m.name);
+  return out;
+}
+
+const std::vector<std::string> kSimMetrics = names_of(kSimMetricInfo);
+const std::vector<std::string> kGridMetrics = names_of(kGridMetricInfo);
+const std::vector<std::string> kMoptMetrics = names_of(kMoptMetricInfo);
+
+std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::Sweep:
+    case ExperimentKind::Density:
+      return {{"delivery_ratio", 3}, {"goodput_bit_per_j", 1}};
+    case ExperimentKind::Grid: return {{"goodput_kbit_per_j", 3}};
+    case ExperimentKind::Mopt: return {{"mopt", 3}};
+  }
+  return {};
+}
+
+std::vector<MetricSpec> parse_metrics(const json::Value& v,
+                                      ExperimentKind kind,
+                                      const std::string& ctx) {
+  if (!v.is_array() || v.as_array().empty())
+    fail(ctx + " must be a non-empty array");
+  const auto& valid = metric_names(kind);
+  std::vector<MetricSpec> out;
+  for (const auto& e : v.as_array()) {
+    MetricSpec m;
+    if (e.is_string()) {
+      m.name = e.as_string();
+    } else {
+      ObjectReader r(e, ctx + " entry");
+      m.name = as_string(r.required("name"), ctx + " name");
+      if (const auto* p = r.optional("precision")) {
+        const auto prec = as_uint(*p, ctx + " precision");
+        if (prec > 12) fail(ctx + " precision must be <= 12");
+        m.precision = static_cast<int>(prec);
+      }
+      r.finish();
+    }
+    if (std::find(valid.begin(), valid.end(), m.name) == valid.end())
+      fail("metric \"" + m.name + "\" is not valid for kind \"" +
+           kind_name(kind) + "\" (valid: " + join(valid) + ")");
+    for (const auto& prev : out)
+      if (prev.name == m.name) fail("duplicate metric \"" + m.name + "\"");
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- scenario ---
+
+// Single registry of scenario presets: name list (validation) and factory
+// dispatch (ScenarioSpec::resolve) derive from the same table, so a preset
+// added here is complete.
+struct ScenarioPreset {
+  const char* name;
+  net::ScenarioConfig (*make)(const ScenarioSpec&);
+};
+
+const ScenarioPreset kScenarioPresetTable[] = {
+    {"small_network",
+     [](const ScenarioSpec&) { return net::ScenarioConfig::small_network(); }},
+    {"large_network",
+     [](const ScenarioSpec&) { return net::ScenarioConfig::large_network(); }},
+    {"density_network",
+     [](const ScenarioSpec& s) {
+       return net::ScenarioConfig::density_network(s.node_count.value_or(200));
+     }},
+    {"hypothetical_grid",
+     [](const ScenarioSpec&) {
+       return net::ScenarioConfig::hypothetical_grid();
+     }},
+    {"custom", [](const ScenarioSpec&) { return net::ScenarioConfig(); }},
+};
+
+std::vector<std::string> scenario_preset_names() {
+  std::vector<std::string> out;
+  for (const ScenarioPreset& p : kScenarioPresetTable) out.emplace_back(p.name);
+  return out;
+}
+
+const std::vector<std::string> kScenarioPresets = scenario_preset_names();
+
+ScenarioSpec parse_scenario(const json::Value& v, const std::string& ctx) {
+  ScenarioSpec s;
+  ObjectReader r(v, ctx);
+  s.preset = as_string(r.required("preset"), ctx + " preset");
+  if (std::find(kScenarioPresets.begin(), kScenarioPresets.end(), s.preset) ==
+      kScenarioPresets.end())
+    fail("unknown scenario preset \"" + s.preset +
+         "\" (valid: " + join(kScenarioPresets) + ")");
+  if (const auto* p = r.optional("node_count"))
+    s.node_count = static_cast<std::size_t>(as_uint(*p, ctx + " node_count"));
+  if (const auto* p = r.optional("field_w")) {
+    s.field_w = as_finite(*p, ctx + " field_w");
+    if (!(*s.field_w > 0.0)) fail(ctx + " field_w must be positive");
+  }
+  if (const auto* p = r.optional("field_h")) {
+    s.field_h = as_finite(*p, ctx + " field_h");
+    if (!(*s.field_h > 0.0)) fail(ctx + " field_h must be positive");
+  }
+  if (const auto* p = r.optional("flow_count"))
+    s.flow_count = static_cast<std::size_t>(as_uint(*p, ctx + " flow_count"));
+  if (const auto* p = r.optional("rate_pps")) {
+    s.rate_pps = as_finite(*p, ctx + " rate_pps");
+    if (!(*s.rate_pps > 0.0) || *s.rate_pps > 1e6)
+      fail(ctx + " rate_pps must be in (0, 1e6]");
+  }
+  if (const auto* p = r.optional("payload_bits")) {
+    const auto bits = as_uint(*p, ctx + " payload_bits");
+    if (bits == 0 || bits > 1u << 24)
+      fail(ctx + " payload_bits must be in [1, 2^24]");
+    s.payload_bits = static_cast<std::uint32_t>(bits);
+  }
+  if (const auto* p = r.optional("duration_s")) {
+    s.duration_s = as_finite(*p, ctx + " duration_s");
+    if (!(*s.duration_s > 0.0)) fail(ctx + " duration_s must be positive");
+  }
+  if (const auto* p = r.optional("flow_endpoint_pool"))
+    s.flow_endpoint_pool =
+        static_cast<std::size_t>(as_uint(*p, ctx + " flow_endpoint_pool"));
+  if (const auto* p = r.optional("rate_multipliers")) {
+    if (!p->is_array() || p->as_array().empty())
+      fail(ctx + " rate_multipliers must be a non-empty array");
+    std::vector<double> mult;
+    for (const auto& e : p->as_array()) {
+      const double m = as_finite(e, ctx + " rate_multipliers entry");
+      if (!(m > 0.0) || !std::isfinite(m) || m > 1e3)
+        fail(ctx + " rate_multipliers entries must be in (0, 1e3]");
+      mult.push_back(m);
+    }
+    s.rate_multipliers = std::move(mult);
+  }
+  r.finish();
+  return s;
+}
+
+json::Object scenario_to_json(const ScenarioSpec& s) {
+  json::Object o;
+  o.emplace_back("preset", s.preset);
+  if (s.node_count)
+    o.emplace_back("node_count", static_cast<double>(*s.node_count));
+  if (s.field_w) o.emplace_back("field_w", *s.field_w);
+  if (s.field_h) o.emplace_back("field_h", *s.field_h);
+  if (s.flow_count)
+    o.emplace_back("flow_count", static_cast<double>(*s.flow_count));
+  if (s.rate_pps) o.emplace_back("rate_pps", *s.rate_pps);
+  if (s.payload_bits)
+    o.emplace_back("payload_bits", static_cast<double>(*s.payload_bits));
+  if (s.duration_s) o.emplace_back("duration_s", *s.duration_s);
+  if (s.flow_endpoint_pool)
+    o.emplace_back("flow_endpoint_pool",
+                   static_cast<double>(*s.flow_endpoint_pool));
+  if (s.rate_multipliers) {
+    json::Array a;
+    for (double m : *s.rate_multipliers) a.emplace_back(m);
+    o.emplace_back("rate_multipliers", std::move(a));
+  }
+  return o;
+}
+
+// -------------------------------------------------------------- experiment ---
+
+QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
+                      const std::string& ctx) {
+  QuickSpec q;
+  ObjectReader r(v, ctx);
+  if (const auto* p = r.optional("duration_s")) {
+    q.duration_s = as_finite(*p, ctx + " duration_s");
+    if (!(*q.duration_s > 0.0)) fail(ctx + " duration_s must be positive");
+  }
+  // Grid experiments have no replication count, so a quick "runs" there
+  // would be silently ignored — reject it like the top-level key.
+  if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Density) {
+    if (const auto* p = r.optional("runs")) {
+      const auto n = as_uint(*p, ctx + " runs");
+      if (n == 0) fail(ctx + " runs must be >= 1");
+      q.runs = static_cast<std::size_t>(n);
+    }
+  } else {
+    r.forbid("runs", "is only valid for kinds \"sweep\" and \"density\"");
+  }
+  if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Grid) {
+    if (const auto* p = r.optional("rates_pps"))
+      q.rates_pps = as_rate_list(*p, ctx + " rates_pps");
+  }
+  if (kind == ExperimentKind::Density) {
+    if (const auto* p = r.optional("node_counts"))
+      q.node_counts = as_node_list(*p, ctx + " node_counts");
+  }
+  r.finish();
+  return q;
+}
+
+Experiment parse_experiment(const json::Value& v, std::size_t index) {
+  const std::string base = "experiment #" + std::to_string(index + 1);
+  ObjectReader r(v, base);
+
+  Experiment e;
+  e.id = as_string(r.required("id"), base + " id");
+  if (e.id.empty()) fail(base + " id must be non-empty");
+  for (const char c : e.id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok)
+      fail(base + " id \"" + e.id +
+           "\" may only contain letters, digits, '_' and '-'");
+  }
+  const std::string ctx = "experiment \"" + e.id + "\"";
+
+  e.kind = kind_from_name(as_string(r.required("kind"), ctx + " kind"));
+  if (const auto* p = r.optional("title"))
+    e.title = as_string(*p, ctx + " title");
+  if (e.title.empty()) e.title = e.id;
+
+  const bool sim = e.kind != ExperimentKind::Mopt;
+  if (sim) {
+    if (const auto* p = r.optional("scenario"))
+      e.scenario = parse_scenario(*p, ctx + " scenario");
+    else if (e.kind == ExperimentKind::Density)
+      e.scenario.preset = "density_network";
+    else if (e.kind == ExperimentKind::Grid)
+      e.scenario.preset = "hypothetical_grid";
+
+    const json::Value& stacks = r.required("stacks");
+    if (!stacks.is_array() || stacks.as_array().empty())
+      fail(ctx + " stacks must be a non-empty array");
+    for (const auto& s : stacks.as_array()) {
+      const std::string name = as_string(s, ctx + " stacks entry");
+      net::stack_preset(name);  // throws listing valid presets
+      if (std::find(e.stacks.begin(), e.stacks.end(), name) != e.stacks.end())
+        fail("duplicate stack \"" + name + "\" in " + ctx +
+             " — each stack defines one cell row");
+      e.stacks.push_back(name);
+    }
+
+    if (const auto* p = r.optional("seed"))
+      e.seed = as_uint(*p, ctx + " seed");
+  } else {
+    r.forbid("scenario", "is not valid for kind \"mopt\" (analytic model)");
+    r.forbid("stacks", "is not valid for kind \"mopt\" (use \"cards\")");
+    r.forbid("seed", "is not valid for kind \"mopt\" (deterministic model)");
+  }
+
+  switch (e.kind) {
+    case ExperimentKind::Sweep:
+    case ExperimentKind::Grid:
+      e.rates_pps = as_rate_list(r.required("rates_pps"), ctx + " rates_pps");
+      r.forbid("node_counts", "is only valid for kind \"density\"");
+      break;
+    case ExperimentKind::Density:
+      e.node_counts =
+          as_node_list(r.required("node_counts"), ctx + " node_counts");
+      r.forbid("rates_pps",
+               "is only valid for kinds \"sweep\" and \"grid\" (set the "
+               "density rate via scenario.rate_pps)");
+      break;
+    case ExperimentKind::Mopt: break;
+  }
+
+  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density) {
+    if (const auto* p = r.optional("runs")) {
+      const auto n = as_uint(*p, ctx + " runs");
+      if (n == 0 || n > 10000) fail(ctx + " runs must be in [1, 10000]");
+      e.runs = static_cast<std::size_t>(n);
+    }
+  } else {
+    r.forbid("runs", "is only valid for kinds \"sweep\" and \"density\"");
+  }
+
+  if (e.kind == ExperimentKind::Grid) {
+    if (const auto* p = r.optional("base_rate_pps")) {
+      e.base_rate_pps = as_finite(*p, ctx + " base_rate_pps");
+      if (!(e.base_rate_pps > 0.0) || e.base_rate_pps > 1e6)
+        fail(ctx + " base_rate_pps must be in (0, 1e6]");
+    }
+  } else {
+    r.forbid("base_rate_pps", "is only valid for kind \"grid\"");
+  }
+
+  if (e.kind == ExperimentKind::Mopt) {
+    const json::Value& cards = r.required("cards");
+    if (!cards.is_array() || cards.as_array().empty())
+      fail(ctx + " cards must be a non-empty array");
+    for (const auto& cv : cards.as_array()) {
+      ObjectReader cr(cv, ctx + " cards entry");
+      CardSpec c;
+      c.card = as_string(cr.required("card"), ctx + " card");
+      // Canonicalize case (lookup is case-insensitive, legends are not)
+      // and reject unknown names in one step.
+      c.card = energy::card_by_name(c.card).name;
+      c.distance_m = as_finite(cr.required("distance_m"), ctx + " distance_m");
+      if (!(c.distance_m > 0.0)) fail(ctx + " distance_m must be positive");
+      cr.finish();
+      // Series legends render the distance rounded to whole meters, so two
+      // cards that only differ past that would silently merge into one
+      // table column — treat them as duplicates.
+      for (const auto& prev : e.cards)
+        if (prev.card == c.card &&
+            std::llround(prev.distance_m) == std::llround(c.distance_m))
+          fail("duplicate card \"" + c.card + "\" in " + ctx +
+               " — distances render identically in the legend (D=" +
+               std::to_string(std::llround(c.distance_m)) + "m)");
+      e.cards.push_back(std::move(c));
+    }
+    const json::Value& rb = r.required("rb");
+    if (!rb.is_array() || rb.as_array().empty())
+      fail(ctx + " rb must be a non-empty array");
+    for (const auto& x : rb.as_array()) {
+      const double v2 = as_finite(x, ctx + " rb entry");
+      if (!(v2 > 0.0) || v2 > 0.5)
+        fail(ctx + " rb entries must be in (0, 0.5] — a relay both sends "
+             "and receives each packet, so utilization beyond 1/2 is "
+             "infeasible; got " + json::dump(x));
+      for (const double prev : e.rb)
+        if (prev == v2) fail("duplicate rb value in " + ctx);
+      e.rb.push_back(v2);
+    }
+  } else {
+    r.forbid("cards", "is only valid for kind \"mopt\"");
+    r.forbid("rb", "is only valid for kind \"mopt\"");
+  }
+
+  if (const auto* p = r.optional("metrics"))
+    e.metrics = parse_metrics(*p, e.kind, ctx + " metrics");
+  else
+    e.metrics = default_metrics(e.kind);
+
+  if (sim) {
+    if (const auto* p = r.optional("quick"))
+      e.quick = parse_quick(*p, e.kind, ctx + " quick");
+  } else {
+    r.forbid("quick", "is not valid for kind \"mopt\" (already instant)");
+  }
+
+  r.finish();
+  return e;
+}
+
+json::Object experiment_to_json(const Experiment& e) {
+  json::Object o;
+  o.emplace_back("id", e.id);
+  if (e.title != e.id) o.emplace_back("title", e.title);
+  o.emplace_back("kind", std::string(kind_name(e.kind)));
+
+  const bool sim = e.kind != ExperimentKind::Mopt;
+  if (sim) {
+    o.emplace_back("scenario", scenario_to_json(e.scenario));
+    json::Array stacks;
+    for (const auto& s : e.stacks) stacks.emplace_back(s);
+    o.emplace_back("stacks", std::move(stacks));
+  }
+  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Grid) {
+    json::Array rates;
+    for (double r : e.rates_pps) rates.emplace_back(r);
+    o.emplace_back("rates_pps", std::move(rates));
+  }
+  if (e.kind == ExperimentKind::Density) {
+    json::Array nodes;
+    for (std::size_t n : e.node_counts)
+      nodes.emplace_back(static_cast<double>(n));
+    o.emplace_back("node_counts", std::move(nodes));
+  }
+  if (e.kind == ExperimentKind::Mopt) {
+    json::Array cards;
+    for (const auto& c : e.cards)
+      cards.push_back(json::Object{{"card", json::Value(c.card)},
+                                   {"distance_m", json::Value(c.distance_m)}});
+    o.emplace_back("cards", std::move(cards));
+    json::Array rb;
+    for (double x : e.rb) rb.emplace_back(x);
+    o.emplace_back("rb", std::move(rb));
+  }
+  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density)
+    o.emplace_back("runs", static_cast<double>(e.runs));
+  if (sim) o.emplace_back("seed", static_cast<double>(e.seed));
+  if (e.kind == ExperimentKind::Grid)
+    o.emplace_back("base_rate_pps", e.base_rate_pps);
+
+  json::Array metrics;
+  for (const auto& m : e.metrics)
+    metrics.push_back(
+        json::Object{{"name", json::Value(m.name)},
+                     {"precision", json::Value(static_cast<double>(
+                                       m.precision))}});
+  o.emplace_back("metrics", std::move(metrics));
+
+  json::Object quick;
+  if (e.quick.duration_s) quick.emplace_back("duration_s", *e.quick.duration_s);
+  if (e.quick.runs)
+    quick.emplace_back("runs", static_cast<double>(*e.quick.runs));
+  if (e.quick.rates_pps) {
+    json::Array rates;
+    for (double r : *e.quick.rates_pps) rates.emplace_back(r);
+    quick.emplace_back("rates_pps", std::move(rates));
+  }
+  if (e.quick.node_counts) {
+    json::Array nodes;
+    for (std::size_t n : *e.quick.node_counts)
+      nodes.emplace_back(static_cast<double>(n));
+    quick.emplace_back("node_counts", std::move(nodes));
+  }
+  if (!quick.empty()) o.emplace_back("quick", std::move(quick));
+  return o;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- kinds ---
+
+const char* kind_name(ExperimentKind k) {
+  switch (k) {
+    case ExperimentKind::Sweep: return "sweep";
+    case ExperimentKind::Density: return "density";
+    case ExperimentKind::Grid: return "grid";
+    case ExperimentKind::Mopt: return "mopt";
+  }
+  return "?";
+}
+
+ExperimentKind kind_from_name(const std::string& name) {
+  if (name == "sweep") return ExperimentKind::Sweep;
+  if (name == "density") return ExperimentKind::Density;
+  if (name == "grid") return ExperimentKind::Grid;
+  if (name == "mopt") return ExperimentKind::Mopt;
+  fail("unknown experiment kind \"" + name +
+       "\" (valid: sweep, density, grid, mopt)");
+}
+
+const std::vector<std::string>& metric_names(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::Sweep:
+    case ExperimentKind::Density: return kSimMetrics;
+    case ExperimentKind::Grid: return kGridMetrics;
+    case ExperimentKind::Mopt: return kMoptMetrics;
+  }
+  return kSimMetrics;
+}
+
+std::string metric_display_name(const std::string& name) {
+  for (const MetricInfo& m : kSimMetricInfo)
+    if (name == m.name) return m.display;
+  for (const MetricInfo& m : kGridMetricInfo)
+    if (name == m.name) return m.display;
+  for (const MetricInfo& m : kMoptMetricInfo)
+    if (name == m.name) return m.display;
+  fail("no display name for metric \"" + name + "\"");
+}
+
+// ---------------------------------------------------------------- scenario ---
+
+net::ScenarioConfig ScenarioSpec::resolve() const {
+  const ScenarioPreset* entry = nullptr;
+  for (const ScenarioPreset& p : kScenarioPresetTable)
+    if (preset == p.name) entry = &p;
+  if (!entry)
+    fail("unknown scenario preset \"" + preset +
+         "\" (valid: " + join(kScenarioPresets) + ")");
+  net::ScenarioConfig c = entry->make(*this);
+  if (node_count) c.node_count = *node_count;
+  if (field_w) c.field_w = *field_w;
+  if (field_h) c.field_h = *field_h;
+  if (flow_count) c.flow_count = *flow_count;
+  if (rate_pps) c.rate_pps = *rate_pps;
+  if (payload_bits) c.payload_bits = *payload_bits;
+  if (duration_s) c.duration_s = *duration_s;
+  if (flow_endpoint_pool) c.flow_endpoint_pool = *flow_endpoint_pool;
+  if (rate_multipliers) c.rate_multipliers = *rate_multipliers;
+  c.validate();
+  return c;
+}
+
+// ---------------------------------------------------------------- manifest ---
+
+Manifest Manifest::from_json(const json::Value& v) {
+  Manifest m;
+  ObjectReader r(v, "manifest");
+  m.name = as_string(r.required("name"), "manifest name");
+  if (m.name.empty()) fail("manifest name must be non-empty");
+  // The name becomes the default output filename stem (eend_run writes
+  // <name>.csv / <name>.jsonl in the working directory); path separators
+  // or other special characters would escape it.
+  for (const char c : m.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok)
+      fail("manifest name \"" + m.name +
+           "\" may only contain letters, digits, '_' and '-' (it is used "
+           "as an output filename stem)");
+  }
+  if (const auto* p = r.optional("title"))
+    m.title = as_string(*p, "manifest title");
+
+  const json::Value& exps = r.required("experiments");
+  if (!exps.is_array() || exps.as_array().empty())
+    fail("manifest experiments must be a non-empty array");
+  for (std::size_t i = 0; i < exps.as_array().size(); ++i) {
+    Experiment e = parse_experiment(exps.as_array()[i], i);
+    for (const auto& prev : m.experiments)
+      if (prev.id == e.id)
+        fail("duplicate experiment id \"" + e.id +
+             "\" — ids must be unique within a manifest");
+    m.experiments.push_back(std::move(e));
+  }
+  r.finish();
+  return m;
+}
+
+Manifest Manifest::parse(const std::string& text) {
+  return from_json(json::parse(text));
+}
+
+Manifest Manifest::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open manifest file \"" + path + "\"");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const CheckError& e) {
+    throw CheckError(std::string(e.what()) + " [file: " + path + "]");
+  }
+}
+
+json::Value Manifest::to_json() const {
+  json::Object o;
+  o.emplace_back("name", name);
+  if (!title.empty()) o.emplace_back("title", title);
+  json::Array exps;
+  for (const auto& e : experiments) exps.push_back(experiment_to_json(e));
+  o.emplace_back("experiments", std::move(exps));
+  return json::Value(std::move(o));
+}
+
+std::string Manifest::serialize() const { return json::dump(to_json(), 2); }
+
+}  // namespace eend::core

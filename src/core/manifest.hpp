@@ -1,0 +1,130 @@
+// Scenario manifests: a declarative description of a batch of experiment
+// cells — which protocol stacks, over which topology, at which traffic
+// rates, how many seeded replications — parsed from a small JSON format
+// with no external dependencies.
+//
+// A manifest is a list of experiments; each experiment is one "figure's
+// worth" of cells and produces a stream of ResultRows (see result_sink.hpp)
+// when executed by ExperimentEngine. Four kinds cover every evaluation
+// shape in the paper:
+//
+//   sweep    (stack × rate) replication grid        — Figs. 8-12, ablations
+//   density  (stack × node count) at a fixed rate   — Table 2
+//   grid     frozen-route analytic goodput series   — Figs. 13-16 (§5.2.3)
+//   mopt     characteristic hop count per card      — Fig. 7 (§5.1)
+//
+// Parsing is strict: unknown keys, duplicate experiment ids, duplicate
+// cells (repeated stacks / rates / node counts), and out-of-range values
+// are rejected with actionable messages. Specs stay symbolic (preset name +
+// overrides) so serialize() round-trips to a canonical form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "net/stack.hpp"
+#include "util/json.hpp"
+
+namespace eend::core {
+
+enum class ExperimentKind { Sweep, Density, Grid, Mopt };
+
+const char* kind_name(ExperimentKind k);
+ExperimentKind kind_from_name(const std::string& name);
+
+/// Scenario reference: a named preset plus explicit overrides, resolved to
+/// a net::ScenarioConfig on demand. Presets: "small_network",
+/// "large_network", "density_network", "hypothetical_grid", "custom".
+struct ScenarioSpec {
+  std::string preset = "small_network";
+  std::optional<std::size_t> node_count;
+  std::optional<double> field_w;
+  std::optional<double> field_h;
+  std::optional<std::size_t> flow_count;
+  std::optional<double> rate_pps;
+  std::optional<std::uint32_t> payload_bits;
+  std::optional<double> duration_s;
+  std::optional<std::size_t> flow_endpoint_pool;
+  std::optional<std::vector<double>> rate_multipliers;
+
+  /// Preset factory + overrides; throws CheckError (via validate()) on
+  /// nonsensical combinations.
+  net::ScenarioConfig resolve() const;
+};
+
+/// One metric column of an experiment; precision affects only the pretty
+/// tables, never the machine-readable sinks.
+struct MetricSpec {
+  std::string name;
+  int precision = 3;
+};
+
+/// One Fig. 7 curve: a radio card evaluated at a fixed endpoint distance.
+struct CardSpec {
+  std::string card;
+  double distance_m = 100.0;
+};
+
+/// Reduced-scale parameters applied when the engine runs in --quick mode.
+struct QuickSpec {
+  std::optional<double> duration_s;
+  std::optional<std::size_t> runs;
+  std::optional<std::vector<double>> rates_pps;
+  std::optional<std::vector<std::size_t>> node_counts;
+};
+
+struct Experiment {
+  std::string id;     ///< unique within the manifest; [A-Za-z0-9_-]+
+  std::string title;  ///< banner text; defaults to id
+  ExperimentKind kind = ExperimentKind::Sweep;
+
+  ScenarioSpec scenario;
+  /// Escape hatch for programmatic callers (the bench binaries): when set,
+  /// used verbatim instead of scenario.resolve(). Never serialized.
+  std::optional<net::ScenarioConfig> scenario_config;
+
+  std::vector<std::string> stacks;        ///< preset names (sim kinds)
+  /// Programmatic twin of `stacks`: full specs (possibly tweaked beyond any
+  /// preset) used verbatim when set. Never serialized.
+  std::optional<std::vector<net::StackSpec>> stack_specs;
+  std::vector<double> rates_pps;          ///< x-axis: sweep, grid
+  std::vector<std::size_t> node_counts;   ///< x-axis: density
+  std::vector<CardSpec> cards;            ///< curves: mopt
+  std::vector<double> rb;                 ///< x-axis: mopt (R/B, (0, 0.5])
+
+  std::size_t runs = 5;
+  std::uint64_t seed = 1;
+  double base_rate_pps = 2.0;  ///< grid: rate of the route-freezing sim
+
+  std::vector<MetricSpec> metrics;  ///< defaulted per kind when empty
+  QuickSpec quick;
+};
+
+struct Manifest {
+  std::string name;
+  std::string title;
+  std::vector<Experiment> experiments;
+
+  /// Strict construction from parsed JSON; throws CheckError with the
+  /// offending key/value and the allowed alternatives.
+  static Manifest from_json(const json::Value& v);
+  static Manifest parse(const std::string& text);
+  static Manifest load(const std::string& path);
+
+  json::Value to_json() const;
+  /// Canonical pretty-printed form; parse(serialize(m)) is a fixed point.
+  std::string serialize() const;
+};
+
+/// Metric names valid for `kind`, in canonical order (also the default
+/// metric set for sweep-less kinds).
+const std::vector<std::string>& metric_names(ExperimentKind kind);
+
+/// Human label used in table banners ("delivery ratio", "energy goodput
+/// (bit/J)", ...). Throws on unknown names.
+std::string metric_display_name(const std::string& name);
+
+}  // namespace eend::core

@@ -1,6 +1,7 @@
 #include "net/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "graph/connectivity.hpp"
@@ -22,6 +23,10 @@ void ScenarioConfig::validate() const {
   EEND_REQUIRE_MSG(card.max_range_m > 0.0, "card range must be positive");
   EEND_REQUIRE_MSG(card.bandwidth_bps > 0.0, "bandwidth must be positive");
   EEND_REQUIRE_MSG(battery_capacity_j >= 0.0, "battery cannot be negative");
+  for (const double m : rate_multipliers)
+    EEND_REQUIRE_MSG(m > 0.0 && std::isfinite(m),
+                     "rate_multipliers must be positive and finite, got "
+                         << m);
   if (placement == Placement::Grid) {
     EEND_REQUIRE_MSG(grid_cols * grid_rows == node_count,
                      "grid dims must multiply to node_count");
@@ -141,6 +146,11 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
   std::vector<traffic::FlowSpec> flows;
   Rng rng = Rng(cfg.seed).fork(0xF10);
 
+  const auto flow_rate = [&cfg](std::size_t j) {
+    if (cfg.rate_multipliers.empty()) return cfg.rate_pps;
+    return cfg.rate_pps * cfg.rate_multipliers[j % cfg.rate_multipliers.size()];
+  };
+
   if (cfg.flows_left_right) {
     // Grid study: source = left end of row j, destination = right end.
     EEND_REQUIRE(cfg.placement == Placement::Grid);
@@ -151,7 +161,7 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
       f.source = static_cast<mac::NodeId>(j * cfg.grid_cols);
       f.destination =
           static_cast<mac::NodeId>(j * cfg.grid_cols + cfg.grid_cols - 1);
-      f.packets_per_s = cfg.rate_pps;
+      f.packets_per_s = flow_rate(j);
       f.payload_bits = cfg.payload_bits;
       f.start_s = rng.uniform(cfg.flow_start_min_s, cfg.flow_start_max_s);
       flows.push_back(f);
@@ -177,7 +187,7 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
       f.destination = d;
       break;
     }
-    f.packets_per_s = cfg.rate_pps;
+    f.packets_per_s = flow_rate(j);
     f.payload_bits = cfg.payload_bits;
     f.start_s = rng.uniform(cfg.flow_start_min_s, cfg.flow_start_max_s);
     flows.push_back(f);

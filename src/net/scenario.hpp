@@ -41,6 +41,10 @@ struct ScenarioConfig {
   /// When > 0, flow endpoints are sampled only from the first K node ids
   /// (density-sweep consistency). 0 = all nodes.
   std::size_t flow_endpoint_pool = 0;
+  /// Heterogeneous traffic: flow j sends at rate_pps * rate_multipliers[j %
+  /// size]. Empty = homogeneous (every flow at rate_pps, the paper's setup).
+  /// Rate sweeps scale the whole mix, so "rate" stays the x-axis.
+  std::vector<double> rate_multipliers;
   /// Grid studies: flow j runs from the left edge of row j to its right
   /// edge (paper §5.2.3) instead of random endpoints.
   bool flows_left_right = false;

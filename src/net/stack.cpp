@@ -1,6 +1,57 @@
 #include "net/stack.hpp"
 
+#include <array>
+
+#include "util/check.hpp"
+
 namespace eend::net {
+
+namespace {
+
+struct PresetEntry {
+  const char* name;
+  StackSpec (*make)();
+};
+
+constexpr std::array<PresetEntry, 15> kPresets = {{
+    {"dsr_active", StackSpec::dsr_active},
+    {"dsr_odpm", StackSpec::dsr_odpm},
+    {"dsr_odpm_pc", StackSpec::dsr_odpm_pc},
+    {"titan_pc", StackSpec::titan_pc},
+    {"dsrh_odpm_rate", StackSpec::dsrh_odpm_rate},
+    {"dsrh_odpm_norate", StackSpec::dsrh_odpm_norate},
+    {"dsdvh_odpm_psm", StackSpec::dsdvh_odpm_psm},
+    {"dsdvh_odpm_span", StackSpec::dsdvh_odpm_span},
+    {"mtpr_odpm", StackSpec::mtpr_odpm},
+    {"mtpr_plus_odpm", StackSpec::mtpr_plus_odpm},
+    {"dsr_perfect", StackSpec::dsr_perfect},
+    {"titan_pc_perfect", StackSpec::titan_pc_perfect},
+    {"dsrh_norate_perfect", StackSpec::dsrh_norate_perfect},
+    {"mtpr_perfect", StackSpec::mtpr_perfect},
+    {"mtpr_plus_perfect", StackSpec::mtpr_plus_perfect},
+}};
+
+}  // namespace
+
+StackSpec stack_preset(const std::string& name) {
+  for (const auto& p : kPresets)
+    if (name == p.name) return p.make();
+  std::string valid;
+  for (const auto& p : kPresets) {
+    if (!valid.empty()) valid += ", ";
+    valid += p.name;
+  }
+  EEND_REQUIRE_MSG(false, "unknown stack preset \"" << name
+                          << "\" (valid: " << valid << ")");
+  return {};
+}
+
+std::vector<std::string> stack_preset_names() {
+  std::vector<std::string> out;
+  out.reserve(kPresets.size());
+  for (const auto& p : kPresets) out.emplace_back(p.name);
+  return out;
+}
 
 routing::LinkMetric StackSpec::metric() const {
   switch (routing) {

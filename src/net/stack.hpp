@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "mac/mac.hpp"
 #include "mac/psm.hpp"
@@ -64,5 +65,13 @@ struct StackSpec {
   /// The routing metric implied by the stack's routing kind.
   routing::LinkMetric metric() const;
 };
+
+/// Look up a preset by its manifest name (the snake_case factory name, e.g.
+/// "dsr_odpm_pc", "titan_pc_perfect"). Throws CheckError listing the valid
+/// names when unknown — manifests reference stacks this way.
+StackSpec stack_preset(const std::string& name);
+
+/// All preset names accepted by stack_preset(), in declaration order.
+std::vector<std::string> stack_preset_names();
 
 }  // namespace eend::net

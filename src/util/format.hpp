@@ -1,0 +1,34 @@
+// Locale-independent, round-trippable number formatting for machine-readable
+// output (CSV / JSON-lines). std::to_chars emits the shortest decimal string
+// that parses back to exactly the same double (the "%.17g guarantee" without
+// the noise digits), never consults the global locale, and is identical
+// across platforms for a given IEEE-754 value — which is what makes golden
+// files diffable at all.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace eend {
+
+/// Shortest round-trip decimal representation of `v` ("2", "0.1",
+/// "0.3333333333333333", "1e+21"). Valid as a JSON number except for
+/// non-finite values, which the caller must reject or special-case.
+inline std::string format_double(double v) {
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  EEND_REQUIRE(r.ec == std::errc{});
+  return std::string(buf, r.ptr);
+}
+
+inline std::string format_u64(std::uint64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  EEND_REQUIRE(r.ec == std::errc{});
+  return std::string(buf, r.ptr);
+}
+
+}  // namespace eend

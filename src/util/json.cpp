@@ -1,0 +1,370 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace eend::json {
+
+bool Value::as_bool() const {
+  EEND_REQUIRE_MSG(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  EEND_REQUIRE_MSG(is_number(), "JSON value is not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  EEND_REQUIRE_MSG(is_string(), "JSON value is not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  EEND_REQUIRE_MSG(is_array(), "JSON value is not an array");
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  EEND_REQUIRE_MSG(is_object(), "JSON value is not an object");
+  return obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == o.bool_;
+    case Kind::Number: return num_ == o.num_;
+    case Kind::String: return str_ == o.str_;
+    case Kind::Array: return arr_ == o.arr_;
+    case Kind::Object: {
+      if (obj_.size() != o.obj_.size()) return false;
+      for (const auto& [k, v] : obj_) {
+        const Value* ov = o.find(k);
+        if (!ov || !(v == *ov)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw CheckError("JSON parse error at line " + std::to_string(line) +
+                     ", column " + std::to_string(col) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" +
+                          text_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  // Containers recurse; a hostile or corrupted document of the form
+  // "[[[[..." must produce a parse error, not a stack overflow.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth)
+        p_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                " levels");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
+  Value parse_value() {
+    const DepthGuard guard(*this);
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal (expected 'null')");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const auto& [k, _] : obj)
+        if (k == key) fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value(std::move(arr));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': fail("\\u escapes are not supported (use raw UTF-8)");
+        default: fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail("invalid number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1)
+      fail("leading zeros are not allowed in numbers");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    // from_chars, not strtod: the latter honors LC_NUMERIC and would
+    // misparse "1.5" under a comma-decimal locale.
+    double v = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto r = std::from_chars(first, last, v);
+    if (r.ec != std::errc{} || r.ptr != last) fail("invalid number");
+    if (!std::isfinite(v)) fail("number out of double range");
+    return Value(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void escape_to(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // Other control characters would need \u escapes, which we neither
+        // parse nor emit; manifest/result content never contains them.
+        EEND_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                       "control character in JSON string");
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_to(std::string& out, const Value& v, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Kind::Number: {
+      EEND_REQUIRE_MSG(std::isfinite(v.as_number()),
+                       "cannot serialize non-finite number to JSON");
+      out += format_double(v.as_number());
+      break;
+    }
+    case Kind::String: escape_to(out, v.as_string()); break;
+    case Kind::Array: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out.push_back(',');
+        if (pretty) newline_pad(depth + 1);
+        dump_to(out, a[i], indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::Object: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, val] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        if (pretty) newline_pad(depth + 1);
+        escape_to(out, k);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        dump_to(out, val, indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string dump(const Value& v, int indent) {
+  std::string out;
+  dump_to(out, v, indent, 0);
+  return out;
+}
+
+}  // namespace eend::json

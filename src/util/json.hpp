@@ -1,0 +1,79 @@
+// Minimal JSON value model, parser and writer — no external dependencies.
+//
+// Backs the scenario-manifest subsystem (core::Manifest) and the JSON-lines
+// result sink. Scope is deliberately small: UTF-8 passes through opaquely,
+// numbers are doubles, and \uXXXX escapes are rejected (manifest content is
+// plain text). Objects preserve key order so serialize(parse(x)) is stable
+// and golden files never churn from reordering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eend::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Ordered key/value list. Duplicate keys are a parse error.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+/// One JSON value. A tagged union kept simple on purpose: accessors check
+/// the kind (throwing CheckError on mismatch) so manifest code can chain
+/// lookups without defensive branching.
+class Value {
+ public:
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}                // NOLINT
+  Value(double n) : kind_(Kind::Number), num_(n) {}             // NOLINT
+  Value(int n) : kind_(Kind::Number), num_(n) {}                // NOLINT
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::String), str_(s) {}        // NOLINT
+  Value(Array a) : kind_(Kind::Array), arr_(std::move(a)) {}    // NOLINT
+  Value(Object o) : kind_(Kind::Object), obj_(std::move(o)) {}  // NOLINT
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Structural equality (object key order ignored; numbers compared
+  /// bitwise-as-doubles). Used by the round-trip tests.
+  bool operator==(const Value& o) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parse a complete JSON document. Throws CheckError with a line:column
+/// position and a short reason on malformed input, trailing garbage,
+/// duplicate object keys, or non-finite numbers.
+Value parse(const std::string& text);
+
+/// Serialize. indent < 0 gives the compact one-line form (JSON-lines rows);
+/// indent >= 0 pretty-prints with that many spaces per level. Numbers use
+/// the shortest round-trip representation (util/format.hpp).
+std::string dump(const Value& v, int indent = -1);
+
+}  // namespace eend::json

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
@@ -22,12 +23,17 @@ void Table::add_row(std::vector<std::string> cells) {
 
 std::string Table::num(double v, int precision) {
   std::ostringstream os;
+  // Pin the classic locale: ostringstream inherits std::locale::global(),
+  // and a comma-decimal or digit-grouping locale would corrupt the CSV and
+  // golden-table output.
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
 
 std::string Table::num_ci(double mean, double ci, int precision) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(precision) << mean << " +- " << ci;
   return os.str();
 }

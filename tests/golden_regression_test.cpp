@@ -1,0 +1,204 @@
+// Golden-table regression suite.
+//
+// Runs the manifest engine in-process on the shipped manifests at --quick
+// scale and diffs the JSON-lines output field-by-field against the checked-
+// in goldens under tests/golden/. Numeric fields compare with a tight
+// relative epsilon (identical IEEE-754 arithmetic should be bit-equal; the
+// epsilon absorbs cross-platform libm drift), CI half-widths with a looser
+// one. Also asserts the engine's determinism contract: --jobs=1 and
+// --jobs=8 produce byte-identical CSV and JSON-lines.
+//
+// On mismatch a full field-by-field report is written to
+// golden_diff_<name>.txt in the test's working directory (CI uploads these
+// as artifacts). To regenerate a golden after an intentional behavior
+// change:
+//
+//   ./build/tools/eend_run --manifest examples/manifests/<m>.json \
+//       --quick --quiet --no-table --csv=none \
+//       --jsonl=tests/golden/<name>_quick.jsonl
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment_engine.hpp"
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
+#include "util/json.hpp"
+
+#ifndef EEND_MANIFEST_DIR
+#error "EEND_MANIFEST_DIR must point at examples/manifests"
+#endif
+#ifndef EEND_GOLDEN_DIR
+#error "EEND_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace eend::core {
+namespace {
+
+struct EngineOutput {
+  std::string jsonl;
+  std::string csv;
+};
+
+EngineOutput run_quick(const std::string& manifest_file, std::size_t jobs) {
+  const Manifest m =
+      Manifest::load(std::string(EEND_MANIFEST_DIR) + "/" + manifest_file);
+  std::ostringstream jsonl, csv;
+  EngineOptions opts;
+  opts.jobs = jobs;
+  opts.quick = true;
+  ExperimentEngine engine(opts);
+  JsonlSink jsonl_sink(jsonl);
+  CsvSink csv_sink(csv);
+  engine.add_sink(jsonl_sink);
+  engine.add_sink(csv_sink);
+  engine.run(m);
+  return {jsonl.str(), csv.str()};
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+/// Field-by-field comparison with per-field epsilons; mismatch descriptions
+/// are appended to `diffs` with their JSON path.
+void diff_values(const json::Value& got, const json::Value& want,
+                 const std::string& path, std::vector<std::string>& diffs) {
+  if (got.kind() != want.kind()) {
+    diffs.push_back(path + ": kind mismatch (got " + json::dump(got) +
+                    ", want " + json::dump(want) + ")");
+    return;
+  }
+  switch (want.kind()) {
+    case json::Kind::Number: {
+      // CI half-widths aggregate noisier arithmetic (stddev of near-equal
+      // samples); give them a looser tolerance than the means.
+      const bool is_ci = path.size() >= 5 &&
+                         path.compare(path.size() - 5, 5, ".ci95") == 0;
+      const double eps = is_ci ? 1e-6 : 1e-9;
+      const double a = got.as_number(), b = want.as_number();
+      if (std::abs(a - b) > eps * std::max(1.0, std::abs(b)))
+        diffs.push_back(path + ": got " + json::dump(got) + ", want " +
+                        json::dump(want));
+      break;
+    }
+    case json::Kind::Object: {
+      for (const auto& [key, wv] : want.as_object()) {
+        const json::Value* gv = got.find(key);
+        if (!gv) {
+          diffs.push_back(path + "." + key + ": missing in output");
+          continue;
+        }
+        diff_values(*gv, wv, path + "." + key, diffs);
+      }
+      for (const auto& [key, gv] : got.as_object())
+        if (!want.find(key))
+          diffs.push_back(path + "." + key + ": not present in golden");
+      break;
+    }
+    case json::Kind::Array: {
+      const auto& ga = got.as_array();
+      const auto& wa = want.as_array();
+      if (ga.size() != wa.size()) {
+        diffs.push_back(path + ": array length " + std::to_string(ga.size()) +
+                        " != golden " + std::to_string(wa.size()));
+        break;
+      }
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        diff_values(ga[i], wa[i], path + "[" + std::to_string(i) + "]",
+                    diffs);
+      break;
+    }
+    default:
+      if (!(got == want))
+        diffs.push_back(path + ": got " + json::dump(got) + ", want " +
+                        json::dump(want));
+  }
+}
+
+void check_against_golden(const std::string& name,
+                          const std::string& manifest_file) {
+  const std::string golden_path =
+      std::string(EEND_GOLDEN_DIR) + "/" + name + ".jsonl";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " — regenerate with:\n  ./build/tools/eend_run "
+                     "--manifest examples/manifests/"
+                  << manifest_file
+                  << " --quick --quiet --no-table --csv=none --jsonl="
+                  << golden_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto want_lines = split_lines(buf.str());
+  const auto got_lines = split_lines(run_quick(manifest_file, 1).jsonl);
+
+  std::vector<std::string> diffs;
+  if (got_lines.size() != want_lines.size())
+    diffs.push_back("row count: got " + std::to_string(got_lines.size()) +
+                    ", golden has " + std::to_string(want_lines.size()));
+  const std::size_t n = std::min(got_lines.size(), want_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto got = json::parse(got_lines[i]);
+    const auto want = json::parse(want_lines[i]);
+    std::string label = "row[" + std::to_string(i) + "]";
+    if (const auto* series = want.find("series"))
+      label += "(" + series->as_string() + ", x=" +
+               json::dump(*want.find("x")) + ")";
+    diff_values(got, want, label, diffs);
+  }
+
+  if (!diffs.empty()) {
+    // Full report next to the test binary; CI uploads golden_diff_*.txt
+    // as artifacts on failure.
+    const std::string report = "golden_diff_" + name + ".txt";
+    std::ofstream rep(report, std::ios::binary);
+    rep << "golden: " << golden_path << "\nmanifest: " << manifest_file
+        << "\n" << diffs.size() << " mismatched field(s):\n";
+    for (const auto& d : diffs) rep << "  " << d << "\n";
+    rep << "\n--- engine output (JSON-lines) ---\n";
+    for (const auto& l : got_lines) rep << l << "\n";
+    std::string first;
+    for (std::size_t i = 0; i < diffs.size() && i < 5; ++i)
+      first += "\n  " + diffs[i];
+    FAIL() << diffs.size() << " field(s) differ from " << golden_path
+           << " (full report: " << report << "):" << first;
+  }
+}
+
+// The paper's three golden tables, at --quick scale.
+
+TEST(GoldenRegression, Fig7CharacteristicHopCount) {
+  check_against_golden("fig7_quick", "fig7_small.json");
+}
+
+TEST(GoldenRegression, Fig8SmallFieldSweep) {
+  check_against_golden("small_field_quick", "small_field.json");
+}
+
+TEST(GoldenRegression, Table2Density) {
+  check_against_golden("table2_quick", "table2_density.json");
+}
+
+// Determinism contract: the machine-readable streams must be byte-identical
+// for any --jobs value, not merely numerically close.
+
+TEST(GoldenRegression, ByteIdenticalAcrossJobs) {
+  const EngineOutput serial = run_quick("small_field.json", 1);
+  const EngineOutput parallel = run_quick("small_field.json", 8);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_FALSE(serial.jsonl.empty());
+  ASSERT_FALSE(serial.csv.empty());
+}
+
+}  // namespace
+}  // namespace eend::core

@@ -1,0 +1,387 @@
+// Unit tests: JSON subset parser, manifest parsing/validation/round-trip,
+// and the machine-readable result sinks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment_engine.hpp"
+#include "core/manifest.hpp"
+#include "core/result_sink.hpp"
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace eend::core {
+namespace {
+
+// --------------------------------------------------------------- helpers ---
+
+/// EXPECT_THROW with a substring check on the message — every rejection
+/// must tell the user what was wrong and what would have been accepted.
+template <typename Fn>
+void expect_rejected(Fn fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected CheckError containing \"" << needle << "\"";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+std::string sweep_manifest_json(const std::string& patch_key = "",
+                                const std::string& patch_value = "") {
+  std::string extra;
+  if (!patch_key.empty())
+    extra = ", \"" + patch_key + "\": " + patch_value;
+  return R"({
+    "name": "t",
+    "experiments": [
+      {
+        "id": "fig8",
+        "kind": "sweep",
+        "scenario": {"preset": "small_network"},
+        "stacks": ["titan_pc", "dsr_active"],
+        "rates_pps": [2, 4],
+        "runs": 2,
+        "seed": 7,
+        "metrics": ["delivery_ratio"])" +
+         extra + R"(
+      }
+    ]
+  })";
+}
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto v = json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x\n\"y\"", "e": 2e3})");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  EXPECT_EQ(v.find("b")->as_array().size(), 3u);
+  EXPECT_TRUE(v.find("b")->as_array()[0].as_bool());
+  EXPECT_TRUE(v.find("b")->as_array()[2].is_null());
+  EXPECT_EQ(v.find("s")->as_string(), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(v.find("e")->as_number(), 2000.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), CheckError);
+  EXPECT_THROW(json::parse("[1,]"), CheckError);
+  EXPECT_THROW(json::parse("{\"a\": 1} trailing"), CheckError);
+  EXPECT_THROW(json::parse("{'a': 1}"), CheckError);
+  EXPECT_THROW(json::parse("{\"a\": 01}"), CheckError);  // leading zero
+  EXPECT_THROW(json::parse("nul"), CheckError);
+  EXPECT_THROW(json::parse("\"\\u0041\""), CheckError);  // \u unsupported
+}
+
+TEST(Json, RejectsDuplicateKeysWithPosition) {
+  try {
+    json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL();
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate object key"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(Json, DumpRoundTripsStructurally) {
+  const std::string text =
+      R"({"name":"x","xs":[0.1,2,3.25e-4],"flag":true,"nested":{"k":"v"}})";
+  const auto v = json::parse(text);
+  EXPECT_TRUE(json::parse(json::dump(v)) == v);
+  EXPECT_TRUE(json::parse(json::dump(v, 2)) == v);
+}
+
+TEST(Json, NumbersUseShortestRoundTrip) {
+  EXPECT_EQ(json::dump(json::Value(0.1)), "0.1");
+  EXPECT_EQ(json::dump(json::Value(2.0)), "2");
+  EXPECT_EQ(format_double(1.0 / 3.0), "0.3333333333333333");
+  // The formatted text parses back to the identical double.
+  const double ugly = 0.9973211223001;
+  EXPECT_EQ(json::parse(format_double(ugly)).as_number(), ugly);
+}
+
+// -------------------------------------------------------------- manifest ---
+
+TEST(Manifest, ParsesSweepExperiment) {
+  const auto m = Manifest::parse(sweep_manifest_json());
+  ASSERT_EQ(m.experiments.size(), 1u);
+  const Experiment& e = m.experiments[0];
+  EXPECT_EQ(e.id, "fig8");
+  EXPECT_EQ(e.kind, ExperimentKind::Sweep);
+  EXPECT_EQ(e.stacks, (std::vector<std::string>{"titan_pc", "dsr_active"}));
+  EXPECT_EQ(e.rates_pps, (std::vector<double>{2, 4}));
+  EXPECT_EQ(e.runs, 2u);
+  EXPECT_EQ(e.seed, 7u);
+  ASSERT_EQ(e.metrics.size(), 1u);
+  EXPECT_EQ(e.metrics[0].name, "delivery_ratio");
+  // Scenario resolves to the paper's small network.
+  const auto sc = e.scenario.resolve();
+  EXPECT_EQ(sc.node_count, 50u);
+  EXPECT_DOUBLE_EQ(sc.field_w, 500.0);
+}
+
+TEST(Manifest, SerializeParseRoundTripIsAFixedPoint) {
+  for (const std::string& text : std::vector<std::string>{
+           sweep_manifest_json(),
+           R"({"name":"g","experiments":[{"id":"fig13","kind":"grid",
+               "stacks":["dsr_perfect","dsr_active"],"rates_pps":[2,3],
+               "base_rate_pps":2,"quick":{"duration_s":60}}]})",
+           R"({"name":"d","experiments":[{"id":"t2","kind":"density",
+               "stacks":["titan_pc"],"node_counts":[300,400],
+               "quick":{"node_counts":[300],"runs":1}}]})",
+           R"({"name":"m","experiments":[{"id":"fig7","kind":"mopt",
+               "cards":[{"card":"Cabletron","distance_m":250}],
+               "rb":[0.1,0.5]}]})",
+       }) {
+    const Manifest m1 = Manifest::parse(text);
+    const std::string canon = m1.serialize();
+    const Manifest m2 = Manifest::parse(canon);
+    EXPECT_EQ(canon, m2.serialize()) << "for manifest: " << text;
+    EXPECT_TRUE(m1.to_json() == m2.to_json()) << "for manifest: " << text;
+  }
+}
+
+TEST(Manifest, RejectsUnknownKeysWithAllowedList) {
+  expect_rejected([] { Manifest::parse(sweep_manifest_json("ratez", "[2]")); },
+                  "unknown key \"ratez\"");
+  expect_rejected([] { Manifest::parse(sweep_manifest_json("ratez", "[2]")); },
+                  "allowed:");
+  // Unknown keys nested in scenario / quick / metrics entries.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","scenario":{"preset":"small_network","nodez":3},
+          "stacks":["titan_pc"],"rates_pps":[2]}]})");
+      },
+      "unknown key \"nodez\"");
+  expect_rejected(
+      [] {
+        Manifest::parse(sweep_manifest_json("quick", R"({"runz": 1})"));
+      },
+      "unknown key \"runz\"");
+}
+
+TEST(Manifest, RejectsKindMismatchedKeys) {
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("node_counts", "[300]")); },
+      "only valid for kind \"density\"");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("cards", "[]")); },
+      "only valid for kind \"mopt\"");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("base_rate_pps", "2")); },
+      "only valid for kind \"grid\"");
+}
+
+TEST(Manifest, RejectsOutOfRangeValues) {
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[0]}]})");
+      },
+      "(0, 1e6]");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[-3]}]})");
+      },
+      "(0, 1e6]");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[2],
+          "runs":0}]})");
+      },
+      "[1, 10000]");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"m","experiments":[{"id":"f","kind":"mopt",
+          "cards":[{"card":"Cabletron","distance_m":250}],"rb":[0.6]}]})");
+      },
+      "(0, 0.5]");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[2],
+          "seed":-1}]})");
+      },
+      "non-negative integer");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[2],
+          "runs":2.5}]})");
+      },
+      "non-negative integer");
+}
+
+TEST(Manifest, RejectsDuplicateCellDefinitions) {
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[
+          {"id":"a","kind":"sweep","stacks":["titan_pc"],"rates_pps":[2]},
+          {"id":"a","kind":"sweep","stacks":["titan_pc"],"rates_pps":[2]}]})");
+      },
+      "duplicate experiment id \"a\"");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc","titan_pc"],
+          "rates_pps":[2]}]})");
+      },
+      "duplicate stack \"titan_pc\"");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[2,2]}]})");
+      },
+      "duplicate rate");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"density","stacks":["titan_pc"],
+          "node_counts":[300,300]}]})");
+      },
+      "duplicate node count");
+}
+
+TEST(Manifest, RejectsUnknownNamesActionably) {
+  // Unknown stack: the message must list what IS valid.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pcc"],"rates_pps":[2]}]})");
+      },
+      "titan_pc");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","stacks":["titan_pc"],"rates_pps":[2],
+          "metrics":["deliverance"]}]})");
+      },
+      "not valid for kind \"sweep\"");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"warp","stacks":["titan_pc"],"rates_pps":[2]}]})");
+      },
+      "unknown experiment kind");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","scenario":{"preset":"tiny"},
+          "stacks":["titan_pc"],"rates_pps":[2]}]})");
+      },
+      "unknown scenario preset");
+}
+
+TEST(Manifest, StackPresetRegistryCoversAllPresets) {
+  const auto names = net::stack_preset_names();
+  EXPECT_EQ(names.size(), 15u);
+  for (const auto& n : names)
+    EXPECT_FALSE(net::stack_preset(n).label.empty()) << n;
+  EXPECT_EQ(net::stack_preset("dsdvh_odpm_span").label,
+            "DSDVH-ODPM(0.6,1.2)-Span");
+  EXPECT_THROW(net::stack_preset("nope"), CheckError);
+}
+
+TEST(Manifest, ScenarioOverridesApply) {
+  const auto m = Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+    "kind":"sweep",
+    "scenario":{"preset":"large_network","node_count":500,"duration_s":300,
+                "rate_multipliers":[0.5,1,2]},
+    "stacks":["titan_pc"],"rates_pps":[2]}]})");
+  const auto sc = m.experiments[0].scenario.resolve();
+  EXPECT_EQ(sc.node_count, 500u);
+  EXPECT_DOUBLE_EQ(sc.duration_s, 300.0);
+  EXPECT_DOUBLE_EQ(sc.field_w, 1300.0);  // from the preset
+  ASSERT_EQ(sc.rate_multipliers.size(), 3u);
+
+  // Heterogeneous rates reach the flows, cycling through the multipliers.
+  auto flows_cfg = sc;
+  flows_cfg.rate_pps = 4.0;
+  const auto flows = net::make_flows(flows_cfg);
+  ASSERT_GE(flows.size(), 3u);
+  EXPECT_DOUBLE_EQ(flows[0].packets_per_s, 2.0);
+  EXPECT_DOUBLE_EQ(flows[1].packets_per_s, 4.0);
+  EXPECT_DOUBLE_EQ(flows[2].packets_per_s, 8.0);
+}
+
+// ----------------------------------------------------------------- sinks ---
+
+ResultRow demo_row() {
+  ResultRow r;
+  r.experiment = "e1";
+  r.kind = "sweep";
+  r.series = "TITAN, \"PC\"";  // exercise CSV quoting
+  r.x_name = "rate_pps";
+  r.x = 2.5;
+  r.runs = 5;
+  r.seed = 1;
+  r.metrics.push_back({"delivery_ratio", 0.75, 0.01, 5});
+  return r;
+}
+
+TEST(Sinks, CsvQuotesAndRoundTripFloats) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.row(demo_row());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("experiment,kind,series,x_name,x,runs,seed,metric,"
+                     "mean,ci95,n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"TITAN, \"\"PC\"\"\""), std::string::npos) << out;
+  EXPECT_NE(out.find(",2.5,"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+}
+
+TEST(Sinks, JsonlRowsAreValidJson) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.row(demo_row());
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  const auto v = json::parse(line);
+  EXPECT_EQ(v.find("experiment")->as_string(), "e1");
+  EXPECT_EQ(v.find("series")->as_string(), "TITAN, \"PC\"");
+  const auto* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("delivery_ratio")->find("mean")->as_number(),
+                   0.75);
+}
+
+TEST(Engine, MoptExperimentStreamsDeterministicRows) {
+  Experiment e;
+  e.id = "fig7";
+  e.kind = ExperimentKind::Mopt;
+  e.cards = {{"Cabletron", 250.0}, {"HypoCabletron", 250.0}};
+  e.rb = {0.1, 0.5};
+  e.metrics = {{"mopt", 3}};
+
+  std::ostringstream a, b;
+  for (auto* os : {&a, &b}) {
+    ExperimentEngine engine;
+    JsonlSink sink(*os);
+    engine.add_sink(sink);
+    engine.run(e);
+  }
+  EXPECT_EQ(a.str(), b.str());
+  // 2 cards x 2 rb values = 4 rows, x-major.
+  std::istringstream lines(a.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto v = json::parse(line);
+    EXPECT_EQ(v.find("kind")->as_string(), "mopt");
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+}  // namespace
+}  // namespace eend::core

@@ -1,10 +1,12 @@
 // Unit tests: discrete-event simulator and timers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace eend::sim {
 namespace {
@@ -142,6 +144,76 @@ TEST(Simulator, CompactionPreservesOrderAcrossRescheduling) {
   ASSERT_EQ(fired.size(), 50u);
   for (std::size_t i = 1; i < fired.size(); ++i)
     EXPECT_LT(fired[i - 1], fired[i]);
+}
+
+TEST(Simulator, CancelHeavyTimerWorkloadMatchesNoCompactionBaseline) {
+  // Drive the ODPM/PSM idiom at scale — waves of keep-alive timers where
+  // most are cancelled before firing — and check both halves of the
+  // compaction contract at once:
+  //   (1) heap_size() stays within the documented bound (a small constant
+  //       plus twice the live queue) throughout the run;
+  //   (2) the survivors fire in exactly the order a tombstone-free
+  //       reference queue (plain stable sort by (time, insertion-seq))
+  //       would execute them — compaction never perturbs ordering.
+  Simulator s;
+  Rng rng(2024);
+
+  struct Expected {
+    double at;
+    int tag;  // insertion order among survivors = seq tie-break
+  };
+  std::vector<Expected> expected;  // the no-compaction baseline
+  std::vector<int> fired;
+  std::size_t max_heap_over_bound = 0;
+  // Sampled from inside every firing callback too, so the bound is also
+  // observed mid-drain (pops interleaved with tombstone reclamation), not
+  // just at the between-waves checkpoints.
+  std::size_t drain_violations = 0;
+
+  int tag = 0;
+  std::vector<EventId> wave;
+  for (int round = 0; round < 200; ++round) {
+    wave.clear();
+    std::vector<Expected> wave_expected;
+    for (int i = 0; i < 50; ++i) {
+      const double at = s.now() + rng.uniform(0.1, 50.0);
+      const int t = tag++;
+      wave.push_back(s.schedule_at(at, [&fired, &s, &drain_violations, t] {
+        fired.push_back(t);
+        if (s.heap_size() > 2 * s.queue_size() + 64) ++drain_violations;
+      }));
+      wave_expected.push_back({at, t});
+    }
+    // Cancel 45 of 50 — keep-alive churn where the timer usually restarts
+    // before expiry. Keep indices {0, 10, 20, 30, 40}.
+    for (int i = 0; i < 50; ++i) {
+      if (i % 10 == 0) {
+        expected.push_back(wave_expected[i]);
+      } else {
+        ASSERT_TRUE(s.cancel(wave[i]));
+      }
+    }
+    if (s.heap_size() > 2 * s.queue_size() + 64)
+      max_heap_over_bound =
+          std::max(max_heap_over_bound, s.heap_size());
+    // Let part of the backlog drain so waves overlap in time.
+    s.run_until(s.now() + 5.0);
+  }
+  EXPECT_EQ(max_heap_over_bound, 0u)
+      << "heap grew past 2*queue_size()+64 during the churn";
+  s.run_all();
+  EXPECT_EQ(drain_violations, 0u)
+      << "heap bound violated while draining events";
+
+  // Reference execution order: sort by time, stable in insertion order
+  // (ties share a wave, and seq increases with tag).
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) {
+                     return a.at < b.at;
+                   });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(fired[i], expected[i].tag) << "divergence at event " << i;
 }
 
 TEST(Timer, RestartChurnBoundsHeap) {

@@ -192,6 +192,32 @@ TEST(Stats, StudentTTailIsSmoothAndMonotone) {
   }
 }
 
+TEST(Stats, StudentTInterpolatedValuesSitBetweenAnchors) {
+  // The 1/df interpolation must keep every off-anchor df strictly inside
+  // its bracketing anchors (40 -> 2.021, 60 -> 2.000, 120 -> 1.980,
+  // infinity -> 1.960) and strictly ordered among themselves.
+  const double t45 = student_t_95(45);
+  const double t90 = student_t_95(90);
+  const double t200 = student_t_95(200);
+
+  EXPECT_LT(t45, student_t_95(40));
+  EXPECT_GT(t45, student_t_95(60));
+  EXPECT_LT(t90, student_t_95(60));
+  EXPECT_GT(t90, student_t_95(120));
+  EXPECT_LT(t200, student_t_95(120));
+  EXPECT_GT(t200, 1.960);
+
+  // Monotone decreasing in df across the interpolated tail.
+  EXPECT_GT(t45, t90);
+  EXPECT_GT(t90, t200);
+
+  // Spot-check against the true quantiles (t(45)=2.0141, t(90)=1.9867,
+  // t(200)=1.9719): linear-in-1/df interpolation is good to ~3 decimals.
+  EXPECT_NEAR(t45, 2.0141, 5e-3);
+  EXPECT_NEAR(t90, 1.9867, 5e-3);
+  EXPECT_NEAR(t200, 1.9719, 5e-3);
+}
+
 TEST(Stats, EmptySampleThrows) {
   EXPECT_THROW(summarize({}), CheckError);
   EXPECT_THROW(mean_of({}), CheckError);
