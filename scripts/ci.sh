@@ -31,6 +31,18 @@ run bench_table2_density --quick --quiet --jobs=0    # density sweep (Table 2)
 run bench_ablation_design_knobs --quick --quiet --jobs=0   # ablations
 run bench_ext_lifetime --quick --quiet --jobs=0      # lifetime extension
 
+echo "== spatial index: construction/query bench (JSON artifact) =="
+./build/bench/bench_channel_build --quick --quiet \
+  --json=BENCH_channel_build.json > /dev/null
+test -s BENCH_channel_build.json
+echo "OK: wrote BENCH_channel_build.json"
+
+echo "== spatial index: 2k-node huge_field smoke (eend_run --quick) =="
+./build/tools/eend_run --manifest examples/manifests/huge_field.json \
+  --quick --quiet --jobs=0 > /tmp/eend_huge.out
+grep -q "Huge field" /tmp/eend_huge.out
+echo "OK: 2k-node field simulated end-to-end"
+
 echo "== parallel determinism: jobs=1 vs jobs=4 must match byte-for-byte =="
 ./build/bench/bench_fig8_delivery_small --quick --quiet --jobs=1 > /tmp/eend_j1.out
 ./build/bench/bench_fig8_delivery_small --quick --quiet --jobs=4 > /tmp/eend_j4.out

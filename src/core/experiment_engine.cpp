@@ -97,9 +97,16 @@ void ExperimentEngine::note(const std::string& line) {
 }
 
 net::ScenarioConfig ExperimentEngine::resolve_scenario(
-    const Experiment& e) const {
-  net::ScenarioConfig sc =
-      e.scenario_config ? *e.scenario_config : e.scenario.resolve();
+    const Experiment& e, std::optional<std::size_t> node_count) const {
+  net::ScenarioConfig sc;
+  if (e.scenario_config) {
+    sc = *e.scenario_config;
+    if (node_count) sc.node_count = *node_count;
+  } else {
+    ScenarioSpec spec = e.scenario;
+    if (node_count) spec.node_count = node_count;
+    sc = spec.resolve();
+  }
   if (opts_.quick)
     sc.duration_s =
         std::min(sc.duration_s, e.quick.duration_s.value_or(kQuickDurationS));
@@ -174,8 +181,7 @@ void ExperimentEngine::run_density(const Experiment& e) {
   // stack-minor) matches the cell list and never depends on scheduling.
   std::vector<ExperimentConfig> cells;
   for (const std::size_t n : nodes) {
-    net::ScenarioConfig sc = resolve_scenario(e);
-    sc.node_count = n;
+    const net::ScenarioConfig sc = resolve_scenario(e, n);
     for (const auto& stack : stacks) {
       ExperimentConfig cfg;
       cfg.scenario = sc;

@@ -51,7 +51,12 @@ class ExperimentEngine {
   void run_mopt(const Experiment& e);
 
   void emit(const ResultRow& r);
-  net::ScenarioConfig resolve_scenario(const Experiment& e) const;
+  /// Resolve the experiment's scenario; density cells pass their node
+  /// count so presets that derive other parameters from it (huge_field
+  /// scales the field to hold density constant) resolve per cell.
+  net::ScenarioConfig resolve_scenario(
+      const Experiment& e,
+      std::optional<std::size_t> node_count = std::nullopt) const;
   static std::vector<net::StackSpec> resolve_stacks(const Experiment& e);
   std::size_t effective_runs(const Experiment& e) const;
   std::uint64_t effective_seed(const Experiment& e) const;

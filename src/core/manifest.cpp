@@ -251,6 +251,10 @@ const ScenarioPreset kScenarioPresetTable[] = {
      [](const ScenarioSpec&) {
        return net::ScenarioConfig::hypothetical_grid();
      }},
+    {"huge_field",
+     [](const ScenarioSpec& s) {
+       return net::ScenarioConfig::huge_field(s.node_count.value_or(2000));
+     }},
     {"custom", [](const ScenarioSpec&) { return net::ScenarioConfig(); }},
 };
 

@@ -11,8 +11,12 @@
 //                         addressed to them and pay receive energy
 //
 // Positions are static (the paper studies static networks), so each node's
-// potential-interferer set is precomputed once; per-transmission work is
-// O(|neighborhood|), not O(N).
+// potential-interferer set is precomputed once via a uniform-grid spatial
+// index (spatial::GridIndex) — construction is O(N·k), not the old O(N²)
+// all-pairs scan — and stored in one flattened CSR arena (per-node spans
+// sorted by distance) instead of N separate vectors. Per-transmission work
+// is O(|neighborhood|), not O(N), and the hot frame-delivery path walks
+// arena prefixes without allocating.
 #pragma once
 
 #include <functional>
@@ -22,6 +26,7 @@
 #include "mac/packet.hpp"
 #include "phy/propagation.hpp"
 #include "sim/simulator.hpp"
+#include "spatial/grid_index.hpp"
 
 namespace eend::mac {
 
@@ -38,7 +43,13 @@ class Channel {
   /// Register radios in node-id order (id must equal index).
   void register_radio(NodeRadio* radio);
 
-  /// Call after all radios are registered: builds neighbor tables.
+  /// Optional extent hint for the spatial index — the scenario's field
+  /// dimensions, forwarded by net::Network. Call before freeze_topology();
+  /// omitting it falls back to the positions' bounding box.
+  void set_field_extent(double w, double h);
+
+  /// Call after all radios are registered: builds the spatial index and the
+  /// per-node neighbor arena.
   void freeze_topology();
 
   NodeRadio& radio(NodeId id) {
@@ -53,7 +64,40 @@ class Channel {
 
   const phy::Propagation& propagation() const { return prop_; }
 
+  /// The largest footprint any transmission can have (full-power carrier-
+  /// sense / interference range): the neighbor arena's horizon. Queries
+  /// beyond it would silently truncate, so they are rejected.
+  double max_reach() const { return max_reach_; }
+
+  /// The spatial index the topology was frozen with (tests, benches, and
+  /// the future intra-replication sharding share its cell decomposition).
+  const spatial::GridIndex& grid() const { return grid_; }
+
+  /// Non-allocating neighbor query: visit nodes within `range` meters of
+  /// `of` (excluding `of`) in ascending distance order (ties by id).
+  /// `fn(NodeId id, double dist)`; a bool-returning fn stops the walk when
+  /// it returns false. This is the hot-path overload — it walks a prefix
+  /// of the frozen CSR arena and never allocates.
+  template <typename Fn>
+  void for_each_within(NodeId of, double range, Fn&& fn) const {
+    EEND_REQUIRE(frozen_ && of < radios_.size());
+    EEND_REQUIRE_MSG(range <= max_reach_ + 1e-9,
+                     "neighbor query range " << range
+                         << " exceeds the frozen horizon " << max_reach_);
+    const std::uint32_t end = nbr_start_[of + 1];
+    for (std::uint32_t k = nbr_start_[of]; k < end; ++k) {
+      const Neighbor& n = nbr_arena_[k];
+      if (n.dist > range) break;  // sorted by distance
+      if constexpr (std::is_invocable_r_v<bool, Fn, NodeId, double>) {
+        if (!fn(n.id, n.dist)) return;
+      } else {
+        fn(n.id, n.dist);
+      }
+    }
+  }
+
   /// Nodes within `range` meters of `of` (excluding `of` itself).
+  /// Allocating twin of for_each_within — cold paths only.
   std::vector<NodeId> nodes_within(NodeId of, double range) const;
 
   /// Nodes that can decode a max-power transmission from `of` — the
@@ -95,10 +139,16 @@ class Channel {
   sim::Simulator& sim_;
   phy::Propagation prop_;
   std::vector<NodeRadio*> radios_;
-  std::vector<std::vector<Neighbor>> neighborhood_;  // within max footprint
+  spatial::GridIndex grid_;
+  // CSR neighbor arena: node i's neighbors (within the max footprint,
+  // ascending distance) are nbr_arena_[nbr_start_[i] .. nbr_start_[i+1]).
+  std::vector<std::uint32_t> nbr_start_;
+  std::vector<Neighbor> nbr_arena_;
   std::vector<ActiveTx> active_;
   std::vector<std::function<void(const Frame&)>> deliver_;
   std::vector<std::function<void(const Frame&)>> overhear_;
+  double field_w_ = 0.0, field_h_ = 0.0;
+  double max_reach_ = 0.0;
   std::uint64_t transmissions_ = 0;
   std::uint64_t next_frame_uid_ = 1;
   bool frozen_ = false;

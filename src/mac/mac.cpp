@@ -83,12 +83,13 @@ void Mac::process_head() {
     if (psm_) {
       const double range = channel_.propagation().rx_range(out.tx_power);
       bool sleeping_neighbor = false;
-      for (NodeId n : channel_.nodes_within(radio_.id(), range)) {
+      channel_.for_each_within(radio_.id(), range, [&](NodeId n, double) {
         if (psm_->is_psm(n) && channel_.radio(n).sleeping()) {
           sleeping_neighbor = true;
-          break;
+          return false;  // stop the walk
         }
-      }
+        return true;
+      });
       if (sleeping_neighbor) {
         defer_to_window(/*announce_broadcast=*/true);
         return;
@@ -148,8 +149,11 @@ void Mac::defer_to_window(bool announce_broadcast) {
         span ? attempt_at + cfg_.window_jitter_s + dur + 0.01
              : beacon_now + psm_->config().beacon_interval_s;
     if (announce_broadcast) {
-      for (NodeId n : channel_.nodes_within(self, range))
+      // Visitor overload: this lambda runs at every beacon of a deferred
+      // broadcast, so it must not re-allocate a neighbor vector each time.
+      channel_.for_each_within(self, range, [&](NodeId n, double) {
         if (psm_->is_psm(n)) channel_.radio(n).hold_awake_until(hold_end);
+      });
     } else {
       channel_.radio(target).hold_awake_until(hold_end);
     }

@@ -18,6 +18,7 @@ Network::Network(const ScenarioConfig& scenario, const StackSpec& stack)
   scenario_.validate();
   channel_ = std::make_unique<mac::Channel>(
       sim_, phy::Propagation(scenario_.card, scenario_.prop));
+  channel_->set_field_extent(scenario_.field_w, scenario_.field_h);
   if (uses_psm(stack_.power)) {
     psm_ = std::make_unique<mac::PsmScheduler>(sim_, stack_.psm);
     psm_->set_announce_range(channel_->propagation().cs_range(

@@ -6,6 +6,7 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/graph.hpp"
+#include "spatial/grid_index.hpp"
 
 namespace eend::net {
 
@@ -71,6 +72,22 @@ ScenarioConfig ScenarioConfig::density_network(std::size_t nodes) {
   return c;
 }
 
+ScenarioConfig ScenarioConfig::huge_field(std::size_t nodes) {
+  ScenarioConfig c = large_network();
+  c.node_count = nodes;
+  // Constant density: area grows linearly with the node count.
+  const double side =
+      1300.0 * std::sqrt(static_cast<double>(nodes) / 200.0);
+  c.field_w = c.field_h = side;
+  c.flow_count = 20;
+  c.rate_pps = 2.0;
+  // Endpoints stay among the first 200 ids at every scale, mirroring the
+  // Table 2 methodology for cross-density comparability.
+  c.flow_endpoint_pool = 200;
+  c.duration_s = 300.0;
+  return c;
+}
+
 ScenarioConfig ScenarioConfig::hypothetical_grid() {
   ScenarioConfig c;
   c.placement = Placement::Grid;
@@ -100,13 +117,19 @@ std::vector<phy::Position> draw_uniform(const ScenarioConfig& cfg,
 }
 
 bool connected_at_max_range(const std::vector<phy::Position>& pos,
-                            double range) {
+                            double range, double field_w, double field_h) {
+  // Spatial index instead of the O(N²) pair scan: the same predicate
+  // (distance <= range), so the edge set — and the retry sequence drawing
+  // placements — is unchanged at any node count.
+  spatial::GridIndex idx;
+  idx.build(pos, range, field_w, field_h);
   graph::Graph g(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i)
-    for (std::size_t j = i + 1; j < pos.size(); ++j)
-      if (phy::distance(pos[i], pos[j]) <= range)
+    idx.for_each_within(i, range, [&](std::size_t j, double) {
+      if (j > i)
         g.add_edge(static_cast<graph::NodeId>(i),
                    static_cast<graph::NodeId>(j));
+    });
   return graph::is_connected(g);
 }
 
@@ -134,7 +157,9 @@ std::vector<phy::Position> place_nodes(const ScenarioConfig& cfg) {
 
   for (std::uint64_t salt = 0; salt < 64; ++salt) {
     auto pos = draw_uniform(cfg, salt);
-    if (connected_at_max_range(pos, cfg.card.max_range_m)) return pos;
+    if (connected_at_max_range(pos, cfg.card.max_range_m, cfg.field_w,
+                               cfg.field_h))
+      return pos;
   }
   EEND_REQUIRE_MSG(false, "could not draw a connected placement (node_count="
                               << cfg.node_count << ", field=" << cfg.field_w

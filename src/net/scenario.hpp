@@ -73,6 +73,12 @@ struct ScenarioConfig {
   static ScenarioConfig large_network();   ///< §5.2.2: 200 nodes, 1300x1300
   static ScenarioConfig density_network(std::size_t nodes);  ///< Table 2
   static ScenarioConfig hypothetical_grid();  ///< §5.2.3: 7x7, 300x300
+  /// Beyond the paper: 1k-10k nodes with the field scaled to hold the
+  /// large-network density constant (side = 1300 * sqrt(nodes / 200)), so
+  /// the per-node neighborhood — and hence the MAC contention regime —
+  /// matches §5.2.2 while the topology grows. Requires the channel's
+  /// spatial index to be tractable.
+  static ScenarioConfig huge_field(std::size_t nodes);
 };
 
 /// Deterministic node placement for a scenario. Uniform-random placements

@@ -1,0 +1,97 @@
+#include "spatial/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace eend::spatial {
+
+namespace {
+
+/// Hard ceiling on grid cells: beyond this the per-cell bookkeeping would
+/// dwarf the points themselves, so the cell side is scaled up instead.
+constexpr std::size_t kMaxCells = std::size_t{1} << 22;
+
+}  // namespace
+
+void GridIndex::build(const std::vector<phy::Position>& points,
+                      double cell_size, double field_w, double field_h) {
+  EEND_REQUIRE_MSG(points.size() < std::numeric_limits<std::uint32_t>::max(),
+                   "grid index holds at most 2^32-1 points");
+  points_ = points;
+  built_ = true;
+
+  // Extent: the field hint unioned with the actual bounding box, so a point
+  // placed outside the declared field still lands in a real cell.
+  double min_x = 0.0, min_y = 0.0;
+  double max_x = field_w > 0.0 ? field_w : 0.0;
+  double max_y = field_h > 0.0 ? field_h : 0.0;
+  for (const phy::Position& p : points_) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  const double w = std::max(max_x - min_x, 0.0);
+  const double h = std::max(max_y - min_y, 0.0);
+
+  // Degenerate radii (coincident points, zero-range cards) get one cell
+  // spanning everything — correct, just brute-force within the cell.
+  cell_ = cell_size > 0.0 && std::isfinite(cell_size)
+              ? cell_size
+              : std::max({w, h, 1.0});
+  auto dims_for = [&](double cs) {
+    const std::size_t nx =
+        std::max<std::size_t>(1, static_cast<std::size_t>(w / cs) + 1);
+    const std::size_t ny =
+        std::max<std::size_t>(1, static_cast<std::size_t>(h / cs) + 1);
+    return std::pair{nx, ny};
+  };
+  std::tie(nx_, ny_) = dims_for(cell_);
+  while (nx_ * ny_ > kMaxCells) {
+    cell_ *= 2.0;
+    std::tie(nx_, ny_) = dims_for(cell_);
+  }
+  inv_cell_ = 1.0 / cell_;
+
+  // Counting sort into CSR: count, prefix-sum, then a fill pass in id order
+  // so items within a cell stay id-sorted (deterministic visit order).
+  const std::size_t cells = nx_ * ny_;
+  cell_start_.assign(cells + 1, 0);
+  std::vector<std::uint32_t> cell_of(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t c =
+        cell_y(points_[i].y) * nx_ + cell_x(points_[i].x);
+    cell_of[i] = static_cast<std::uint32_t>(c);
+    ++cell_start_[c + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  xs_.resize(points_.size());
+  ys_.resize(points_.size());
+  ids_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::uint32_t slot = cursor[cell_of[i]]++;
+    xs_[slot] = points_[i].x;
+    ys_[slot] = points_[i].y;
+    ids_[slot] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t GridIndex::cell_x(double x) const {
+  const double rel = (x - min_x_) * inv_cell_;
+  if (!(rel > 0.0)) return 0;  // also catches NaN
+  return std::min(nx_ - 1, static_cast<std::size_t>(rel));
+}
+
+std::size_t GridIndex::cell_y(double y) const {
+  const double rel = (y - min_y_) * inv_cell_;
+  if (!(rel > 0.0)) return 0;
+  return std::min(ny_ - 1, static_cast<std::size_t>(rel));
+}
+
+}  // namespace eend::spatial

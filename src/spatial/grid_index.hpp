@@ -1,0 +1,123 @@
+// Uniform-grid spatial index over static 2-D points.
+//
+// Points are bucketed once into square cells of side `cell_size` (CSR
+// layout: flat coordinate/id arrays in cell-major order plus per-cell
+// offsets, no per-cell vectors — candidate scans walk memory linearly).
+// A radius query visits only the cells overlapping the query disc, so a
+// query costs O(points in the covered cells) instead of O(N). Cell sides
+// of half the typical query radius balance candidate overcount against
+// per-cell loop overhead; any positive size is correct.
+//
+// The index is the cell decomposition the ROADMAP's intra-replication
+// sharding wants too: cells two rows apart are conflict-free regions.
+//
+// Degenerate inputs are first-class: zero or one point, coincident points,
+// radii larger than the field, and empty fields all behave like the
+// brute-force scan (tests/spatial_index_test.cpp pins the equivalence).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "phy/position.hpp"
+#include "util/check.hpp"
+
+namespace eend::spatial {
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  /// Bucket `points` into cells of side ~`cell_size` (clamped so the grid
+  /// never exceeds a bounded cell count). `field_w`/`field_h` are optional
+  /// extent hints — the scenario's field dimensions — merged with the
+  /// points' own bounding box, so out-of-field points are still indexed.
+  void build(const std::vector<phy::Position>& points, double cell_size,
+             double field_w = 0.0, double field_h = 0.0);
+
+  bool built() const { return built_; }
+  std::size_t size() const { return points_.size(); }
+  double cell_size() const { return cell_; }
+  std::size_t cols() const { return nx_; }
+  std::size_t rows() const { return ny_; }
+
+  /// Visit every indexed point j != of with distance(point[of], point[j])
+  /// <= radius, in unspecified order. `fn(std::size_t id, double dist)`;
+  /// a bool-returning fn stops the walk when it returns false.
+  template <typename Fn>
+  void for_each_within(std::size_t of, double radius, Fn&& fn) const {
+    EEND_REQUIRE(built_ && of < points_.size());
+    visit(points_[of], radius, static_cast<std::int64_t>(of),
+          static_cast<Fn&&>(fn));
+  }
+
+  /// Same, from an arbitrary position; no point is excluded.
+  template <typename Fn>
+  void for_each_within(const phy::Position& p, double radius,
+                       Fn&& fn) const {
+    EEND_REQUIRE(built_);
+    visit(p, radius, -1, static_cast<Fn&&>(fn));
+  }
+
+  /// Allocating convenience twin (ids in index order, not by distance).
+  std::vector<std::size_t> within(std::size_t of, double radius) const {
+    std::vector<std::size_t> out;
+    for_each_within(of, radius,
+                    [&](std::size_t id, double) { out.push_back(id); });
+    return out;
+  }
+
+ private:
+  std::size_t cell_x(double x) const;
+  std::size_t cell_y(double y) const;
+
+  template <typename Fn>
+  void visit(const phy::Position& p, double radius, std::int64_t exclude,
+             Fn&& fn) const {
+    const std::size_t x0 = cell_x(p.x - radius), x1 = cell_x(p.x + radius);
+    const std::size_t y0 = cell_y(p.y - radius), y1 = cell_y(p.y + radius);
+    // Conservative squared-radius prefilter: anything beyond it is
+    // certainly out of range, so most far candidates skip the sqrt. The
+    // margin over-covers double rounding; candidates inside it still get
+    // the exact predicate — sqrt then compare, the brute-force scan's
+    // arithmetic — so boundary cases round identically and neighbor sets
+    // equal the O(N²) reference's.
+    const double rr = radius * radius * (1.0 + 1e-12);
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        const std::size_t c = cy * nx_ + cx;
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const double dx = p.x - xs_[k];
+          const double dy = p.y - ys_[k];
+          const double dsq = dx * dx + dy * dy;
+          if (dsq > rr) continue;
+          const std::uint32_t j = ids_[k];
+          if (static_cast<std::int64_t>(j) == exclude) continue;
+          const double d = std::sqrt(dsq);
+          if (d > radius) continue;
+          if constexpr (std::is_invocable_r_v<bool, Fn, std::size_t,
+                                              double>) {
+            if (!fn(static_cast<std::size_t>(j), d)) return;
+          } else {
+            fn(static_cast<std::size_t>(j), d);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<phy::Position> points_;      ///< original order (query centers)
+  std::vector<std::uint32_t> cell_start_;  ///< nx*ny + 1 CSR offsets
+  // Cell-major mirrors of the points: the hot candidate loop reads these
+  // sequentially instead of chasing ids through the original array.
+  std::vector<double> xs_, ys_;
+  std::vector<std::uint32_t> ids_;  ///< original id per cell-major slot
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double cell_ = 1.0, inv_cell_ = 1.0;
+  std::size_t nx_ = 1, ny_ = 1;
+  bool built_ = false;
+};
+
+}  // namespace eend::spatial

@@ -188,6 +188,13 @@ TEST(GoldenRegression, Table2Density) {
   check_against_golden("table2_quick", "table2_density.json");
 }
 
+// Large-field scaling family (2k nodes at --quick scale): pins the spatial
+// index's end-to-end behavior — any neighbor-set or ordering drift in the
+// grid-backed channel shows up here as a metric diff.
+TEST(GoldenRegression, HugeFieldDensity) {
+  check_against_golden("huge_field_quick", "huge_field.json");
+}
+
 // Determinism contract: the machine-readable streams must be byte-identical
 // for any --jobs value, not merely numerically close.
 

@@ -1,0 +1,301 @@
+// Brute-force equivalence suite for the spatial index subsystem.
+//
+// The GridIndex must be observationally identical to the O(N²) all-pairs
+// scan it replaced: same neighbor sets under the same predicate
+// (distance <= radius), at every density, field shape and degenerate
+// configuration. 200+ randomized fields pin that here, plus Channel-level
+// checks that the CSR arena's nodes_within() / for_each_within() overloads
+// agree with each other and with brute force, including distance ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mac/channel.hpp"
+#include "spatial/grid_index.hpp"
+#include "util/rng.hpp"
+
+namespace eend::spatial {
+namespace {
+
+using phy::Position;
+
+std::set<std::size_t> brute_within(const std::vector<Position>& pts,
+                                   std::size_t of, double radius) {
+  std::set<std::size_t> out;
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (j == of) continue;
+    if (phy::distance(pts[of], pts[j]) <= radius) out.insert(j);
+  }
+  return out;
+}
+
+std::set<std::size_t> grid_within(const GridIndex& idx, std::size_t of,
+                                  double radius) {
+  std::set<std::size_t> out;
+  idx.for_each_within(of, radius, [&](std::size_t j, double d) {
+    EXPECT_TRUE(out.insert(j).second) << "neighbor " << j << " visited twice";
+    EXPECT_LE(d, radius);
+  });
+  return out;
+}
+
+void expect_equivalent(const std::vector<Position>& pts, double cell_size,
+                       double radius, double field_w, double field_h,
+                       const std::string& label) {
+  GridIndex idx;
+  idx.build(pts, cell_size, field_w, field_h);
+  ASSERT_EQ(idx.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(grid_within(idx, i, radius), brute_within(pts, i, radius))
+        << label << ": node " << i << " of " << pts.size()
+        << " (cell=" << cell_size << ", radius=" << radius << ")";
+}
+
+// The tentpole property: 200 randomized fields spanning sparse to dense,
+// square and elongated, with query radii below, at, and above the cell
+// size. Every neighbor set must equal the brute-force scan's exactly.
+TEST(SpatialIndex, TwoHundredRandomFieldsMatchBruteForce) {
+  Rng rng(20260726);
+  int fields = 0;
+  for (int f = 0; f < 200; ++f, ++fields) {
+    Rng field_rng = rng.fork(f);
+    const std::size_t n = 1 + field_rng.next_below(100);
+    const double w = field_rng.uniform(1.0, 3000.0);
+    const double h = field_rng.uniform(1.0, 3000.0);
+    std::vector<Position> pts(n);
+    for (auto& p : pts)
+      p = Position{field_rng.uniform(0.0, w), field_rng.uniform(0.0, h)};
+    // Coincident points: every 7th field duplicates a prefix of positions.
+    if (f % 7 == 0)
+      for (std::size_t i = 0; i + 1 < n && i < 5; ++i) pts[i + 1] = pts[i];
+    const double cell = field_rng.uniform(5.0, 800.0);
+    const double radius =
+        cell * field_rng.uniform(0.05, 2.5);  // below & beyond cell size
+    expect_equivalent(pts, cell, radius, w, h,
+                      "field #" + std::to_string(f));
+  }
+  EXPECT_EQ(fields, 200);
+}
+
+TEST(SpatialIndex, SingleNodeHasNoNeighbors) {
+  GridIndex idx;
+  idx.build({Position{12.0, 34.0}}, 100.0);
+  EXPECT_TRUE(idx.within(0, 1e9).empty());
+}
+
+TEST(SpatialIndex, EmptyIndexIsValid) {
+  GridIndex idx;
+  idx.build({}, 100.0);
+  EXPECT_EQ(idx.size(), 0u);
+  int visits = 0;
+  idx.for_each_within(Position{0, 0}, 50.0,
+                      [&](std::size_t, double) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(SpatialIndex, AllOutOfRange) {
+  // Nodes pairwise farther apart than the radius: every set is empty.
+  std::vector<Position> pts;
+  for (int i = 0; i < 10; ++i)
+    pts.push_back(Position{i * 1000.0, 0.0});
+  GridIndex idx;
+  idx.build(pts, 500.0, 9000.0, 1.0);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_TRUE(idx.within(i, 500.0).empty()) << i;
+}
+
+TEST(SpatialIndex, AllCoincidentNodesSeeEachOther) {
+  std::vector<Position> pts(25, Position{7.0, 7.0});
+  GridIndex idx;
+  idx.build(pts, 10.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(idx.within(i, 0.0).size(), 24u) << i;  // distance 0 <= 0
+    EXPECT_EQ(grid_within(idx, i, 1.0), brute_within(pts, i, 1.0));
+  }
+}
+
+TEST(SpatialIndex, ZeroAndDegenerateCellSizesFallBack) {
+  std::vector<Position> pts{{0, 0}, {50, 0}, {0, 50}, {600, 600}};
+  for (const double cell : {0.0, -1.0}) {
+    GridIndex idx;
+    idx.build(pts, cell);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      EXPECT_EQ(grid_within(idx, i, 75.0), brute_within(pts, i, 75.0))
+          << "cell=" << cell;
+  }
+}
+
+TEST(SpatialIndex, PointsOutsideDeclaredFieldAreIndexed) {
+  // Extent hint smaller than the data: bounding box must win.
+  std::vector<Position> pts{{-200, -100}, {-180, -100}, {950, 900}};
+  GridIndex idx;
+  idx.build(pts, 100.0, 500.0, 500.0);
+  EXPECT_EQ(idx.within(0, 25.0), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(idx.within(2, 25.0).empty());
+}
+
+TEST(SpatialIndex, TinyCellSizeIsClampedNotExploded) {
+  // A pathological cell size over a big field must not allocate millions
+  // of cells; correctness is unchanged either way.
+  std::vector<Position> pts{{0, 0}, {1e6, 1e6}, {1e6 - 30.0, 1e6}};
+  GridIndex idx;
+  idx.build(pts, 1e-3);
+  EXPECT_LE(idx.cols() * idx.rows(), std::size_t{1} << 22);
+  EXPECT_EQ(idx.within(1, 50.0), (std::vector<std::size_t>{2}));
+}
+
+TEST(SpatialIndex, BoolVisitorStopsEarly) {
+  std::vector<Position> pts(10, Position{1.0, 1.0});
+  GridIndex idx;
+  idx.build(pts, 10.0);
+  int visits = 0;
+  idx.for_each_within(std::size_t{0}, 5.0, [&](std::size_t, double) {
+    return ++visits < 3;
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(SpatialIndex, ArbitraryPositionQueryIncludesAllPoints) {
+  std::vector<Position> pts{{0, 0}, {10, 0}, {300, 0}};
+  GridIndex idx;
+  idx.build(pts, 100.0);
+  std::set<std::size_t> got;
+  idx.for_each_within(Position{1.0, 0.0}, 20.0,
+                      [&](std::size_t j, double) { got.insert(j); });
+  EXPECT_EQ(got, (std::set<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace eend::spatial
+
+namespace eend::mac {
+namespace {
+
+/// A channel over explicit positions (mirrors channel_test's rig).
+struct Rig {
+  sim::Simulator sim;
+  phy::Propagation prop{energy::cabletron(), {}};
+  Channel ch{sim, prop};
+  std::vector<std::unique_ptr<NodeRadio>> radios;
+  std::vector<phy::Position> pts;
+
+  explicit Rig(const std::vector<phy::Position>& positions,
+               double field_w = 0.0, double field_h = 0.0)
+      : pts(positions) {
+    ch.set_field_extent(field_w, field_h);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      radios.push_back(std::make_unique<NodeRadio>(
+          static_cast<NodeId>(i), pts[i], energy::cabletron(), sim));
+      ch.register_radio(radios.back().get());
+    }
+    ch.freeze_topology();
+  }
+};
+
+std::vector<phy::Position> random_field(Rng& rng, std::size_t n, double w,
+                                        double h) {
+  std::vector<phy::Position> pts(n);
+  for (auto& p : pts)
+    p = phy::Position{rng.uniform(0.0, w), rng.uniform(0.0, h)};
+  return pts;
+}
+
+// Channel-level equivalence: the CSR arena behind nodes_within() must hold
+// exactly the brute-force neighbor set, sorted by distance.
+TEST(ChannelSpatial, NodesWithinMatchesBruteForceAcrossFields) {
+  Rng rng(77);
+  for (int f = 0; f < 30; ++f) {
+    Rng field_rng = rng.fork(f);
+    const std::size_t n = 2 + field_rng.next_below(60);
+    const double side = field_rng.uniform(100.0, 2500.0);
+    Rig rig(random_field(field_rng, n, side, side), side, side);
+    const double max_range = rig.prop.max_range();
+    for (const double range :
+         {25.0, max_range / 2.0, max_range}) {
+      for (NodeId i = 0; i < n; ++i) {
+        const auto got = rig.ch.nodes_within(i, range);
+        std::set<NodeId> want;
+        for (NodeId j = 0; j < n; ++j)
+          if (j != i && phy::distance(rig.pts[i], rig.pts[j]) <= range)
+            want.insert(j);
+        EXPECT_EQ(std::set<NodeId>(got.begin(), got.end()), want)
+            << "field #" << f << " node " << i << " range " << range;
+        // Ascending-distance contract.
+        for (std::size_t k = 1; k < got.size(); ++k)
+          EXPECT_LE(phy::distance(rig.pts[i], rig.pts[got[k - 1]]),
+                    phy::distance(rig.pts[i], rig.pts[got[k]]));
+      }
+    }
+  }
+}
+
+// The vector and visitor overloads must agree element-for-element,
+// including visit order.
+TEST(ChannelSpatial, VisitorAndVectorOverloadsAgree) {
+  Rng rng(4242);
+  for (int f = 0; f < 10; ++f) {
+    Rng field_rng = rng.fork(f);
+    Rig rig(random_field(field_rng, 40, 800.0, 800.0), 800.0, 800.0);
+    for (NodeId i = 0; i < 40; ++i) {
+      for (const double range : {60.0, 250.0, rig.ch.max_reach()}) {
+        const auto vec = rig.ch.nodes_within(i, range);
+        std::vector<NodeId> visited;
+        double prev = -1.0;
+        rig.ch.for_each_within(i, range, [&](NodeId id, double d) {
+          visited.push_back(id);
+          EXPECT_GE(d, prev);  // ascending distances
+          EXPECT_DOUBLE_EQ(d, phy::distance(rig.pts[i], rig.pts[id]));
+          prev = d;
+        });
+        EXPECT_EQ(vec, visited) << "node " << i << " range " << range;
+      }
+    }
+  }
+}
+
+TEST(ChannelSpatial, VisitorEarlyExitStopsWalk) {
+  Rig rig({{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}}, 100.0, 10.0);
+  std::vector<NodeId> seen;
+  rig.ch.for_each_within(0, rig.ch.max_reach(), [&](NodeId id, double) {
+    seen.push_back(id);
+    return seen.size() < 2;
+  });
+  EXPECT_EQ(seen, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ChannelSpatial, EqualDistanceNeighborsOrderedById) {
+  // Four nodes equidistant from the center: ties break by ascending id.
+  Rig rig({{100, 100}, {100, 200}, {200, 100}, {100, 0}, {0, 100}},
+          200.0, 200.0);
+  EXPECT_EQ(rig.ch.nodes_within(0, 150.0),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(ChannelSpatial, SingleNodeChannel) {
+  Rig rig({{50, 50}}, 100.0, 100.0);
+  EXPECT_TRUE(rig.ch.nodes_within(0, rig.ch.max_reach()).empty());
+  EXPECT_TRUE(rig.ch.connectivity_neighbors(0).empty());
+}
+
+TEST(ChannelSpatial, AllNodesOutOfReach) {
+  // Pairwise separation beyond the full-power CS range (550 m): the arena
+  // is empty for every node even though the grid holds them all.
+  Rig rig({{0, 0}, {2000, 0}, {4000, 0}, {0, 2000}}, 4000.0, 2000.0);
+  for (NodeId i = 0; i < 4; ++i)
+    EXPECT_TRUE(rig.ch.nodes_within(i, rig.ch.max_reach()).empty()) << i;
+  EXPECT_EQ(rig.ch.grid().size(), 4u);
+}
+
+TEST(ChannelSpatial, GridAccessorExposesFrozenIndex) {
+  Rig rig({{0, 0}, {100, 0}}, 500.0, 500.0);
+  EXPECT_TRUE(rig.ch.grid().built());
+  EXPECT_EQ(rig.ch.grid().size(), 2u);
+  EXPECT_GT(rig.ch.grid().cell_size(), 0.0);
+  EXPECT_LE(rig.ch.grid().cell_size(), rig.ch.max_reach());
+}
+
+}  // namespace
+}  // namespace eend::mac
