@@ -1,0 +1,139 @@
+// Design-search portfolio benchmark (the §3 problem at scale).
+//
+// Drives the manifest engine's `design` kind — exactly the code path
+// `eend_run` and the golden suite exercise — over random fields at the
+// §5.2.2 density, one series per registered heuristic, and reports each
+// heuristic's Eq. 5 cost, gap vs. the Klein-Ravi baseline, and wall time:
+// the cost/quality frontier of search effort over the one-shot
+// approximations the paper discusses. The engine enforces the portfolio
+// invariant (cost <= Klein-Ravi on every instance); this bench re-asserts
+// it from the emitted rows before writing anything.
+//
+// Emits machine-readable JSON (default BENCH_design_portfolio.json;
+// --json= overrides, "none" disables) to extend the BENCH_*.json perf
+// trajectory, plus the engine's pivot tables on stdout.
+//
+// Flags: --quick (N in {50,100,200}; full adds {500,1000,2000}),
+//        --demands=N, --starts=N, --anneal-iters=N, --reps=N (instances
+//        per size), --jobs=N, --seed=S, --json=PATH, --quiet.
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment_engine.hpp"
+#include "core/result_sink.hpp"
+#include "opt/design_heuristic.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace eend;
+
+/// Buffers every row so the JSON artifact can pivot them after the run.
+class CollectSink final : public core::ResultSink {
+ public:
+  void row(const core::ResultRow& r) override { rows.push_back(r); }
+  std::vector<core::ResultRow> rows;
+};
+
+double metric_mean(const core::ResultRow& r, const std::string& name) {
+  for (const core::MetricValue& m : r.metrics)
+    if (m.name == name) return m.mean;
+  std::cerr << "bench_design_portfolio: row lacks metric " << name << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const bool quiet = flags.get_bool("quiet", false);
+  const std::string json_path =
+      flags.get("json", "BENCH_design_portfolio.json");
+
+  core::Experiment e;
+  e.id = "bench";
+  e.title = "Design-search portfolio — Eq. 5 cost / gap / wall time";
+  e.kind = core::ExperimentKind::Design;
+  e.node_counts = {50, 100, 200};
+  if (!quick) {
+    e.node_counts.push_back(500);
+    e.node_counts.push_back(1000);
+    e.node_counts.push_back(2000);
+  }
+  e.heuristics = opt::heuristic_names();
+  e.demands = static_cast<std::size_t>(flags.get_int("demands", 8));
+  e.starts = static_cast<std::size_t>(flags.get_int("starts", 8));
+  e.anneal_iters =
+      static_cast<std::size_t>(flags.get_int("anneal-iters", 300));
+  e.runs = static_cast<std::size_t>(flags.get_int("reps", quick ? 2 : 3));
+  e.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  e.metrics = {{"eq5_total", 1},
+               {"gap_vs_klein_ravi", 2},
+               {"relay_nodes", 1},
+               {"wall_time_s", 4}};
+
+  core::EngineOptions opts;
+  opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  opts.progress = quiet ? nullptr : &std::cerr;
+
+  core::ExperimentEngine engine(opts);
+  CollectSink collect;
+  core::TableSink table(std::cout);
+  engine.add_sink(collect);
+  engine.add_sink(table);
+  engine.run(e);
+
+  // Re-assert the portfolio guarantee from the user-visible rows (the
+  // engine already EEND_CHECKs it per instance; this catches aggregation
+  // mistakes too).
+  for (const core::ResultRow& r : collect.rows)
+    if (r.series == "portfolio" &&
+        metric_mean(r, "gap_vs_klein_ravi") > 1e-9) {
+      std::cerr << "bench_design_portfolio: portfolio gap "
+                << metric_mean(r, "gap_vs_klein_ravi") << "% > 0 at n="
+                << r.x << "\n";
+      return 1;
+    }
+
+  if (json_path != "none") {
+    json::Array sizes_json;
+    for (const std::size_t n : e.node_counts) {
+      json::Array heur;
+      for (const core::ResultRow& r : collect.rows) {
+        if (r.x != static_cast<double>(n)) continue;
+        heur.push_back(json::Object{
+            {"name", json::Value(r.series)},
+            {"mean_cost", json::Value(metric_mean(r, "eq5_total"))},
+            {"mean_gap_vs_klein_ravi_pct",
+             json::Value(metric_mean(r, "gap_vs_klein_ravi"))},
+            {"mean_seconds", json::Value(metric_mean(r, "wall_time_s"))}});
+      }
+      sizes_json.push_back(json::Object{
+          {"n", json::Value(static_cast<double>(n))},
+          {"reps", json::Value(static_cast<double>(e.runs))},
+          {"heuristics", json::Value(std::move(heur))}});
+    }
+    const json::Object doc{
+        {"bench", json::Value(std::string("design_portfolio"))},
+        {"quick", json::Value(quick)},
+        {"seed", json::Value(static_cast<double>(e.seed))},
+        {"demands", json::Value(static_cast<double>(e.demands))},
+        {"starts", json::Value(static_cast<double>(e.starts))},
+        {"anneal_iterations",
+         json::Value(static_cast<double>(e.anneal_iters))},
+        {"jobs", json::Value(static_cast<double>(opts.jobs))},
+        {"sizes", json::Value(std::move(sizes_json))}};
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "bench_design_portfolio: cannot open " << json_path
+                << "\n";
+      return 1;
+    }
+    out << json::dump(json::Value(doc), 2) << "\n";
+    if (!quiet) std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -31,6 +31,25 @@ run bench_table2_density --quick --quiet --jobs=0    # density sweep (Table 2)
 run bench_ablation_design_knobs --quick --quiet --jobs=0   # ablations
 run bench_ext_lifetime --quick --quiet --jobs=0      # lifetime extension
 
+echo "== design search: portfolio bench (JSON artifact) =="
+./build/bench/bench_design_portfolio --quick --quiet \
+  --json=BENCH_design_portfolio.json > /dev/null
+test -s BENCH_design_portfolio.json
+echo "OK: wrote BENCH_design_portfolio.json"
+
+echo "== design search: quick design_portfolio cell, jobs=1 vs jobs=8 =="
+./build/tools/eend_run --manifest examples/manifests/design_portfolio.json \
+  --list | grep -q "portfolio_scaling  \[design\]"
+for j in 1 8; do
+  ./build/tools/eend_run --manifest examples/manifests/design_portfolio.json \
+    --quick --quiet --csv="/tmp/eend_dp_j$j.csv" \
+    --jsonl="/tmp/eend_dp_j$j.jsonl" --jobs="$j" > "/tmp/eend_dp_j$j.out"
+done
+cmp /tmp/eend_dp_j1.out /tmp/eend_dp_j8.out
+cmp /tmp/eend_dp_j1.csv /tmp/eend_dp_j8.csv
+cmp /tmp/eend_dp_j1.jsonl /tmp/eend_dp_j8.jsonl
+echo "OK: design kind byte-identical for jobs=1 and jobs=8"
+
 echo "== spatial index: construction/query bench (JSON artifact) =="
 ./build/bench/bench_channel_build --quick --quiet \
   --json=BENCH_channel_build.json > /dev/null

@@ -4,23 +4,36 @@
 #include <set>
 
 #include "graph/shortest_path.hpp"
+#include "spatial/grid_index.hpp"
 
 namespace eend::core {
 
 NetworkDesignProblem NetworkDesignProblem::from_positions(
     const std::vector<phy::Position>& positions,
     const energy::RadioCard& card) {
+  EEND_REQUIRE_MSG(card.max_range_m > 0.0, "card range must be positive");
   graph::Graph g(positions.size());
   for (graph::NodeId v = 0; v < positions.size(); ++v)
     g.set_node_weight(v, card.p_idle);
+
+  // Spatial index instead of the O(N²) all-pairs scan. The index's exact
+  // boundary predicate computes the same distance expression as
+  // phy::distance, so edge sets AND weights match the brute scan bitwise;
+  // sorting each node's candidates by id restores the (i, j-ascending)
+  // edge order the scan produced, keeping EdgeIds stable.
+  spatial::GridIndex idx;
+  idx.build(positions, card.max_range_m / 2.0);
+  std::vector<std::pair<graph::NodeId, double>> above;  // neighbors j > i
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    for (std::size_t j = i + 1; j < positions.size(); ++j) {
-      const double d = phy::distance(positions[i], positions[j]);
-      if (d <= card.max_range_m)
-        g.add_edge(static_cast<graph::NodeId>(i),
-                   static_cast<graph::NodeId>(j),
-                   card.transmit_power(d) + card.p_rx);
-    }
+    above.clear();
+    idx.for_each_within(i, card.max_range_m, [&](std::size_t j, double d) {
+      if (j > i) above.emplace_back(static_cast<graph::NodeId>(j), d);
+    });
+    std::sort(above.begin(), above.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [j, d] : above)
+      g.add_edge(static_cast<graph::NodeId>(i), j,
+                 card.transmit_power(d) + card.p_rx);
   }
   return NetworkDesignProblem(std::move(g));
 }
@@ -63,31 +76,51 @@ graph::SteinerTree NetworkDesignProblem::solve_edge_weighted() const {
   return graph::kmb_steiner_tree(graph_, terminals());
 }
 
-std::vector<analytical::RoutedDemand>
-NetworkDesignProblem::route_in_subgraph(
-    const std::vector<graph::NodeId>& allowed_nodes) const {
+std::optional<std::vector<analytical::RoutedDemand>>
+NetworkDesignProblem::try_route_in_subgraph(
+    const std::vector<graph::NodeId>& allowed_nodes,
+    std::size_t* failed_demand) const {
   std::vector<bool> allowed(graph_.node_count(), allowed_nodes.empty());
   for (graph::NodeId v : allowed_nodes) allowed[v] = true;
 
   // Shortest paths restricted to allowed nodes: block forbidden nodes with
-  // an infinite entry cost.
+  // an infinite entry cost (Dijkstra never expands them, so the search is
+  // O(allowed subgraph), not O(full graph)).
   const auto node_cost = [&](graph::NodeId v) {
     return allowed[v] ? 0.0 : graph::kInfCost;
   };
 
   std::vector<analytical::RoutedDemand> routes;
-  for (const auto& d : demands_) {
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    const auto& d = demands_[i];
+    if (!allowed[d.source] || !allowed[d.destination]) {
+      if (failed_demand) *failed_demand = i;
+      return std::nullopt;
+    }
     const auto spt = graph::dijkstra(graph_, d.source, node_cost);
     analytical::RoutedDemand rd;
     rd.demand = d;
     rd.packets = d.rate;
     rd.path = spt.path_to(d.destination);
-    EEND_REQUIRE_MSG(!rd.path.empty(), "demand " << d.source << "->"
-                                                 << d.destination
-                                                 << " unroutable");
+    if (rd.path.empty()) {
+      if (failed_demand) *failed_demand = i;
+      return std::nullopt;
+    }
     routes.push_back(std::move(rd));
   }
   return routes;
+}
+
+std::vector<analytical::RoutedDemand>
+NetworkDesignProblem::route_in_subgraph(
+    const std::vector<graph::NodeId>& allowed_nodes) const {
+  std::size_t failed = 0;
+  auto routes = try_route_in_subgraph(allowed_nodes, &failed);
+  EEND_REQUIRE_MSG(routes.has_value(),
+                   "demand " << demands_[failed].source << "->"
+                             << demands_[failed].destination
+                             << " unroutable within the allowed node set");
+  return std::move(*routes);
 }
 
 analytical::Eq5Breakdown NetworkDesignProblem::evaluate_tree(

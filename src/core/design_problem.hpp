@@ -10,6 +10,7 @@
 // routing/ and are exercised through net::Network.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "analytical/design_eval.hpp"
@@ -26,6 +27,10 @@ class NetworkDesignProblem {
   /// Build from node positions and a radio card: nodes within transmission
   /// range are connected; w(e) = Ptx(d) + Prx (per unit data time) and
   /// c(v) = Pidle (per unit idle time), the Section 3 weighting.
+  /// Neighbor discovery goes through a spatial::GridIndex, so construction
+  /// is O(N·k) in the node count — the same predicate and arithmetic as the
+  /// historical all-pairs scan, byte-identical edge lists included
+  /// (design_problem_test pins the equivalence).
   static NetworkDesignProblem from_positions(
       const std::vector<phy::Position>& positions,
       const energy::RadioCard& card);
@@ -61,6 +66,16 @@ class NetworkDesignProblem {
   /// and evaluate Eq. 5 — the "routing-aware" comparison point.
   analytical::Eq5Breakdown evaluate_shortest_paths(
       const analytical::Eq5Params& p) const;
+
+  /// Route all demands along shortest paths restricted to `allowed_nodes`
+  /// (empty = no restriction). Returns nullopt when any demand is
+  /// unroutable within the set — the non-throwing twin the search layer
+  /// (opt/) probes candidate designs with; the evaluate_* entry points
+  /// above are built on it. On failure, `failed_demand` (when non-null)
+  /// receives the index of the first unroutable demand.
+  std::optional<std::vector<analytical::RoutedDemand>> try_route_in_subgraph(
+      const std::vector<graph::NodeId>& allowed_nodes,
+      std::size_t* failed_demand = nullptr) const;
 
  private:
   std::vector<analytical::RoutedDemand> route_in_subgraph(

@@ -4,11 +4,15 @@
 #include <mutex>
 #include <ostream>
 
+#include <chrono>
+
 #include "analytical/route_energy.hpp"
 #include "core/experiment.hpp"
 #include "core/grid_study.hpp"
 #include "core/parallel_runner.hpp"
 #include "energy/radio_card.hpp"
+#include "opt/design_heuristic.hpp"
+#include "opt/design_instance.hpp"
 #include "util/table.hpp"
 
 namespace eend::core {
@@ -84,6 +88,7 @@ void ExperimentEngine::run(const Experiment& e) {
     case ExperimentKind::Density: run_density(e); break;
     case ExperimentKind::Grid: run_grid(e); break;
     case ExperimentKind::Mopt: run_mopt(e); break;
+    case ExperimentKind::Design: run_design(e); break;
   }
   for (ResultSink* s : sinks_) s->end_experiment(e);
 }
@@ -251,6 +256,153 @@ void ExperimentEngine::run_grid(const Experiment& e) {
       for (const MetricSpec& m : e.metrics)
         row.metrics.push_back(
             grid_metric(series[si], series[si].points[ri], m.name));
+      emit(row);
+    }
+  }
+}
+
+void ExperimentEngine::run_design(const Experiment& e) {
+  const std::vector<std::size_t>& nodes =
+      (opts_.quick && e.quick.node_counts) ? *e.quick.node_counts
+                                           : e.node_counts;
+  const std::size_t runs = effective_runs(e);
+  const std::uint64_t base_seed = effective_seed(e);
+
+  opt::HeuristicOptions ho;
+  ho.starts = e.starts;
+  ho.anneal_iterations = e.anneal_iters;
+
+  // All (node count x instance) cells are independent; fan them across the
+  // pool into pre-sized slots so --jobs helps even without a portfolio
+  // series. With more than one cell the portfolio runs its starts inline;
+  // a single cell hands the whole pool to the portfolio's multi-starts.
+  // Either way every heuristic is jobs-invariant, so output bytes never
+  // depend on the split.
+  struct Cell {
+    std::size_t n = 0;
+    std::size_t run = 0;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t n : nodes)
+    for (std::size_t run = 0; run < runs; ++run) cells.push_back({n, run});
+  ho.jobs = cells.size() > 1 ? 1 : opts_.jobs;
+
+  // Per-cell results: [cell][heuristic] -> this instance's metric values.
+  struct Sample {
+    double total = 0.0, data = 0.0, idle = 0.0, gap = 0.0, relays = 0.0,
+           wall = 0.0;
+  };
+  std::vector<std::vector<Sample>> samples(cells.size());
+
+  std::mutex io_m;
+  ParallelRunner pool(opts_.jobs);
+  pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const Cell& cell = cells[ci];
+    opt::DesignInstanceSpec spec;
+    spec.node_count = cell.n;
+    spec.demand_count = e.demands;
+    spec.seed = base_seed + cell.run;
+    const opt::DesignInstance inst = opt::make_design_instance(spec);
+
+    // Klein-Ravi is the gap baseline for every series, whether or not it
+    // is itself a requested heuristic; its wall time is attributed to the
+    // klein_ravi series when that series is present. The tree is solved
+    // once and shared with every heuristic that seeds from it
+    // (local_search, annealing, the portfolio's start 0) — it is the
+    // dominant cost on large instances and deterministic in the instance
+    // alone.
+    const auto t_base = std::chrono::steady_clock::now();
+    const graph::SteinerTree kr_tree = inst.problem.solve_node_weighted();
+    opt::HeuristicOptions cell_ho = ho;
+    cell_ho.klein_ravi_tree = &kr_tree;
+    const opt::CandidateDesign baseline =
+        opt::heuristic_by_name("klein_ravi")
+            .run(inst.problem, cell_ho, spec.seed);
+    const double baseline_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_base)
+            .count();
+    EEND_CHECK_MSG(baseline.feasible,
+                   "Klein-Ravi baseline infeasible on a connected instance "
+                   "(n=" << cell.n << ", seed=" << spec.seed << ")");
+
+    samples[ci].resize(e.heuristics.size());
+    for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
+      const auto& name = e.heuristics[hi];
+      const auto t0 = std::chrono::steady_clock::now();
+      const opt::CandidateDesign cand =
+          name == "klein_ravi"
+              ? baseline
+              : opt::heuristic_by_name(name).run(inst.problem, cell_ho,
+                                                 spec.seed);
+      const double wall =
+          name == "klein_ravi"
+              ? baseline_wall
+              : std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      EEND_CHECK_MSG(cand.feasible, "heuristic \"" << name
+                     << "\" infeasible on a connected instance");
+      // The portfolio's start 0 is Klein-Ravi + descent, so it can never
+      // cost more than the baseline; enforce the invariant at the point
+      // results become user-visible.
+      if (name == "portfolio")
+        EEND_CHECK_MSG(cand.cost() <= baseline.cost(),
+                       "portfolio worse than Klein-Ravi baseline (n="
+                           << cell.n << ", seed=" << spec.seed << ")");
+      Sample& s = samples[ci][hi];
+      s.total = cand.cost();
+      s.data = cand.score.data;
+      s.idle = cand.score.idle;
+      s.gap = 100.0 * (cand.cost() - baseline.cost()) / baseline.cost();
+      s.relays = static_cast<double>(cand.score.relay_nodes);
+      s.wall = wall;
+    }
+    if (opts_.progress) {
+      std::lock_guard<std::mutex> lk(io_m);
+      note("  [" + e.title + "] n=" + std::to_string(cell.n) +
+           " instance " + std::to_string(cell.run + 1) + "/" +
+           std::to_string(runs) + " done");
+    }
+  });
+
+  // Aggregate per (n, heuristic) across instances; emission is n-major,
+  // heuristic-minor in manifest order, independent of scheduling.
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = e.heuristics[hi];
+      row.x_name = "nodes";
+      row.x = static_cast<double>(nodes[ni]);
+      row.runs = runs;
+      row.seed = base_seed;
+      const auto metric_of = [&](const std::string& name) {
+        std::vector<double> xs;
+        xs.reserve(runs);
+        for (std::size_t run = 0; run < runs; ++run) {
+          const Sample& s = samples[ni * runs + run][hi];
+          if (name == "eq5_total") xs.push_back(s.total);
+          else if (name == "eq5_data") xs.push_back(s.data);
+          else if (name == "eq5_idle") xs.push_back(s.idle);
+          else if (name == "gap_vs_klein_ravi") xs.push_back(s.gap);
+          else if (name == "relay_nodes") xs.push_back(s.relays);
+          else if (name == "wall_time_s") xs.push_back(s.wall);
+          else
+            EEND_REQUIRE_MSG(false,
+                             "unknown design metric \"" << name << "\"");
+        }
+        const SampleStats st = summarize(xs);
+        MetricValue mv;
+        mv.name = name;
+        mv.mean = st.mean;
+        mv.ci95 = st.ci95_half_width;
+        mv.n = st.n;
+        return mv;
+      };
+      for (const MetricSpec& m : e.metrics)
+        row.metrics.push_back(metric_of(m.name));
       emit(row);
     }
   }

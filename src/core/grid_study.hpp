@@ -10,8 +10,18 @@
 //   * ODPM          — nodes on routes idle (in expectation of traffic);
 //     all other nodes follow the PSM beacon/ATIM duty cycle;
 //   * always-active — the DSR-Active baseline: everyone idles.
+//
+// The base-rate simulation is the expensive half, and it depends only on
+// (scenario, stack) — never on the rate axis. freeze_routes() runs it once
+// and grid_series() memoizes the result process-wide, so the four Fig 13-16
+// figures (which pair the same stacks with low- and high-rate axes), a
+// multi-experiment manifest, and repeated test fixtures all share one
+// simulation per (scenario, stack). The analytic re-costing
+// (grid_series_from_freeze) is pure and byte-stable, so cached and uncached
+// paths produce identical GridSeries — grid_study_test pins that.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,11 +43,43 @@ struct GridSeries {
   std::vector<GridPoint> points;
 };
 
-/// Run the base-rate simulation for `stack`, freeze its routes, and produce
-/// the goodput series over `rates_pps`. The sleep-scheduling model is
-/// derived from stack.power (PerfectSleep / Odpm / AlwaysActive).
+/// One frozen hop with the data transmit power in use on it.
+struct FrozenHop {
+  mac::NodeId from;
+  mac::NodeId to;
+  double tx_power_w;
+};
+
+/// The frozen outcome of one base-rate simulation.
+struct RouteFreeze {
+  std::string label;                      ///< stack label
+  std::vector<mac::NodeId> active_nodes;  ///< nodes on frozen routes
+  std::vector<FrozenHop> hops;
+  std::size_t routed_flows = 0;
+};
+
+/// Run the base-rate simulation for `stack` and freeze its routes.
+/// Uncached — each call simulates; tests use this as the reference path.
+RouteFreeze freeze_routes(const net::ScenarioConfig& scenario,
+                          const net::StackSpec& stack);
+
+/// Analytic goodput series over `rates_pps` for an existing freeze. Pure
+/// (no simulation); the sleep-scheduling model derives from stack.power.
+GridSeries grid_series_from_freeze(const RouteFreeze& freeze,
+                                   const net::ScenarioConfig& scenario,
+                                   const net::StackSpec& stack,
+                                   const std::vector<double>& rates_pps);
+
+/// freeze_routes + grid_series_from_freeze, with the freeze memoized per
+/// (scenario, stack) for the process lifetime. Thread-safe: concurrent
+/// calls under ParallelRunner may race to compute the same key once, but
+/// every caller observes the same deterministic freeze.
 GridSeries grid_series(const net::ScenarioConfig& scenario,
                        const net::StackSpec& stack,
                        const std::vector<double>& rates_pps);
+
+/// Cache introspection (tests): number of distinct freezes held / drop all.
+std::size_t grid_freeze_cache_size();
+void clear_grid_freeze_cache();
 
 }  // namespace eend::core

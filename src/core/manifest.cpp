@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "energy/radio_card.hpp"
+#include "opt/design_heuristic.hpp"
 #include "util/check.hpp"
 
 namespace eend::core {
@@ -173,6 +174,16 @@ constexpr MetricInfo kGridMetricInfo[] = {
 constexpr MetricInfo kMoptMetricInfo[] = {
     {"mopt", "m_opt"},
 };
+constexpr MetricInfo kDesignMetricInfo[] = {
+    {"eq5_total", "Eq. 5 total cost"},
+    {"eq5_data", "Eq. 5 data cost"},
+    {"eq5_idle", "Eq. 5 passive (idle) cost"},
+    {"gap_vs_klein_ravi", "gap vs Klein-Ravi (%)"},
+    {"relay_nodes", "relay nodes"},
+    // Wall time is real elapsed time and therefore NOT covered by the
+    // determinism contract — keep it out of golden-pinned manifests.
+    {"wall_time_s", "wall time (s)"},
+};
 
 template <std::size_t N>
 std::vector<std::string> names_of(const MetricInfo (&infos)[N]) {
@@ -185,6 +196,7 @@ std::vector<std::string> names_of(const MetricInfo (&infos)[N]) {
 const std::vector<std::string> kSimMetrics = names_of(kSimMetricInfo);
 const std::vector<std::string> kGridMetrics = names_of(kGridMetricInfo);
 const std::vector<std::string> kMoptMetrics = names_of(kMoptMetricInfo);
+const std::vector<std::string> kDesignMetrics = names_of(kDesignMetricInfo);
 
 std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
   switch (kind) {
@@ -193,6 +205,8 @@ std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
       return {{"delivery_ratio", 3}, {"goodput_bit_per_j", 1}};
     case ExperimentKind::Grid: return {{"goodput_kbit_per_j", 3}};
     case ExperimentKind::Mopt: return {{"mopt", 3}};
+    case ExperimentKind::Design:
+      return {{"eq5_total", 1}, {"gap_vs_klein_ravi", 2}};
   }
   return {};
 }
@@ -350,26 +364,35 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
                       const std::string& ctx) {
   QuickSpec q;
   ObjectReader r(v, ctx);
-  if (const auto* p = r.optional("duration_s")) {
+  // Design experiments have no simulated duration, so a quick
+  // "duration_s" there would be silently ignored — reject it like the
+  // kind-mismatched top-level keys.
+  if (kind == ExperimentKind::Design) {
+    r.forbid("duration_s",
+             "is only valid for simulation kinds (design instances are "
+             "solved, not simulated)");
+  } else if (const auto* p = r.optional("duration_s")) {
     q.duration_s = as_finite(*p, ctx + " duration_s");
     if (!(*q.duration_s > 0.0)) fail(ctx + " duration_s must be positive");
   }
   // Grid experiments have no replication count, so a quick "runs" there
   // would be silently ignored — reject it like the top-level key.
-  if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Density) {
+  if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Density ||
+      kind == ExperimentKind::Design) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0) fail(ctx + " runs must be >= 1");
       q.runs = static_cast<std::size_t>(n);
     }
   } else {
-    r.forbid("runs", "is only valid for kinds \"sweep\" and \"density\"");
+    r.forbid("runs",
+             "is only valid for kinds \"sweep\", \"density\" and \"design\"");
   }
   if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Grid) {
     if (const auto* p = r.optional("rates_pps"))
       q.rates_pps = as_rate_list(*p, ctx + " rates_pps");
   }
-  if (kind == ExperimentKind::Density) {
+  if (kind == ExperimentKind::Density || kind == ExperimentKind::Design) {
     if (const auto* p = r.optional("node_counts"))
       q.node_counts = as_node_list(*p, ctx + " node_counts");
   }
@@ -398,7 +421,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     e.title = as_string(*p, ctx + " title");
   if (e.title.empty()) e.title = e.id;
 
-  const bool sim = e.kind != ExperimentKind::Mopt;
+  const bool sim = e.kind != ExperimentKind::Mopt &&
+                   e.kind != ExperimentKind::Design;
   if (sim) {
     if (const auto* p = r.optional("scenario"))
       e.scenario = parse_scenario(*p, ctx + " scenario");
@@ -421,6 +445,14 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
 
     if (const auto* p = r.optional("seed"))
       e.seed = as_uint(*p, ctx + " seed");
+  } else if (e.kind == ExperimentKind::Design) {
+    r.forbid("scenario",
+             "is not valid for kind \"design\" (instances derive from the "
+             "node counts via the fixed density law)");
+    r.forbid("stacks", "is not valid for kind \"design\" (use "
+                       "\"heuristics\")");
+    if (const auto* p = r.optional("seed"))
+      e.seed = as_uint(*p, ctx + " seed");
   } else {
     r.forbid("scenario", "is not valid for kind \"mopt\" (analytic model)");
     r.forbid("stacks", "is not valid for kind \"mopt\" (use \"cards\")");
@@ -431,9 +463,11 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     case ExperimentKind::Sweep:
     case ExperimentKind::Grid:
       e.rates_pps = as_rate_list(r.required("rates_pps"), ctx + " rates_pps");
-      r.forbid("node_counts", "is only valid for kind \"density\"");
+      r.forbid("node_counts",
+               "is only valid for kinds \"density\" and \"design\"");
       break;
     case ExperimentKind::Density:
+    case ExperimentKind::Design:
       e.node_counts =
           as_node_list(r.required("node_counts"), ctx + " node_counts");
       r.forbid("rates_pps",
@@ -443,14 +477,62 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     case ExperimentKind::Mopt: break;
   }
 
-  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density) {
+  if (e.kind == ExperimentKind::Design) {
+    const json::Value& heur = r.required("heuristics");
+    if (!heur.is_array() || heur.as_array().empty())
+      fail(ctx + " heuristics must be a non-empty array");
+    for (const auto& h : heur.as_array()) {
+      const std::string name = as_string(h, ctx + " heuristics entry");
+      opt::heuristic_by_name(name);  // throws listing valid names
+      if (std::find(e.heuristics.begin(), e.heuristics.end(), name) !=
+          e.heuristics.end())
+        fail("duplicate heuristic \"" + name + "\" in " + ctx +
+             " — each heuristic defines one series");
+      e.heuristics.push_back(name);
+    }
+    if (const auto* p = r.optional("demands")) {
+      const auto n = as_uint(*p, ctx + " demands");
+      if (n == 0 || n > 1000) fail(ctx + " demands must be in [1, 1000]");
+      e.demands = static_cast<std::size_t>(n);
+    }
+    if (const auto* p = r.optional("starts")) {
+      const auto n = as_uint(*p, ctx + " starts");
+      if (n == 0 || n > 1000) fail(ctx + " starts must be in [1, 1000]");
+      e.starts = static_cast<std::size_t>(n);
+    }
+    if (const auto* p = r.optional("anneal_iters")) {
+      const auto n = as_uint(*p, ctx + " anneal_iters");
+      if (n > 1000000) fail(ctx + " anneal_iters must be <= 1e6");
+      e.anneal_iters = static_cast<std::size_t>(n);
+    }
+    // Cross-check: every instance must be able to host the demand count,
+    // or make_design_instance would abort mid-run after earlier
+    // experiments already burned their wall time.
+    const auto check_capacity = [&](std::size_t n) {
+      if (e.demands > n * (n - 1))
+        fail(ctx + " requests " + std::to_string(e.demands) +
+             " demands but node count " + std::to_string(n) + " has only " +
+             std::to_string(n * (n - 1)) +
+             " distinct (source, destination) pairs");
+    };
+    for (const std::size_t n : e.node_counts) check_capacity(n);
+  } else {
+    r.forbid("heuristics", "is only valid for kind \"design\"");
+    r.forbid("demands", "is only valid for kind \"design\"");
+    r.forbid("starts", "is only valid for kind \"design\"");
+    r.forbid("anneal_iters", "is only valid for kind \"design\"");
+  }
+
+  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
+      e.kind == ExperimentKind::Design) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0 || n > 10000) fail(ctx + " runs must be in [1, 10000]");
       e.runs = static_cast<std::size_t>(n);
     }
   } else {
-    r.forbid("runs", "is only valid for kinds \"sweep\" and \"density\"");
+    r.forbid("runs",
+             "is only valid for kinds \"sweep\", \"density\" and \"design\"");
   }
 
   if (e.kind == ExperimentKind::Grid) {
@@ -511,9 +593,14 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
   else
     e.metrics = default_metrics(e.kind);
 
-  if (sim) {
+  if (e.kind != ExperimentKind::Mopt) {
     if (const auto* p = r.optional("quick"))
       e.quick = parse_quick(*p, e.kind, ctx + " quick");
+    if (e.kind == ExperimentKind::Design && e.quick.node_counts)
+      for (const std::size_t n : *e.quick.node_counts)
+        if (e.demands > n * (n - 1))
+          fail(ctx + " quick node count " + std::to_string(n) +
+               " cannot host " + std::to_string(e.demands) + " demands");
   } else {
     r.forbid("quick", "is not valid for kind \"mopt\" (already instant)");
   }
@@ -528,7 +615,8 @@ json::Object experiment_to_json(const Experiment& e) {
   if (e.title != e.id) o.emplace_back("title", e.title);
   o.emplace_back("kind", std::string(kind_name(e.kind)));
 
-  const bool sim = e.kind != ExperimentKind::Mopt;
+  const bool sim = e.kind != ExperimentKind::Mopt &&
+                   e.kind != ExperimentKind::Design;
   if (sim) {
     o.emplace_back("scenario", scenario_to_json(e.scenario));
     json::Array stacks;
@@ -540,11 +628,19 @@ json::Object experiment_to_json(const Experiment& e) {
     for (double r : e.rates_pps) rates.emplace_back(r);
     o.emplace_back("rates_pps", std::move(rates));
   }
-  if (e.kind == ExperimentKind::Density) {
+  if (e.kind == ExperimentKind::Density || e.kind == ExperimentKind::Design) {
     json::Array nodes;
     for (std::size_t n : e.node_counts)
       nodes.emplace_back(static_cast<double>(n));
     o.emplace_back("node_counts", std::move(nodes));
+  }
+  if (e.kind == ExperimentKind::Design) {
+    json::Array heur;
+    for (const auto& h : e.heuristics) heur.emplace_back(h);
+    o.emplace_back("heuristics", std::move(heur));
+    o.emplace_back("demands", static_cast<double>(e.demands));
+    o.emplace_back("starts", static_cast<double>(e.starts));
+    o.emplace_back("anneal_iters", static_cast<double>(e.anneal_iters));
   }
   if (e.kind == ExperimentKind::Mopt) {
     json::Array cards;
@@ -556,9 +652,11 @@ json::Object experiment_to_json(const Experiment& e) {
     for (double x : e.rb) rb.emplace_back(x);
     o.emplace_back("rb", std::move(rb));
   }
-  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density)
+  if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
+      e.kind == ExperimentKind::Design)
     o.emplace_back("runs", static_cast<double>(e.runs));
-  if (sim) o.emplace_back("seed", static_cast<double>(e.seed));
+  if (sim || e.kind == ExperimentKind::Design)
+    o.emplace_back("seed", static_cast<double>(e.seed));
   if (e.kind == ExperimentKind::Grid)
     o.emplace_back("base_rate_pps", e.base_rate_pps);
 
@@ -599,6 +697,7 @@ const char* kind_name(ExperimentKind k) {
     case ExperimentKind::Density: return "density";
     case ExperimentKind::Grid: return "grid";
     case ExperimentKind::Mopt: return "mopt";
+    case ExperimentKind::Design: return "design";
   }
   return "?";
 }
@@ -608,8 +707,9 @@ ExperimentKind kind_from_name(const std::string& name) {
   if (name == "density") return ExperimentKind::Density;
   if (name == "grid") return ExperimentKind::Grid;
   if (name == "mopt") return ExperimentKind::Mopt;
+  if (name == "design") return ExperimentKind::Design;
   fail("unknown experiment kind \"" + name +
-       "\" (valid: sweep, density, grid, mopt)");
+       "\" (valid: sweep, density, grid, mopt, design)");
 }
 
 const std::vector<std::string>& metric_names(ExperimentKind kind) {
@@ -618,6 +718,7 @@ const std::vector<std::string>& metric_names(ExperimentKind kind) {
     case ExperimentKind::Density: return kSimMetrics;
     case ExperimentKind::Grid: return kGridMetrics;
     case ExperimentKind::Mopt: return kMoptMetrics;
+    case ExperimentKind::Design: return kDesignMetrics;
   }
   return kSimMetrics;
 }
@@ -628,6 +729,8 @@ std::string metric_display_name(const std::string& name) {
   for (const MetricInfo& m : kGridMetricInfo)
     if (name == m.name) return m.display;
   for (const MetricInfo& m : kMoptMetricInfo)
+    if (name == m.name) return m.display;
+  for (const MetricInfo& m : kDesignMetricInfo)
     if (name == m.name) return m.display;
   fail("no display name for metric \"" + name + "\"");
 }
@@ -718,5 +821,35 @@ json::Value Manifest::to_json() const {
 }
 
 std::string Manifest::serialize() const { return json::dump(to_json(), 2); }
+
+std::vector<std::string> Manifest::experiment_summaries() const {
+  std::vector<std::string> out;
+  for (const Experiment& e : experiments) {
+    std::size_t series = 0, xs = 0;
+    switch (e.kind) {
+      case ExperimentKind::Sweep:
+      case ExperimentKind::Grid:
+        series = e.stack_specs ? e.stack_specs->size() : e.stacks.size();
+        xs = e.rates_pps.size();
+        break;
+      case ExperimentKind::Density:
+        series = e.stack_specs ? e.stack_specs->size() : e.stacks.size();
+        xs = e.node_counts.size();
+        break;
+      case ExperimentKind::Mopt:
+        series = e.cards.size();
+        xs = e.rb.size();
+        break;
+      case ExperimentKind::Design:
+        series = e.heuristics.size();
+        xs = e.node_counts.size();
+        break;
+    }
+    out.push_back(e.id + "  [" + kind_name(e.kind) + "]  " +
+                  std::to_string(series) + " series x " +
+                  std::to_string(xs) + " x-values  " + e.title);
+  }
+  return out;
+}
 
 }  // namespace eend::core

@@ -12,6 +12,8 @@
 //   density  (stack × node count) at a fixed rate   — Table 2
 //   grid     frozen-route analytic goodput series   — Figs. 13-16 (§5.2.3)
 //   mopt     characteristic hop count per card      — Fig. 7 (§5.1)
+//   design   (heuristic × instance size) Eq. 5 design-search portfolio
+//            over random §5.2.2-density fields      — the §3 problem itself
 //
 // Parsing is strict: unknown keys, duplicate experiment ids, duplicate
 // cells (repeated stacks / rates / node counts), and out-of-range values
@@ -30,7 +32,7 @@
 
 namespace eend::core {
 
-enum class ExperimentKind { Sweep, Density, Grid, Mopt };
+enum class ExperimentKind { Sweep, Density, Grid, Mopt, Design };
 
 const char* kind_name(ExperimentKind k);
 ExperimentKind kind_from_name(const std::string& name);
@@ -91,13 +93,19 @@ struct Experiment {
   /// preset) used verbatim when set. Never serialized.
   std::optional<std::vector<net::StackSpec>> stack_specs;
   std::vector<double> rates_pps;          ///< x-axis: sweep, grid
-  std::vector<std::size_t> node_counts;   ///< x-axis: density
+  std::vector<std::size_t> node_counts;   ///< x-axis: density, design
   std::vector<CardSpec> cards;            ///< curves: mopt
   std::vector<double> rb;                 ///< x-axis: mopt (R/B, (0, 0.5])
+  std::vector<std::string> heuristics;    ///< series: design (opt/ registry)
 
   std::size_t runs = 5;
   std::uint64_t seed = 1;
   double base_rate_pps = 2.0;  ///< grid: rate of the route-freezing sim
+
+  // design kind: instance and search knobs.
+  std::size_t demands = 8;       ///< demands sampled per instance
+  std::size_t starts = 8;        ///< portfolio multi-start count
+  std::size_t anneal_iters = 300;///< annealing iterations per (re)start
 
   std::vector<MetricSpec> metrics;  ///< defaulted per kind when empty
   QuickSpec quick;
@@ -117,6 +125,10 @@ struct Manifest {
   json::Value to_json() const;
   /// Canonical pretty-printed form; parse(serialize(m)) is a fixed point.
   std::string serialize() const;
+
+  /// One line per experiment — "id  [kind]  S series x N x-values  title" —
+  /// the `eend_run --list` output that makes --only ids discoverable.
+  std::vector<std::string> experiment_summaries() const;
 };
 
 /// Metric names valid for `kind`, in canonical order (also the default

@@ -105,7 +105,8 @@ void TableSink::end_experiment(const Experiment& e) {
     switch (e.kind) {
       case ExperimentKind::Sweep:
       case ExperimentKind::Grid: return "rate (pkt/s)";
-      case ExperimentKind::Density: return "# of nodes";
+      case ExperimentKind::Density:
+      case ExperimentKind::Design: return "# of nodes";
       case ExperimentKind::Mopt: return "R/B";
     }
     return "x";
@@ -113,6 +114,7 @@ void TableSink::end_experiment(const Experiment& e) {
   const auto x_cell = [&](double x) {
     switch (e.kind) {
       case ExperimentKind::Density:
+      case ExperimentKind::Design:
         return std::to_string(static_cast<long long>(x));
       case ExperimentKind::Mopt: return Table::num(x, 2);
       default: return Table::num(x, 1);
@@ -120,7 +122,8 @@ void TableSink::end_experiment(const Experiment& e) {
   };
   // Analytic kinds have no replication spread; "x +- 0" would be noise.
   const bool with_ci = e.kind == ExperimentKind::Sweep ||
-                       e.kind == ExperimentKind::Density;
+                       e.kind == ExperimentKind::Density ||
+                       e.kind == ExperimentKind::Design;
 
   for (const MetricSpec& metric : e.metrics) {
     std::vector<std::string> header{x_header};

@@ -1,0 +1,82 @@
+#include "opt/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace eend::opt {
+
+CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
+                                    const CandidateDesign& start,
+                                    const analytical::Eq5Params& eval,
+                                    const AnnealingSchedule& schedule,
+                                    std::uint64_t seed) {
+  EEND_REQUIRE_MSG(start.feasible, "annealing needs a feasible seed");
+  const graph::Graph& g = problem.graph();
+  const auto terminals = problem.terminals();  // sorted
+  const auto is_terminal = [&](graph::NodeId v) {
+    return std::binary_search(terminals.begin(), terminals.end(), v);
+  };
+
+  Rng rng = Rng(seed).fork(0xA44E);
+  CandidateDesign cur = start;
+  CandidateDesign best = start;
+  const double t0 = schedule.initial_temp_frac * start.cost();
+  double temp = t0;
+
+  for (std::size_t it = 0; it < schedule.iterations;
+       ++it, temp *= schedule.cooling) {
+    // Current move surface: relays (closable), frontier (openable),
+    // per-relay inactive neighbors (exchangeable).
+    std::vector<graph::NodeId> relays;
+    for (graph::NodeId v : cur.nodes)
+      if (!is_terminal(v)) relays.push_back(v);
+    std::vector<char> in_cur(g.node_count(), 0);
+    for (graph::NodeId v : cur.nodes) in_cur[v] = 1;
+
+    std::vector<graph::NodeId> proposal = cur.nodes;
+    const std::uint64_t family = rng.next_below(3);
+    if (family == 0) {  // relay removal
+      if (relays.empty()) continue;
+      const graph::NodeId v = relays[rng.next_below(relays.size())];
+      proposal.erase(std::find(proposal.begin(), proposal.end(), v));
+    } else if (family == 1) {  // Steiner insertion
+      std::set<graph::NodeId> frontier;
+      for (graph::NodeId v : cur.nodes)
+        for (const auto& [u, e] : g.neighbors(v)) {
+          (void)e;
+          if (!in_cur[u]) frontier.insert(u);
+        }
+      if (frontier.empty()) continue;
+      std::vector<graph::NodeId> cands(frontier.begin(), frontier.end());
+      proposal.push_back(cands[rng.next_below(cands.size())]);
+    } else {  // relay exchange
+      if (relays.empty()) continue;
+      const graph::NodeId v = relays[rng.next_below(relays.size())];
+      std::set<graph::NodeId> swaps;
+      for (const auto& [u, e] : g.neighbors(v)) {
+        (void)e;
+        if (!in_cur[u]) swaps.insert(u);
+      }
+      if (swaps.empty()) continue;
+      std::vector<graph::NodeId> cands(swaps.begin(), swaps.end());
+      proposal.erase(std::find(proposal.begin(), proposal.end(), v));
+      proposal.push_back(cands[rng.next_below(cands.size())]);
+    }
+
+    CandidateDesign cand = evaluate_design(problem, proposal, eval);
+    if (!cand.feasible) continue;
+    const double delta = cand.cost() - cur.cost();
+    const bool accept =
+        delta <= 0.0 ||
+        (temp > 0.0 && rng.uniform() < std::exp(-delta / temp));
+    if (!accept) continue;
+    cur = std::move(cand);
+    if (cur.cost() < best.cost()) best = cur;
+  }
+  return best;
+}
+
+}  // namespace eend::opt

@@ -1,0 +1,32 @@
+// Deterministic simulated annealing over the design space, using the same
+// move families as local_search.hpp but sampled (uniformly over the three
+// families, then over their candidates) from a seeded Rng instead of
+// enumerated — so the walk can cross cost barriers a pure descent cannot.
+//
+// Schedule: geometric cooling T_i = T0 · cooling^i with T0 scaled off the
+// seed design's cost (initial_temp_frac), the standard parametrization for
+// instances whose cost magnitude varies by orders of magnitude with N.
+// Worsening moves are accepted with probability exp(-Δ/T); infeasible
+// proposals are rejected outright. The best design ever visited is tracked
+// and returned, so the result is never worse than the seed for any
+// schedule or seed value — the determinism/monotonicity contract
+// tests/opt_search_test.cpp pins.
+#pragma once
+
+#include "opt/design_heuristic.hpp"
+
+namespace eend::opt {
+
+struct AnnealingSchedule {
+  std::size_t iterations = 300;
+  double initial_temp_frac = 0.02;  ///< T0 = frac · cost(seed design)
+  double cooling = 0.97;            ///< geometric decay per iteration
+};
+
+CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
+                                    const CandidateDesign& start,
+                                    const analytical::Eq5Params& eval,
+                                    const AnnealingSchedule& schedule,
+                                    std::uint64_t seed);
+
+}  // namespace eend::opt

@@ -1,0 +1,181 @@
+#include "opt/design_heuristic.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "opt/annealing.hpp"
+#include "opt/local_search.hpp"
+#include "opt/portfolio.hpp"
+#include "util/check.hpp"
+
+namespace eend::opt {
+
+CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
+                                const std::vector<graph::NodeId>& nodes,
+                                const analytical::Eq5Params& eval) {
+  EEND_REQUIRE_MSG(!nodes.empty(), "a design needs at least one node");
+  CandidateDesign out;
+  const auto routes = problem.try_route_in_subgraph(nodes);
+  if (!routes) {
+    out.nodes = nodes;
+    std::sort(out.nodes.begin(), out.nodes.end());
+    out.feasible = false;
+    return out;
+  }
+  out.score = analytical::evaluate_eq5(problem.graph(), *routes, eval);
+  // Normalize the state to the nodes the routing actually uses: allowed-
+  // but-idle-free nodes contribute nothing to Eq. 5 and would make equal-
+  // cost designs compare unequal.
+  std::set<graph::NodeId> used;
+  for (const auto& r : *routes) used.insert(r.path.begin(), r.path.end());
+  out.nodes.assign(used.begin(), used.end());
+  out.feasible = true;
+  return out;
+}
+
+CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
+                                 const graph::SteinerTree& tree,
+                                 const analytical::Eq5Params& eval) {
+  if (!tree.feasible || tree.nodes.empty()) {
+    CandidateDesign out;
+    out.nodes = tree.nodes;
+    out.feasible = false;
+    return out;
+  }
+  return evaluate_design(problem, tree.nodes, eval);
+}
+
+namespace {
+
+/// The shared Klein-Ravi seed: the caller-provided tree when present,
+/// otherwise solved fresh.
+graph::SteinerTree klein_ravi_tree(const core::NetworkDesignProblem& p,
+                                   const HeuristicOptions& o) {
+  return o.klein_ravi_tree ? *o.klein_ravi_tree : p.solve_node_weighted();
+}
+
+// ---------------------------------------------------------------- registry ---
+
+class KleinRaviHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "klein_ravi";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t) const override {
+    return design_from_tree(p, klein_ravi_tree(p, o), o.eval);
+  }
+};
+
+class MpcHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "mpc";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t) const override {
+    return design_from_tree(p, p.solve_mpc_reduction(), o.eval);
+  }
+};
+
+class KmbHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "kmb";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t) const override {
+    return design_from_tree(p, p.solve_edge_weighted(), o.eval);
+  }
+};
+
+class LocalSearchHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "local_search";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t) const override {
+    const CandidateDesign seed =
+        design_from_tree(p, klein_ravi_tree(p, o), o.eval);
+    if (!seed.feasible) return seed;
+    return local_search(p, seed, o.eval);
+  }
+};
+
+class AnnealingHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "annealing";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t seed) const override {
+    const CandidateDesign start =
+        design_from_tree(p, klein_ravi_tree(p, o), o.eval);
+    if (!start.feasible) return start;
+    AnnealingSchedule sched;
+    sched.iterations = o.anneal_iterations;
+    return simulated_annealing(p, start, o.eval, sched, seed);
+  }
+};
+
+class PortfolioHeuristic final : public DesignHeuristic {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "portfolio";
+    return n;
+  }
+  CandidateDesign run(const core::NetworkDesignProblem& p,
+                      const HeuristicOptions& o,
+                      std::uint64_t seed) const override {
+    PortfolioOptions po;
+    po.eval = o.eval;
+    po.starts = o.starts;
+    po.jobs = o.jobs;
+    po.anneal.iterations = o.anneal_iterations;
+    po.seed = seed;
+    po.klein_ravi_tree = o.klein_ravi_tree;
+    return design_portfolio(p, po).best;
+  }
+};
+
+const DesignHeuristic* const kRegistry[] = {
+    new KleinRaviHeuristic,  new MpcHeuristic,       new KmbHeuristic,
+    new LocalSearchHeuristic, new AnnealingHeuristic, new PortfolioHeuristic,
+};
+
+}  // namespace
+
+const std::vector<std::string>& heuristic_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const DesignHeuristic* h : kRegistry) out.push_back(h->name());
+    return out;
+  }();
+  return names;
+}
+
+const DesignHeuristic& heuristic_by_name(const std::string& name) {
+  for (const DesignHeuristic* h : kRegistry)
+    if (h->name() == name) return *h;
+  std::string valid;
+  for (const auto& n : heuristic_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  EEND_REQUIRE_MSG(false, "unknown design heuristic \"" << name
+                          << "\" (valid: " << valid << ")");
+  throw CheckError("unreachable");
+}
+
+}  // namespace eend::opt

@@ -1,0 +1,86 @@
+// Metaheuristic design search over the Section 3 (Eq. 5) network design
+// problem — the subsystem the paper's title promises.
+//
+// A *design* is a set of active nodes F (always containing every demand
+// endpoint). Scoring a design routes each demand along its shortest
+// communication-cost path restricted to F and evaluates Eq. 5 on the
+// resulting flows: restricting routing to a small F forces demands to share
+// relays (lower idle cost) at some data-cost premium — exactly the
+// trade-off the paper's one-shot approximations (Klein-Ravi, the MPC
+// edge-weight reduction) strike once, and that the search layers here
+// (local_search.hpp, annealing.hpp, portfolio.hpp) keep improving.
+//
+// DesignHeuristic is the uniform interface: a name, plus run(problem,
+// options, seed) -> CandidateDesign. Every heuristic is deterministic in
+// (problem, options, seed); the registry (heuristic_names /
+// heuristic_by_name) is what manifests and benches validate against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/design_problem.hpp"
+
+namespace eend::opt {
+
+/// One candidate design: the active node set with its Eq. 5 score.
+struct CandidateDesign {
+  /// Active nodes, sorted ascending, endpoints included. After evaluation
+  /// this is exactly the set of nodes carrying flows (allowed-but-unused
+  /// nodes are dropped — they cost nothing and would bloat the state).
+  std::vector<graph::NodeId> nodes;
+  analytical::Eq5Breakdown score;
+  bool feasible = false;
+
+  double cost() const { return score.total(); }
+};
+
+/// Score the design implied by `nodes`: route every demand along its
+/// shortest path within the set, drop nodes no route uses, evaluate Eq. 5.
+/// Infeasible sets (some demand unroutable) come back with feasible=false
+/// and an infinite-cost-like empty score — callers compare via cost() only
+/// on feasible candidates.
+CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
+                                const std::vector<graph::NodeId>& nodes,
+                                const analytical::Eq5Params& eval);
+
+/// Evaluate a constructive solver's tree as a design seed.
+CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
+                                 const graph::SteinerTree& tree,
+                                 const analytical::Eq5Params& eval);
+
+/// Knobs shared by every heuristic (each uses the subset it needs).
+struct HeuristicOptions {
+  analytical::Eq5Params eval;
+  std::size_t starts = 8;             ///< portfolio: multi-start count
+  std::size_t anneal_iterations = 300;///< annealing moves per (re)start
+  std::size_t jobs = 1;               ///< portfolio: ParallelRunner width
+  /// Optional precomputed Klein-Ravi tree for this problem. The tree is
+  /// deterministic in the instance alone, and it seeds klein_ravi,
+  /// local_search, annealing AND the portfolio's start 0 — callers running
+  /// several heuristics on one instance (ExperimentEngine::run_design,
+  /// bench) solve it once and share it here. Must outlive the run() call;
+  /// nullptr = each heuristic solves its own.
+  const graph::SteinerTree* klein_ravi_tree = nullptr;
+};
+
+class DesignHeuristic {
+ public:
+  virtual ~DesignHeuristic() = default;
+  virtual const std::string& name() const = 0;
+  /// Deterministic in (problem, opts, seed) — byte-identical results for
+  /// any jobs value (parallel fan-outs merge in seed order).
+  virtual CandidateDesign run(const core::NetworkDesignProblem& problem,
+                              const HeuristicOptions& opts,
+                              std::uint64_t seed) const = 0;
+};
+
+/// Registry names in canonical order: "klein_ravi", "mpc", "kmb",
+/// "local_search", "annealing", "portfolio".
+const std::vector<std::string>& heuristic_names();
+
+/// Lookup by manifest name; throws CheckError listing the valid names.
+const DesignHeuristic& heuristic_by_name(const std::string& name);
+
+}  // namespace eend::opt

@@ -1,0 +1,55 @@
+#include "opt/design_instance.hpp"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "net/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace eend::opt {
+
+DesignInstanceSpec::DesignInstanceSpec() : card(energy::cabletron()) {}
+
+DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
+  EEND_REQUIRE_MSG(spec.node_count >= 2, "an instance needs >= 2 nodes");
+  EEND_REQUIRE_MSG(spec.demand_count >= 1, "an instance needs >= 1 demand");
+  EEND_REQUIRE_MSG(
+      spec.demand_count <= spec.node_count * (spec.node_count - 1),
+      "more demands than distinct (source, destination) pairs");
+  EEND_REQUIRE_MSG(spec.demand_rate > 0.0, "demand rate must be positive");
+
+  const double side =
+      spec.field_side > 0.0
+          ? spec.field_side
+          : 1300.0 * std::sqrt(static_cast<double>(spec.node_count) / 200.0);
+
+  // Reuse the simulator's deterministic placement (retried with salted
+  // seeds until connected at max power), so every instance is routable.
+  net::ScenarioConfig sc;
+  sc.node_count = spec.node_count;
+  sc.field_w = sc.field_h = side;
+  sc.card = spec.card;
+  sc.seed = spec.seed;
+  sc.flow_count = 0;  // flows are irrelevant; demands are sampled below
+
+  DesignInstance out{
+      core::NetworkDesignProblem(graph::Graph{}), {}, side};
+  out.positions = net::place_nodes(sc);
+  out.problem =
+      core::NetworkDesignProblem::from_positions(out.positions, spec.card);
+
+  Rng rng = Rng(spec.seed).fork(0xDE51);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  while (seen.size() < spec.demand_count) {
+    const auto s = static_cast<graph::NodeId>(
+        rng.next_below(spec.node_count));
+    const auto d = static_cast<graph::NodeId>(
+        rng.next_below(spec.node_count));
+    if (s == d || !seen.insert({s, d}).second) continue;
+    out.problem.add_demand({s, d, spec.demand_rate});
+  }
+  return out;
+}
+
+}  // namespace eend::opt

@@ -1,0 +1,45 @@
+// Random design-problem instances at the paper's §5.2.2 density.
+//
+// The instance family behind the `design` manifest kind and
+// bench_design_portfolio: N nodes placed uniformly in a square field whose
+// side follows the huge_field density law (side = 1300 · sqrt(N / 200), so
+// per-node neighborhoods match the 200-node large network at every scale),
+// re-drawn until connected at max power — the same deterministic placement
+// net::place_nodes gives the simulator. The connectivity graph is built
+// through the spatial::GridIndex-backed from_positions (O(N·k)), and
+// `demand_count` distinct (source, destination) pairs are sampled from a
+// forked Rng stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_problem.hpp"
+#include "energy/radio_card.hpp"
+#include "phy/position.hpp"
+
+namespace eend::opt {
+
+struct DesignInstanceSpec {
+  std::size_t node_count = 200;
+  std::size_t demand_count = 8;
+  std::uint64_t seed = 1;
+  double demand_rate = 1.0;    ///< packets per demand over the horizon
+  energy::RadioCard card;      ///< defaults to Cabletron
+  /// Field side in meters; 0 = the §5.2.2 density law (1300·sqrt(N/200)).
+  double field_side = 0.0;
+
+  DesignInstanceSpec();
+};
+
+struct DesignInstance {
+  core::NetworkDesignProblem problem;
+  std::vector<phy::Position> positions;
+  double field_side = 0.0;
+};
+
+/// Deterministic in every spec field. Throws CheckError on degenerate specs
+/// (node_count < 2, demand_count 0 or more than the distinct pairs).
+DesignInstance make_design_instance(const DesignInstanceSpec& spec);
+
+}  // namespace eend::opt

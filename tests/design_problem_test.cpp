@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/design_problem.hpp"
+#include "util/rng.hpp"
 
 namespace eend::core {
 namespace {
@@ -25,6 +26,67 @@ TEST(DesignProblem, FromPositionsBuildsRangeGraph) {
   EXPECT_NEAR(g.edge_weight_between(0, 1),
               card.transmit_power(200.0) + card.p_rx, 1e-12);
   EXPECT_DOUBLE_EQ(g.node_weight(0), card.p_idle);
+}
+
+TEST(DesignProblem, FromPositionsMatchesBruteForceScan) {
+  // from_positions now discovers neighbors through spatial::GridIndex; the
+  // contract is *bitwise* equivalence with the historical O(N²) scan —
+  // same edges, in the same order (stable EdgeIds), with identical weights.
+  const auto card = energy::cabletron();
+  Rng field_rng(20260726);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + field_rng.next_below(120);
+    const double side = 200.0 + field_rng.uniform(0.0, 1500.0);
+    std::vector<phy::Position> pts(n);
+    for (auto& p : pts)
+      p = {field_rng.uniform(0.0, side), field_rng.uniform(0.0, side)};
+    // Exercise the boundary predicate: plant one pair at exactly max range.
+    if (n >= 2) {
+      pts[0] = {10.0, 10.0};
+      pts[1] = {10.0 + card.max_range_m, 10.0};
+    }
+
+    graph::Graph brute(n);
+    for (graph::NodeId v = 0; v < n; ++v)
+      brute.set_node_weight(v, card.p_idle);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = phy::distance(pts[i], pts[j]);
+        if (d <= card.max_range_m)
+          brute.add_edge(static_cast<graph::NodeId>(i),
+                         static_cast<graph::NodeId>(j),
+                         card.transmit_power(d) + card.p_rx);
+      }
+
+    const auto p = NetworkDesignProblem::from_positions(pts, card);
+    const auto& g = p.graph();
+    ASSERT_EQ(g.node_count(), brute.node_count()) << "trial " << trial;
+    ASSERT_EQ(g.edge_count(), brute.edge_count()) << "trial " << trial;
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(g.edge(e).u, brute.edge(e).u) << "trial " << trial;
+      EXPECT_EQ(g.edge(e).v, brute.edge(e).v) << "trial " << trial;
+      // Bitwise, not approximate: both paths must compute the identical
+      // distance expression.
+      EXPECT_EQ(g.edge(e).weight, brute.edge(e).weight) << "trial " << trial;
+    }
+    for (graph::NodeId v = 0; v < n; ++v)
+      EXPECT_EQ(g.node_weight(v), brute.node_weight(v));
+  }
+}
+
+TEST(DesignProblem, TryRouteInSubgraphReportsInfeasibility) {
+  auto p = NetworkDesignProblem::from_positions(cross_positions(),
+                                                energy::cabletron());
+  p.add_demand({1, 2, 1.0});
+  // Without the hub, arms 1 and 2 cannot reach each other.
+  EXPECT_FALSE(p.try_route_in_subgraph({1, 2}).has_value());
+  // Endpoints missing from the set is infeasible, not "unrestricted".
+  EXPECT_FALSE(p.try_route_in_subgraph({0, 2}).has_value());
+  const auto routes = p.try_route_in_subgraph({0, 1, 2});
+  ASSERT_TRUE(routes.has_value());
+  ASSERT_EQ(routes->size(), 1u);
+  EXPECT_EQ(routes->front().path,
+            (std::vector<graph::NodeId>{1, 0, 2}));
 }
 
 TEST(DesignProblem, TerminalsDeduplicated) {

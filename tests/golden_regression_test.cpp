@@ -195,6 +195,15 @@ TEST(GoldenRegression, HugeFieldDensity) {
   check_against_golden("huge_field_quick", "huge_field.json");
 }
 
+// Metaheuristic design-search family (random §5.2.2-density fields): pins
+// the opt/ subsystem end-to-end — constructive seeds, annealing walks,
+// portfolio merge, and the engine's design-kind row shape. Any drift in
+// move enumeration order, RNG stream layout, or the GridIndex-backed
+// instance construction shows up here as a metric diff.
+TEST(GoldenRegression, DesignPortfolio) {
+  check_against_golden("design_portfolio_quick", "design_portfolio.json");
+}
+
 // Determinism contract: the machine-readable streams must be byte-identical
 // for any --jobs value, not merely numerically close.
 
@@ -205,6 +214,16 @@ TEST(GoldenRegression, ByteIdenticalAcrossJobs) {
   EXPECT_EQ(serial.csv, parallel.csv);
   ASSERT_FALSE(serial.jsonl.empty());
   ASSERT_FALSE(serial.csv.empty());
+}
+
+TEST(GoldenRegression, DesignKindByteIdenticalAcrossJobs) {
+  // The design kind parallelizes *inside* the portfolio (multi-starts via
+  // ParallelRunner); its seed-order merge must keep every sink byte-stable.
+  const EngineOutput serial = run_quick("design_portfolio.json", 1);
+  const EngineOutput parallel = run_quick("design_portfolio.json", 8);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_FALSE(serial.jsonl.empty());
 }
 
 }  // namespace

@@ -66,6 +66,56 @@ TEST(GridStudy, AlwaysActivePaysIdleEverywhere) {
               49 * card.p_idle * 0.05);
 }
 
+TEST(GridStudy, CachedFreezeMatchesUncachedPath) {
+  // The memoized grid_series path must be indistinguishable from running
+  // the base-rate simulation fresh: same active set, same points, bit for
+  // bit. Run the cached entry twice (miss, then hit) and diff both against
+  // the uncached reference pipeline.
+  const auto sc = quick_grid();
+  const auto stack = net::StackSpec::mtpr_perfect();
+  const std::vector<double> rates{2.0, 5.0, 40.0};
+
+  const auto reference =
+      grid_series_from_freeze(freeze_routes(sc, stack), sc, stack, rates);
+  const auto first = grid_series(sc, stack, rates);
+  const auto second = grid_series(sc, stack, rates);  // served from cache
+
+  for (const auto* s : {&first, &second}) {
+    EXPECT_EQ(s->label, reference.label);
+    EXPECT_EQ(s->active_nodes, reference.active_nodes);
+    ASSERT_EQ(s->points.size(), reference.points.size());
+    for (std::size_t i = 0; i < reference.points.size(); ++i) {
+      EXPECT_EQ(s->points[i].rate_pps, reference.points[i].rate_pps);
+      EXPECT_EQ(s->points[i].goodput_bit_per_j,
+                reference.points[i].goodput_bit_per_j);
+      EXPECT_EQ(s->points[i].network_power_w,
+                reference.points[i].network_power_w);
+      EXPECT_EQ(s->points[i].data_power_w, reference.points[i].data_power_w);
+      EXPECT_EQ(s->points[i].passive_power_w,
+                reference.points[i].passive_power_w);
+    }
+  }
+}
+
+TEST(GridStudy, FreezeCacheHoldsOneEntryPerScenarioStackPair) {
+  clear_grid_freeze_cache();
+  const auto sc = quick_grid();
+  grid_series(sc, net::StackSpec::dsr_active(), {2.0});
+  EXPECT_EQ(grid_freeze_cache_size(), 1u);
+  // Same (scenario, stack), different rate axis: no new simulation.
+  grid_series(sc, net::StackSpec::dsr_active(), {50.0, 100.0});
+  EXPECT_EQ(grid_freeze_cache_size(), 1u);
+  // Different stack — and a scenario nudged by one field — are new keys.
+  grid_series(sc, net::StackSpec::titan_pc(), {2.0});
+  EXPECT_EQ(grid_freeze_cache_size(), 2u);
+  auto sc2 = sc;
+  sc2.seed += 1;
+  grid_series(sc2, net::StackSpec::titan_pc(), {2.0});
+  EXPECT_EQ(grid_freeze_cache_size(), 3u);
+  clear_grid_freeze_cache();
+  EXPECT_EQ(grid_freeze_cache_size(), 0u);
+}
+
 TEST(GridStudy, GoodputIncreasesWithRateUnderFixedIdle) {
   // With ODPM idle dominating, higher rates amortize it: goodput rises.
   const auto s = grid_series(quick_grid(), net::StackSpec::dsr_odpm_pc(),

@@ -123,6 +123,139 @@ TEST(Manifest, ParsesSweepExperiment) {
   EXPECT_DOUBLE_EQ(sc.field_w, 500.0);
 }
 
+TEST(Manifest, ParsesDesignExperiment) {
+  const auto m = Manifest::parse(R"({
+    "name": "ds",
+    "experiments": [{
+      "id": "portfolio_scaling",
+      "kind": "design",
+      "node_counts": [50, 100],
+      "heuristics": ["klein_ravi", "local_search", "portfolio"],
+      "demands": 6,
+      "starts": 4,
+      "anneal_iters": 100,
+      "runs": 2,
+      "seed": 9
+    }]
+  })");
+  ASSERT_EQ(m.experiments.size(), 1u);
+  const Experiment& e = m.experiments[0];
+  EXPECT_EQ(e.kind, ExperimentKind::Design);
+  EXPECT_EQ(e.node_counts, (std::vector<std::size_t>{50, 100}));
+  EXPECT_EQ(e.heuristics, (std::vector<std::string>{
+                              "klein_ravi", "local_search", "portfolio"}));
+  EXPECT_EQ(e.demands, 6u);
+  EXPECT_EQ(e.starts, 4u);
+  EXPECT_EQ(e.anneal_iters, 100u);
+  EXPECT_EQ(e.runs, 2u);
+  EXPECT_EQ(e.seed, 9u);
+  // Default metric set: total cost + gap vs the Klein-Ravi baseline.
+  ASSERT_EQ(e.metrics.size(), 2u);
+  EXPECT_EQ(e.metrics[0].name, "eq5_total");
+  EXPECT_EQ(e.metrics[1].name, "gap_vs_klein_ravi");
+}
+
+TEST(Manifest, DesignKindRejectsBadInputsActionably) {
+  const auto design = [](const std::string& patch) {
+    return R"({"name":"t","experiments":[{"id":"d","kind":"design",
+      "node_counts":[50],)" + patch + R"(}]})";
+  };
+  expect_rejected([&] { Manifest::parse(design("\"starts\": 4")); },
+                  "missing required key \"heuristics\"");
+  expect_rejected(
+      [&] { Manifest::parse(design("\"heuristics\": [\"simplex\"]")); },
+      "unknown design heuristic \"simplex\" (valid: klein_ravi");
+  expect_rejected(
+      [&] {
+        Manifest::parse(
+            design("\"heuristics\": [\"portfolio\", \"portfolio\"]"));
+      },
+      "duplicate heuristic \"portfolio\"");
+  expect_rejected(
+      [&] {
+        Manifest::parse(design(
+            "\"heuristics\": [\"portfolio\"], \"starts\": 0"));
+      },
+      "starts must be in [1, 1000]");
+  expect_rejected(
+      [&] {
+        Manifest::parse(design(
+            "\"heuristics\": [\"portfolio\"], "
+            "\"scenario\": {\"preset\": \"small_network\"}"));
+      },
+      "is not valid for kind \"design\"");
+  expect_rejected(
+      [&] {
+        Manifest::parse(design(
+            "\"heuristics\": [\"portfolio\"], \"stacks\": [\"titan_pc\"]"));
+      },
+      "use \"heuristics\"");
+  expect_rejected(
+      [&] {
+        Manifest::parse(design(
+            "\"heuristics\": [\"portfolio\"], \"rates_pps\": [2]"));
+      },
+      "only valid for kinds \"sweep\" and \"grid\"");
+  // Sim metrics are not design metrics.
+  expect_rejected(
+      [&] {
+        Manifest::parse(design("\"heuristics\": [\"portfolio\"], "
+                               "\"metrics\": [\"delivery_ratio\"]"));
+      },
+      "not valid for kind \"design\"");
+  // Instances must be able to host the demand count — caught at parse,
+  // not mid-run in the engine.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+          "kind":"design","node_counts":[2],
+          "heuristics":["klein_ravi"]}]})");
+      },
+      "distinct (source, destination) pairs");
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+          "kind":"design","node_counts":[50],"demands":10,
+          "heuristics":["klein_ravi"],
+          "quick":{"node_counts":[3]}}]})");
+      },
+      "quick node count 3 cannot host 10 demands");
+  // Design experiments are solved, not simulated: a quick duration would
+  // be silently inert.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+          "kind":"design","node_counts":[50],
+          "heuristics":["klein_ravi"],
+          "quick":{"duration_s":5}}]})");
+      },
+      "solved, not simulated");
+}
+
+TEST(Manifest, ExperimentSummariesListIdsKindsAndCellCounts) {
+  const auto m = Manifest::parse(R"({
+    "name": "t",
+    "experiments": [
+      {"id": "fig8", "kind": "sweep",
+       "scenario": {"preset": "small_network"},
+       "stacks": ["titan_pc", "dsr_active"], "rates_pps": [2, 4, 6]},
+      {"id": "search", "kind": "design", "node_counts": [50, 100],
+       "heuristics": ["klein_ravi", "portfolio"],
+       "title": "Design search"}
+    ]
+  })");
+  const auto lines = m.experiment_summaries();
+  ASSERT_EQ(lines.size(), 2u);
+  // The first token is the experiment id — exactly what --only accepts.
+  EXPECT_EQ(lines[0].substr(0, lines[0].find(' ')), "fig8");
+  EXPECT_NE(lines[0].find("[sweep]"), std::string::npos);
+  EXPECT_NE(lines[0].find("2 series x 3 x-values"), std::string::npos);
+  EXPECT_EQ(lines[1].substr(0, lines[1].find(' ')), "search");
+  EXPECT_NE(lines[1].find("[design]"), std::string::npos);
+  EXPECT_NE(lines[1].find("2 series x 2 x-values"), std::string::npos);
+  EXPECT_NE(lines[1].find("Design search"), std::string::npos);
+}
+
 TEST(Manifest, SerializeParseRoundTripIsAFixedPoint) {
   for (const std::string& text : std::vector<std::string>{
            sweep_manifest_json(),
@@ -135,6 +268,10 @@ TEST(Manifest, SerializeParseRoundTripIsAFixedPoint) {
            R"({"name":"m","experiments":[{"id":"fig7","kind":"mopt",
                "cards":[{"card":"Cabletron","distance_m":250}],
                "rb":[0.1,0.5]}]})",
+           R"({"name":"s","experiments":[{"id":"ds","kind":"design",
+               "node_counts":[50,200],"heuristics":["klein_ravi","portfolio"],
+               "demands":6,"starts":4,"anneal_iters":150,"runs":2,
+               "quick":{"node_counts":[50],"runs":1}}]})",
        }) {
     const Manifest m1 = Manifest::parse(text);
     const std::string canon = m1.serialize();
@@ -167,7 +304,14 @@ TEST(Manifest, RejectsUnknownKeysWithAllowedList) {
 TEST(Manifest, RejectsKindMismatchedKeys) {
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("node_counts", "[300]")); },
-      "only valid for kind \"density\"");
+      "only valid for kinds \"density\" and \"design\"");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("heuristics",
+                                               "[\"portfolio\"]")); },
+      "only valid for kind \"design\"");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("starts", "4")); },
+      "only valid for kind \"design\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("cards", "[]")); },
       "only valid for kind \"mopt\"");

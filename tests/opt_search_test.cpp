@@ -1,0 +1,292 @@
+// Unit tests: the metaheuristic design-search subsystem (src/opt/).
+//
+// The load-bearing guarantees:
+//   * an exhaustive-enumeration oracle on <= 10-node instances lower-bounds
+//     every heuristic (no heuristic may beat the true optimum);
+//   * local search and annealing never worsen their seed;
+//   * the portfolio's Eq. 5 cost is <= the Klein-Ravi baseline's on every
+//     instance, and it is byte-deterministic for any jobs value.
+#include <gtest/gtest.h>
+
+#include "opt/annealing.hpp"
+#include "opt/design_instance.hpp"
+#include "opt/local_search.hpp"
+#include "opt/portfolio.hpp"
+#include "util/rng.hpp"
+
+namespace eend::opt {
+namespace {
+
+const analytical::Eq5Params kEval{};  // t_idle = t_data = 1, the defaults
+
+/// Brute-force exact design search: enumerate every subset of non-terminal
+/// nodes, score the feasible ones, return the cheapest. Exponential — the
+/// test oracle for small instances only.
+CandidateDesign exact_design(const core::NetworkDesignProblem& p) {
+  const auto terminals = p.terminals();
+  std::vector<graph::NodeId> optional;
+  for (graph::NodeId v = 0; v < p.graph().node_count(); ++v)
+    if (!std::binary_search(terminals.begin(), terminals.end(), v))
+      optional.push_back(v);
+  EXPECT_LE(optional.size(), 16u) << "oracle is exponential";
+
+  CandidateDesign best;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << optional.size());
+       ++mask) {
+    std::vector<graph::NodeId> nodes = terminals;
+    for (std::size_t i = 0; i < optional.size(); ++i)
+      if (mask & (std::size_t{1} << i)) nodes.push_back(optional[i]);
+    const CandidateDesign cand = evaluate_design(p, nodes, kEval);
+    if (!cand.feasible) continue;
+    if (!best.feasible || cand.cost() < best.cost()) best = cand;
+  }
+  return best;
+}
+
+/// The §3 ST1/ST2 instance: k sources, one sink, a chain relay (ST1) and a
+/// star relay (ST2) of equal node weight but very different data cost.
+core::NetworkDesignProblem st_instance(int k, graph::NodeId* chain_relay,
+                                       graph::NodeId* star_relay) {
+  graph::Graph g;
+  const auto sink = g.add_node(0.0);
+  std::vector<graph::NodeId> src;
+  for (int s = 0; s < k; ++s) src.push_back(g.add_node(0.0));
+  const auto ri = g.add_node(1.0);
+  const auto rj = g.add_node(1.0);
+  for (int s = 0; s + 1 < k; ++s) g.add_edge(src[s], src[s + 1], 1.0);
+  g.add_edge(src[0], ri, 1.0);
+  g.add_edge(ri, sink, 1.0);
+  for (int s = 0; s < k; ++s) g.add_edge(src[s], rj, 1.0);
+  g.add_edge(rj, sink, 1.0);
+
+  core::NetworkDesignProblem p(std::move(g));
+  for (int s = 0; s < k; ++s) p.add_demand({src[s], sink, 1.0});
+  if (chain_relay) *chain_relay = ri;
+  if (star_relay) *star_relay = rj;
+  return p;
+}
+
+DesignInstance small_field(std::uint64_t seed, std::size_t nodes = 40,
+                           std::size_t demands = 5) {
+  DesignInstanceSpec spec;
+  spec.node_count = nodes;
+  spec.demand_count = demands;
+  spec.seed = seed;
+  return make_design_instance(spec);
+}
+
+// ------------------------------------------------------------- evaluation ---
+
+TEST(DesignEval, DropsUnusedNodesAndScoresEq5) {
+  // Hub-and-arms star: the only 1 -> 2 route is 1-0-2, so arms 3 and 4 are
+  // allowed but unused and must be normalized out of the candidate.
+  graph::Graph g;
+  const auto hub = g.add_node(1.0);
+  for (int arm = 0; arm < 4; ++arm) g.add_edge(hub, g.add_node(1.0), 1.0);
+  core::NetworkDesignProblem p(std::move(g));
+  p.add_demand({1, 2, 1.0});
+  std::vector<graph::NodeId> all{0, 1, 2, 3, 4};
+  const auto cand = evaluate_design(p, all, kEval);
+  ASSERT_TRUE(cand.feasible);
+  EXPECT_EQ(cand.nodes, (std::vector<graph::NodeId>{0, 1, 2}));
+  EXPECT_EQ(cand.score.active_nodes, 3u);
+  EXPECT_EQ(cand.score.relay_nodes, 1u);
+  EXPECT_NEAR(cand.score.idle, 1.0, 1e-12);  // the hub's idle weight
+  EXPECT_NEAR(cand.score.data, 2.0, 1e-12);  // two unit-weight hops
+}
+
+TEST(DesignEval, InfeasibleSubsetsAreFlaggedNotThrown) {
+  graph::NodeId ri = 0, rj = 0;
+  const auto p = st_instance(3, &ri, &rj);
+  // Terminals only: sources reach each other over the chain but the sink
+  // needs a relay — infeasible.
+  const auto cand = evaluate_design(p, p.terminals(), kEval);
+  EXPECT_FALSE(cand.feasible);
+}
+
+// ----------------------------------------------------------- local search ---
+
+TEST(LocalSearch, ReroutesChainRelayToStarRelay) {
+  // Seeded with the ST1 (chain) design, the exchange operator must
+  // discover the ST2 (star) design — the paper's §3 deviation of (k+3)/4
+  // closed by search instead of solver luck.
+  const int k = 4;
+  graph::NodeId ri = 0, rj = 0;
+  const auto p = st_instance(k, &ri, &rj);
+
+  std::vector<graph::NodeId> st1 = p.terminals();
+  st1.push_back(ri);
+  const auto seed = evaluate_design(p, st1, kEval);
+  ASSERT_TRUE(seed.feasible);
+  EXPECT_NEAR(seed.score.data, k * (k + 3.0) / 2.0, 1e-9);  // Eq. 6
+
+  LocalSearchStats stats;
+  const auto improved = local_search(p, seed, kEval, 64, &stats);
+  ASSERT_TRUE(improved.feasible);
+  EXPECT_GT(stats.passes, 0u);
+  EXPECT_NEAR(improved.score.data, 2.0 * k, 1e-9);  // Eq. 7 (ST2)
+  EXPECT_TRUE(std::binary_search(improved.nodes.begin(),
+                                 improved.nodes.end(), rj));
+}
+
+TEST(LocalSearch, NeverWorsensItsSeed) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto inst = small_field(seed);
+    for (const char* heuristic : {"klein_ravi", "mpc", "kmb"}) {
+      const auto start = heuristic_by_name(heuristic).run(
+          inst.problem, HeuristicOptions{}, seed);
+      ASSERT_TRUE(start.feasible) << heuristic;
+      const auto improved = local_search(inst.problem, start, kEval);
+      ASSERT_TRUE(improved.feasible) << heuristic;
+      EXPECT_LE(improved.cost(), start.cost()) << heuristic;
+    }
+  }
+}
+
+// --------------------------------------------------------------- annealing ---
+
+TEST(Annealing, NeverWorseThanSeedAndDeterministic) {
+  const auto inst = small_field(3);
+  const auto start = design_from_tree(
+      inst.problem, inst.problem.solve_node_weighted(), kEval);
+  ASSERT_TRUE(start.feasible);
+  AnnealingSchedule sched;
+  sched.iterations = 200;
+  const auto a = simulated_annealing(inst.problem, start, kEval, sched, 11);
+  const auto b = simulated_annealing(inst.problem, start, kEval, sched, 11);
+  EXPECT_LE(a.cost(), start.cost());
+  EXPECT_EQ(a.cost(), b.cost());
+  EXPECT_EQ(a.nodes, b.nodes);
+  // A different walk may find a different design, but the guarantee holds.
+  const auto c = simulated_annealing(inst.problem, start, kEval, sched, 12);
+  EXPECT_LE(c.cost(), start.cost());
+}
+
+// ------------------------------------------------------------ exact oracle ---
+
+TEST(ExactOracle, NoHeuristicBeatsExhaustiveEnumeration) {
+  // Tiny (<= 10 node) instances: the brute-force Steiner enumeration is
+  // the ground truth; every heuristic must land in [exact, infinity), and
+  // the portfolio must also stay <= Klein-Ravi.
+  Rng rng(404);
+  for (int trial = 0; trial < 12; ++trial) {
+    graph::Graph g;
+    const std::size_t n = 6 + rng.next_below(5);  // 6..10 nodes
+    for (std::size_t v = 0; v < n; ++v)
+      g.add_node(0.5 + rng.uniform());  // idle weights in [0.5, 1.5)
+    // Random connected-ish graph: a ring plus chords.
+    for (std::size_t v = 0; v < n; ++v)
+      g.add_edge(static_cast<graph::NodeId>(v),
+                 static_cast<graph::NodeId>((v + 1) % n),
+                 0.5 + rng.uniform());
+    const std::size_t chords = n;
+    for (std::size_t c = 0; c < chords; ++c) {
+      const auto u = static_cast<graph::NodeId>(rng.next_below(n));
+      const auto v = static_cast<graph::NodeId>(rng.next_below(n));
+      if (u != v) g.add_edge(u, v, 0.5 + 2.0 * rng.uniform());
+    }
+    core::NetworkDesignProblem p(std::move(g));
+    const auto s = static_cast<graph::NodeId>(rng.next_below(n));
+    auto d = static_cast<graph::NodeId>(rng.next_below(n));
+    if (d == s) d = static_cast<graph::NodeId>((d + 1) % n);
+    p.add_demand({s, d, 1.0});
+    p.add_demand({d, static_cast<graph::NodeId>((s + n / 2) % n), 1.0});
+
+    const auto exact = exact_design(p);
+    ASSERT_TRUE(exact.feasible) << "trial " << trial;
+
+    HeuristicOptions ho;
+    ho.starts = 6;
+    ho.anneal_iterations = 120;
+    double kr_cost = 0.0;
+    for (const auto& name : heuristic_names()) {
+      const auto cand = heuristic_by_name(name).run(p, ho, 1);
+      ASSERT_TRUE(cand.feasible) << name << " trial " << trial;
+      EXPECT_GE(cand.cost(), exact.cost() - 1e-9)
+          << name << " beat the exact optimum in trial " << trial;
+      if (name == "klein_ravi") kr_cost = cand.cost();
+      if (name == "portfolio") {
+        EXPECT_LE(cand.cost(), kr_cost) << "trial " << trial;
+        // On instances this small the multi-start portfolio should reach
+        // the optimum outright.
+        EXPECT_NEAR(cand.cost(), exact.cost(), 1e-9) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- portfolio ---
+
+TEST(Portfolio, CostNeverExceedsKleinRaviOnRandomFields) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const auto inst = small_field(seed, 60, 6);
+    PortfolioOptions po;
+    po.starts = 6;
+    po.anneal.iterations = 150;
+    po.seed = seed;
+    const auto result = design_portfolio(inst.problem, po);
+    ASSERT_TRUE(result.best.feasible);
+    ASSERT_EQ(result.starts.size(), 6u);
+    EXPECT_EQ(result.starts[0].seed_kind, "klein_ravi");
+    // Start 0 is Klein-Ravi + descent: the portfolio-wide guarantee.
+    EXPECT_LE(result.best.cost(), result.starts[0].seeded.cost());
+    for (const auto& s : result.starts)
+      if (s.improved.feasible)
+        EXPECT_LE(s.improved.cost(), s.seeded.cost()) << s.seed_kind;
+  }
+}
+
+TEST(Portfolio, ResultsAreIdenticalForAnyJobsValue) {
+  const auto inst = small_field(9, 50, 6);
+  PortfolioOptions po;
+  po.starts = 7;
+  po.anneal.iterations = 100;
+  po.seed = 9;
+  po.jobs = 1;
+  const auto serial = design_portfolio(inst.problem, po);
+  po.jobs = 4;
+  const auto parallel = design_portfolio(inst.problem, po);
+  EXPECT_EQ(serial.best_start, parallel.best_start);
+  EXPECT_EQ(serial.best.cost(), parallel.best.cost());
+  EXPECT_EQ(serial.best.nodes, parallel.best.nodes);
+  ASSERT_EQ(serial.starts.size(), parallel.starts.size());
+  for (std::size_t i = 0; i < serial.starts.size(); ++i) {
+    EXPECT_EQ(serial.starts[i].seed_kind, parallel.starts[i].seed_kind);
+    EXPECT_EQ(serial.starts[i].improved.cost(),
+              parallel.starts[i].improved.cost());
+    EXPECT_EQ(serial.starts[i].improved.nodes,
+              parallel.starts[i].improved.nodes);
+  }
+}
+
+// ---------------------------------------------------------------- instances ---
+
+TEST(DesignInstance, DeterministicConnectedAndDensityScaled) {
+  const auto a = small_field(5);
+  const auto b = small_field(5);
+  EXPECT_EQ(a.problem.graph().edge_count(), b.problem.graph().edge_count());
+  EXPECT_EQ(a.problem.demands().size(), 5u);
+  for (std::size_t i = 0; i < a.problem.demands().size(); ++i) {
+    EXPECT_EQ(a.problem.demands()[i].source, b.problem.demands()[i].source);
+    EXPECT_EQ(a.problem.demands()[i].destination,
+              b.problem.demands()[i].destination);
+  }
+  // §5.2.2 density law: side = 1300 * sqrt(N / 200).
+  EXPECT_NEAR(a.field_side, 1300.0 * std::sqrt(40.0 / 200.0), 1e-9);
+  // Connected by construction: the node-weighted solver must be feasible.
+  EXPECT_TRUE(a.problem.solve_node_weighted().feasible);
+}
+
+TEST(DesignInstance, RejectsDegenerateSpecs) {
+  DesignInstanceSpec spec;
+  spec.node_count = 1;
+  EXPECT_THROW(make_design_instance(spec), CheckError);
+  spec.node_count = 3;
+  spec.demand_count = 0;
+  EXPECT_THROW(make_design_instance(spec), CheckError);
+  spec.demand_count = 7;  // > 3*2 distinct ordered pairs
+  EXPECT_THROW(make_design_instance(spec), CheckError);
+}
+
+}  // namespace
+}  // namespace eend::opt

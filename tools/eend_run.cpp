@@ -184,9 +184,8 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("list", false)) {
-    for (const auto& e : manifest.experiments)
-      std::cout << e.id << "  [" << core::kind_name(e.kind) << "]  "
-                << e.title << "\n";
+    for (const auto& line : manifest.experiment_summaries())
+      std::cout << line << "\n";
     return 0;
   }
   if (flags.get_bool("print-manifest", false)) {
@@ -218,10 +217,11 @@ int main(int argc, char** argv) {
     bool applies = false;
     for (const auto& e : manifest.experiments)
       applies |= e.kind == core::ExperimentKind::Sweep ||
-                 e.kind == core::ExperimentKind::Density;
+                 e.kind == core::ExperimentKind::Density ||
+                 e.kind == core::ExperimentKind::Design;
     if (!applies) {
       std::cerr << "eend_run: --runs has no effect — none of the selected "
-                   "experiments are sweep or density kind\n";
+                   "experiments are sweep, density or design kind\n";
       return 2;
     }
     opts.runs_override = static_cast<std::size_t>(runs);
