@@ -63,7 +63,11 @@ int main(int argc, char** argv) {
     e.node_counts.push_back(1000);
     e.node_counts.push_back(2000);
   }
-  e.heuristics = opt::heuristic_names();
+  // Plain-objective heuristics only: the *_lifetime registry twins need a
+  // battery budget and belong to the replay kind (bench_design_replay).
+  for (const auto& name : opt::heuristic_names())
+    if (!opt::heuristic_uses_battery_budget(name))
+      e.heuristics.push_back(name);
   e.demands = static_cast<std::size_t>(flags.get_int("demands", 8));
   e.starts = static_cast<std::size_t>(flags.get_int("starts", 8));
   e.anneal_iters =

@@ -1,0 +1,158 @@
+// Design-replay benchmark — simulated-vs-analytic cross-check at scale.
+//
+// Drives the manifest engine's `replay` kind — the same code path
+// `eend_run` and the golden suite exercise — over random fields at the
+// §5.2.2 density: searched designs (Klein-Ravi baseline, portfolio, and
+// the lifetime-constrained portfolio) are realized as scenarios and re-run
+// through the full MAC/routing/energy stack. Reports, per (size,
+// heuristic): the Eq. 5 analytic energy, the simulated energy and their
+// gap (how much the proxy misses), simulated J per delivered Kbit, and the
+// lifetime frontier (first battery death vs the analytic max per-node
+// load) under finite batteries.
+//
+// Emits machine-readable JSON (default BENCH_design_replay.json; --json=
+// overrides, "none" disables) extending the BENCH_*.json perf/quality
+// trajectory, plus the engine's pivot tables on stdout.
+//
+// Flags: --quick (N in {50,100}; full adds {200,500}), --demands=N,
+//        --starts=N, --anneal-iters=N, --reps=N, --rate=R, --battery=J,
+//        --duration=S, --jobs=N, --seed=S, --json=PATH, --quiet.
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment_engine.hpp"
+#include "core/result_sink.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace eend;
+
+/// Buffers every row so the JSON artifact can pivot them after the run.
+class CollectSink final : public core::ResultSink {
+ public:
+  void row(const core::ResultRow& r) override { rows.push_back(r); }
+  std::vector<core::ResultRow> rows;
+};
+
+double metric_mean(const core::ResultRow& r, const std::string& name) {
+  for (const core::MetricValue& m : r.metrics)
+    if (m.name == name) return m.mean;
+  std::cerr << "bench_design_replay: row lacks metric " << name << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const bool quiet = flags.get_bool("quiet", false);
+  const std::string json_path = flags.get("json", "BENCH_design_replay.json");
+
+  core::Experiment e;
+  e.id = "bench";
+  e.title = "Design replay — simulated vs Eq. 5 energy, lifetime frontier";
+  e.kind = core::ExperimentKind::Replay;
+  e.node_counts = {50, 100};
+  if (!quick) {
+    e.node_counts.push_back(200);
+    e.node_counts.push_back(500);
+  }
+  e.heuristics = {"klein_ravi", "portfolio", "portfolio_lifetime"};
+  e.demands = static_cast<std::size_t>(flags.get_int("demands", 6));
+  e.starts = static_cast<std::size_t>(flags.get_int("starts", 6));
+  e.anneal_iters =
+      static_cast<std::size_t>(flags.get_int("anneal-iters", 200));
+  e.runs = static_cast<std::size_t>(flags.get_int("reps", quick ? 1 : 2));
+  e.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  e.replay_stack = "dsr_active";
+  e.replay_duration_s = flags.get_double("duration", 120.0);
+  e.replay_rate_pps = flags.get_double("rate", 16.0);
+  e.battery_j = flags.get_double("battery", 102.5);
+  e.demand_weights = {0.5, 1.0, 3.0};
+  e.metrics = {{"analytic_eq5_j", 1},     {"sim_energy_j", 1},
+               {"analytic_gap_pct", 2},   {"sim_j_per_kbit", 3},
+               {"delivery_ratio", 3},     {"first_death_s", 1},
+               {"active_nodes", 1},       {"max_node_load_j", 2}};
+
+  core::EngineOptions opts;
+  opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  opts.progress = quiet ? nullptr : &std::cerr;
+
+  core::ExperimentEngine engine(opts);
+  CollectSink collect;
+  core::TableSink table(std::cout);
+  engine.add_sink(collect);
+  engine.add_sink(table);
+  engine.run(e);
+
+  // The acceptance property the golden family pins, re-asserted from the
+  // user-visible rows at bench scale: the lifetime-constrained portfolio
+  // must never die earlier than the unconstrained one, and its analytic
+  // max per-node load must stay below it wherever the budget binds.
+  for (const std::size_t n : e.node_counts) {
+    const core::ResultRow* base = nullptr;
+    const core::ResultRow* lifetime = nullptr;
+    for (const core::ResultRow& r : collect.rows) {
+      if (r.x != static_cast<double>(n)) continue;
+      if (r.series == "portfolio") base = &r;
+      if (r.series == "portfolio_lifetime") lifetime = &r;
+    }
+    if (!base || !lifetime) continue;
+    if (metric_mean(*lifetime, "first_death_s") <
+        metric_mean(*base, "first_death_s") - 1e-9) {
+      std::cerr << "bench_design_replay: portfolio_lifetime died earlier "
+                   "than portfolio at n=" << n << "\n";
+      return 1;
+    }
+  }
+
+  if (json_path != "none") {
+    json::Array sizes_json;
+    for (const std::size_t n : e.node_counts) {
+      json::Array heur;
+      for (const core::ResultRow& r : collect.rows) {
+        if (r.x != static_cast<double>(n)) continue;
+        heur.push_back(json::Object{
+            {"name", json::Value(r.series)},
+            {"analytic_eq5_j", json::Value(metric_mean(r, "analytic_eq5_j"))},
+            {"sim_energy_j", json::Value(metric_mean(r, "sim_energy_j"))},
+            {"analytic_gap_pct",
+             json::Value(metric_mean(r, "analytic_gap_pct"))},
+            {"sim_j_per_kbit",
+             json::Value(metric_mean(r, "sim_j_per_kbit"))},
+            {"delivery_ratio",
+             json::Value(metric_mean(r, "delivery_ratio"))},
+            {"first_death_s", json::Value(metric_mean(r, "first_death_s"))},
+            {"max_node_load_j",
+             json::Value(metric_mean(r, "max_node_load_j"))}});
+      }
+      sizes_json.push_back(json::Object{
+          {"n", json::Value(static_cast<double>(n))},
+          {"reps", json::Value(static_cast<double>(e.runs))},
+          {"heuristics", json::Value(std::move(heur))}});
+    }
+    const json::Object doc{
+        {"bench", json::Value(std::string("design_replay"))},
+        {"quick", json::Value(quick)},
+        {"seed", json::Value(static_cast<double>(e.seed))},
+        {"demands", json::Value(static_cast<double>(e.demands))},
+        {"starts", json::Value(static_cast<double>(e.starts))},
+        {"duration_s", json::Value(e.replay_duration_s)},
+        {"rate_pps", json::Value(e.replay_rate_pps)},
+        {"battery_j", json::Value(e.battery_j)},
+        {"jobs", json::Value(static_cast<double>(opts.jobs))},
+        {"sizes", json::Value(std::move(sizes_json))}};
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "bench_design_replay: cannot open " << json_path << "\n";
+      return 1;
+    }
+    out << json::dump(json::Value(doc), 2) << "\n";
+    if (!quiet) std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -50,6 +50,25 @@ cmp /tmp/eend_dp_j1.csv /tmp/eend_dp_j8.csv
 cmp /tmp/eend_dp_j1.jsonl /tmp/eend_dp_j8.jsonl
 echo "OK: design kind byte-identical for jobs=1 and jobs=8"
 
+echo "== design replay: simulated-vs-analytic bench (JSON artifact) =="
+./build/bench/bench_design_replay --quick --quiet \
+  --json=BENCH_design_replay.json > /dev/null
+test -s BENCH_design_replay.json
+echo "OK: wrote BENCH_design_replay.json"
+
+echo "== design replay: quick design_replay cell, jobs=1 vs jobs=8 =="
+./build/tools/eend_run --manifest examples/manifests/design_replay.json \
+  --list | grep -q "replay_scaling  \[replay\]"
+for j in 1 8; do
+  ./build/tools/eend_run --manifest examples/manifests/design_replay.json \
+    --quick --quiet --csv="/tmp/eend_dr_j$j.csv" \
+    --jsonl="/tmp/eend_dr_j$j.jsonl" --jobs="$j" > "/tmp/eend_dr_j$j.out"
+done
+cmp /tmp/eend_dr_j1.out /tmp/eend_dr_j8.out
+cmp /tmp/eend_dr_j1.csv /tmp/eend_dr_j8.csv
+cmp /tmp/eend_dr_j1.jsonl /tmp/eend_dr_j8.jsonl
+echo "OK: replay kind byte-identical for jobs=1 and jobs=8"
+
 echo "== spatial index: construction/query bench (JSON artifact) =="
 ./build/bench/bench_channel_build --quick --quiet \
   --json=BENCH_channel_build.json > /dev/null

@@ -38,6 +38,10 @@ class NetworkDesignProblem {
   /// Build directly from an explicit graph (weights already assigned).
   explicit NetworkDesignProblem(graph::Graph g) : graph_(std::move(g)) {}
 
+  /// Empty problem (no nodes, no demands) — pre-sized result slots in the
+  /// parallel engines are filled in place.
+  NetworkDesignProblem() = default;
+
   const graph::Graph& graph() const { return graph_; }
   graph::Graph& graph() { return graph_; }
 

@@ -13,6 +13,7 @@
 #include "energy/radio_card.hpp"
 #include "opt/design_heuristic.hpp"
 #include "opt/design_instance.hpp"
+#include "replay/replay.hpp"
 #include "util/table.hpp"
 
 namespace eend::core {
@@ -59,6 +60,71 @@ MetricValue sim_metric(const ExperimentResult& r, const std::string& name) {
   return out;
 }
 
+// ------------------------------------------------- design-search cells ---
+
+/// One design-search cell, shared by the design and replay kinds: solve
+/// the Klein-Ravi tree once (it seeds klein_ravi, local_search, annealing
+/// and the portfolio's start 0, and is the dominant cost on large
+/// instances), evaluate it as the baseline, then run every requested
+/// heuristic against it. The baseline anchors the design kind's gap metric
+/// and the portfolio ≤ Klein-Ravi invariant, which is enforced here — the
+/// single point both kinds' results pass through on their way to sinks.
+struct CellSearchResult {
+  opt::CandidateDesign baseline;
+  double baseline_wall = 0.0;
+  std::vector<opt::CandidateDesign> designs;  ///< per heuristic, in order
+  std::vector<double> walls;                  ///< per heuristic, seconds
+};
+
+CellSearchResult search_design_cell(
+    const core::NetworkDesignProblem& problem,
+    const std::vector<std::string>& heuristics, opt::HeuristicOptions ho,
+    std::uint64_t seed, std::size_t n) {
+  CellSearchResult out;
+  const auto t_base = std::chrono::steady_clock::now();
+  const graph::SteinerTree kr_tree = problem.solve_node_weighted();
+  ho.klein_ravi_tree = &kr_tree;
+  out.baseline = opt::heuristic_by_name("klein_ravi").run(problem, ho, seed);
+  out.baseline_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_base)
+          .count();
+  EEND_CHECK_MSG(out.baseline.feasible,
+                 "Klein-Ravi baseline infeasible on a connected instance "
+                 "(n=" << n << ", seed=" << seed << ")");
+
+  out.designs.resize(heuristics.size());
+  out.walls.resize(heuristics.size());
+  for (std::size_t hi = 0; hi < heuristics.size(); ++hi) {
+    const auto& name = heuristics[hi];
+    const auto t0 = std::chrono::steady_clock::now();
+    out.designs[hi] =
+        name == "klein_ravi"
+            ? out.baseline
+            : opt::heuristic_by_name(name).run(problem, ho, seed);
+    // The baseline's wall time (tree solve included) is attributed to the
+    // klein_ravi series when that series is requested.
+    out.walls[hi] =
+        name == "klein_ravi"
+            ? out.baseline_wall
+            : std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EEND_CHECK_MSG(out.designs[hi].feasible,
+                   "heuristic \"" << name
+                   << "\" infeasible on a connected instance (n=" << n
+                   << ", seed=" << seed << ")");
+    // The portfolio's start 0 is Klein-Ravi + descent under the same
+    // objective, so it can never cost more than the baseline; enforce the
+    // invariant at the point results become user-visible.
+    if (name == "portfolio")
+      EEND_CHECK_MSG(out.designs[hi].cost() <= out.baseline.cost(),
+                     "portfolio worse than Klein-Ravi baseline (n="
+                         << n << ", seed=" << seed << ")");
+  }
+  return out;
+}
+
 MetricValue grid_metric(const GridSeries& s, const GridPoint& p,
                         const std::string& name) {
   MetricValue out;
@@ -89,6 +155,7 @@ void ExperimentEngine::run(const Experiment& e) {
     case ExperimentKind::Grid: run_grid(e); break;
     case ExperimentKind::Mopt: run_mopt(e); break;
     case ExperimentKind::Design: run_design(e); break;
+    case ExperimentKind::Replay: run_replay(e); break;
   }
   for (ResultSink* s : sinks_) s->end_experiment(e);
 }
@@ -304,59 +371,19 @@ void ExperimentEngine::run_design(const Experiment& e) {
     spec.seed = base_seed + cell.run;
     const opt::DesignInstance inst = opt::make_design_instance(spec);
 
-    // Klein-Ravi is the gap baseline for every series, whether or not it
-    // is itself a requested heuristic; its wall time is attributed to the
-    // klein_ravi series when that series is present. The tree is solved
-    // once and shared with every heuristic that seeds from it
-    // (local_search, annealing, the portfolio's start 0) — it is the
-    // dominant cost on large instances and deterministic in the instance
-    // alone.
-    const auto t_base = std::chrono::steady_clock::now();
-    const graph::SteinerTree kr_tree = inst.problem.solve_node_weighted();
-    opt::HeuristicOptions cell_ho = ho;
-    cell_ho.klein_ravi_tree = &kr_tree;
-    const opt::CandidateDesign baseline =
-        opt::heuristic_by_name("klein_ravi")
-            .run(inst.problem, cell_ho, spec.seed);
-    const double baseline_wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_base)
-            .count();
-    EEND_CHECK_MSG(baseline.feasible,
-                   "Klein-Ravi baseline infeasible on a connected instance "
-                   "(n=" << cell.n << ", seed=" << spec.seed << ")");
-
+    const CellSearchResult sr = search_design_cell(
+        inst.problem, e.heuristics, ho, spec.seed, cell.n);
     samples[ci].resize(e.heuristics.size());
     for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
-      const auto& name = e.heuristics[hi];
-      const auto t0 = std::chrono::steady_clock::now();
-      const opt::CandidateDesign cand =
-          name == "klein_ravi"
-              ? baseline
-              : opt::heuristic_by_name(name).run(inst.problem, cell_ho,
-                                                 spec.seed);
-      const double wall =
-          name == "klein_ravi"
-              ? baseline_wall
-              : std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-      EEND_CHECK_MSG(cand.feasible, "heuristic \"" << name
-                     << "\" infeasible on a connected instance");
-      // The portfolio's start 0 is Klein-Ravi + descent, so it can never
-      // cost more than the baseline; enforce the invariant at the point
-      // results become user-visible.
-      if (name == "portfolio")
-        EEND_CHECK_MSG(cand.cost() <= baseline.cost(),
-                       "portfolio worse than Klein-Ravi baseline (n="
-                           << cell.n << ", seed=" << spec.seed << ")");
+      const opt::CandidateDesign& cand = sr.designs[hi];
       Sample& s = samples[ci][hi];
       s.total = cand.cost();
       s.data = cand.score.data;
       s.idle = cand.score.idle;
-      s.gap = 100.0 * (cand.cost() - baseline.cost()) / baseline.cost();
+      s.gap = 100.0 * (cand.cost() - sr.baseline.cost()) /
+              sr.baseline.cost();
       s.relays = static_cast<double>(cand.score.relay_nodes);
-      s.wall = wall;
+      s.wall = sr.walls[hi];
     }
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
@@ -399,6 +426,137 @@ void ExperimentEngine::run_design(const Experiment& e) {
         mv.mean = st.mean;
         mv.ci95 = st.ci95_half_width;
         mv.n = st.n;
+        return mv;
+      };
+      for (const MetricSpec& m : e.metrics)
+        row.metrics.push_back(metric_of(m.name));
+      emit(row);
+    }
+  }
+}
+
+void ExperimentEngine::run_replay(const Experiment& e) {
+  const std::vector<std::size_t>& nodes =
+      (opts_.quick && e.quick.node_counts) ? *e.quick.node_counts
+                                           : e.node_counts;
+  const std::size_t runs = effective_runs(e);
+  const std::uint64_t base_seed = effective_seed(e);
+
+  replay::ReplaySettings settings;
+  settings.stack = net::stack_preset(e.replay_stack);
+  settings.duration_s = e.replay_duration_s;
+  if (opts_.quick)
+    settings.duration_s = std::min(
+        settings.duration_s, e.quick.duration_s.value_or(kQuickDurationS));
+  settings.rate_pps = e.replay_rate_pps;
+  settings.battery_capacity_j = e.battery_j;
+
+  struct Cell {
+    std::size_t n = 0;
+    std::size_t run = 0;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t n : nodes)
+    for (std::size_t run = 0; run < runs; ++run) cells.push_back({n, run});
+
+  // Phase 1 — search: one instance per cell (shared Klein-Ravi tree), every
+  // requested heuristic run under the joule-scaled replay objective, so the
+  // analytic cost, the lifetime budget and the simulated battery all speak
+  // the same unit. Phase 2 — simulate: every (cell, heuristic) design is
+  // realized and replayed through net::Network, fanned flat across the pool
+  // (simulations dominate the wall clock and are independent). Both phases
+  // land results in pre-sized slots, so output bytes never depend on --jobs.
+  struct CellState {
+    opt::DesignInstanceSpec spec;
+    opt::DesignInstance instance;
+    std::vector<opt::CandidateDesign> designs;  // per heuristic
+  };
+  std::vector<CellState> state(cells.size());
+
+  std::mutex io_m;
+  ParallelRunner pool(opts_.jobs);
+  pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const Cell& cell = cells[ci];
+    CellState& st = state[ci];
+    st.spec.node_count = cell.n;
+    st.spec.demand_count = e.demands;
+    st.spec.seed = base_seed + cell.run;
+    st.spec.demand_weights = e.demand_weights;
+    st.instance = opt::make_design_instance(st.spec);
+
+    opt::HeuristicOptions ho;
+    ho.eval = replay::replay_eq5_params(settings, st.spec.card);
+    ho.starts = e.starts;
+    ho.anneal_iterations = e.anneal_iters;
+    ho.jobs = cells.size() > 1 ? 1 : opts_.jobs;
+    ho.battery_budget_j = e.battery_j;
+    st.designs = search_design_cell(st.instance.problem, e.heuristics, ho,
+                                    st.spec.seed, cell.n)
+                     .designs;
+    if (opts_.progress) {
+      std::lock_guard<std::mutex> lk(io_m);
+      note("  [" + e.title + "] n=" + std::to_string(cell.n) + " instance " +
+           std::to_string(cell.run + 1) + "/" + std::to_string(runs) +
+           " searched");
+    }
+  });
+
+  // reports[cell * heuristics + heuristic]
+  std::vector<replay::ReplayReport> reports(cells.size() *
+                                            e.heuristics.size());
+  pool.for_each_index(reports.size(), [&](std::size_t i) {
+    const std::size_t ci = i / e.heuristics.size();
+    const std::size_t hi = i % e.heuristics.size();
+    const CellState& st = state[ci];
+    reports[i] = replay::replay_design(st.spec, st.instance, st.designs[hi],
+                                       settings);
+    if (opts_.progress) {
+      std::lock_guard<std::mutex> lk(io_m);
+      note("  [" + e.title + "] n=" + std::to_string(cells[ci].n) + " " +
+           e.heuristics[hi] + " instance " +
+           std::to_string(cells[ci].run + 1) + "/" + std::to_string(runs) +
+           " replayed");
+    }
+  });
+
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = e.heuristics[hi];
+      row.x_name = "nodes";
+      row.x = static_cast<double>(nodes[ni]);
+      row.runs = runs;
+      row.seed = base_seed;
+      const auto metric_of = [&](const std::string& name) {
+        std::vector<double> xs;
+        xs.reserve(runs);
+        for (std::size_t run = 0; run < runs; ++run) {
+          const replay::ReplayReport& rep =
+              reports[(ni * runs + run) * e.heuristics.size() + hi];
+          if (name == "analytic_eq5_j") xs.push_back(rep.analytic_energy_j);
+          else if (name == "sim_energy_j") xs.push_back(rep.sim_energy_j);
+          else if (name == "analytic_gap_pct") xs.push_back(rep.gap_pct);
+          else if (name == "sim_j_per_kbit") xs.push_back(rep.sim_j_per_kbit);
+          else if (name == "delivery_ratio") xs.push_back(rep.delivery_ratio);
+          else if (name == "first_death_s") xs.push_back(rep.first_death_s);
+          else if (name == "depleted_nodes")
+            xs.push_back(static_cast<double>(rep.depleted_nodes));
+          else if (name == "active_nodes")
+            xs.push_back(static_cast<double>(rep.active_nodes));
+          else if (name == "max_node_load_j")
+            xs.push_back(rep.max_node_load_j);
+          else
+            EEND_REQUIRE_MSG(false,
+                             "unknown replay metric \"" << name << "\"");
+        }
+        const SampleStats st2 = summarize(xs);
+        MetricValue mv;
+        mv.name = name;
+        mv.mean = st2.mean;
+        mv.ci95 = st2.ci95_half_width;
+        mv.n = st2.n;
         return mv;
       };
       for (const MetricSpec& m : e.metrics)

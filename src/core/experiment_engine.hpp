@@ -50,6 +50,7 @@ class ExperimentEngine {
   void run_grid(const Experiment& e);
   void run_mopt(const Experiment& e);
   void run_design(const Experiment& e);
+  void run_replay(const Experiment& e);
 
   void emit(const ResultRow& r);
   /// Resolve the experiment's scenario; density cells pass their node

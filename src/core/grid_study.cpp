@@ -35,7 +35,7 @@ void fp(std::ostringstream& os, const std::string& v) {
 // points here. (Sizes are libstdc++/x86-64-specific — the layout CI pins —
 // so the guard is scoped to that ABI.)
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(net::ScenarioConfig) == 384 &&
+static_assert(sizeof(net::ScenarioConfig) == 432 &&
                   sizeof(net::StackSpec) == 128 &&
                   sizeof(energy::RadioCard) == 112,
               "ScenarioConfig/StackSpec/RadioCard changed — update "
@@ -79,6 +79,14 @@ std::string freeze_key(const net::ScenarioConfig& sc,
   fp(os, static_cast<std::uint64_t>(sc.rate_multipliers.size()));
   for (const double m : sc.rate_multipliers) fp(os, m);
   fp(os, static_cast<std::uint64_t>(sc.flows_left_right));
+  fp(os, static_cast<std::uint64_t>(sc.flow_endpoints.size()));
+  for (const auto& [s, d] : sc.flow_endpoints) {
+    fp(os, static_cast<std::uint64_t>(s));
+    fp(os, static_cast<std::uint64_t>(d));
+  }
+  fp(os, static_cast<std::uint64_t>(sc.powered_off_nodes.size()));
+  for (const std::size_t id : sc.powered_off_nodes)
+    fp(os, static_cast<std::uint64_t>(id));
   // scenario: execution
   fp(os, sc.duration_s);
   fp(os, sc.seed);

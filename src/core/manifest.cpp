@@ -184,6 +184,17 @@ constexpr MetricInfo kDesignMetricInfo[] = {
     // determinism contract — keep it out of golden-pinned manifests.
     {"wall_time_s", "wall time (s)"},
 };
+constexpr MetricInfo kReplayMetricInfo[] = {
+    {"analytic_eq5_j", "Eq. 5 analytic energy (J)"},
+    {"sim_energy_j", "simulated energy (J)"},
+    {"analytic_gap_pct", "simulated vs Eq. 5 gap (%)"},
+    {"sim_j_per_kbit", "simulated J per delivered Kbit"},
+    {"delivery_ratio", "delivery ratio"},
+    {"first_death_s", "first battery death (s; horizon = none)"},
+    {"depleted_nodes", "battery-depleted nodes"},
+    {"active_nodes", "active nodes"},
+    {"max_node_load_j", "max per-node analytic load (J)"},
+};
 
 template <std::size_t N>
 std::vector<std::string> names_of(const MetricInfo (&infos)[N]) {
@@ -197,6 +208,7 @@ const std::vector<std::string> kSimMetrics = names_of(kSimMetricInfo);
 const std::vector<std::string> kGridMetrics = names_of(kGridMetricInfo);
 const std::vector<std::string> kMoptMetrics = names_of(kMoptMetricInfo);
 const std::vector<std::string> kDesignMetrics = names_of(kDesignMetricInfo);
+const std::vector<std::string> kReplayMetrics = names_of(kReplayMetricInfo);
 
 std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
   switch (kind) {
@@ -207,6 +219,12 @@ std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
     case ExperimentKind::Mopt: return {{"mopt", 3}};
     case ExperimentKind::Design:
       return {{"eq5_total", 1}, {"gap_vs_klein_ravi", 2}};
+    case ExperimentKind::Replay:
+      return {{"analytic_eq5_j", 1},
+              {"sim_energy_j", 1},
+              {"analytic_gap_pct", 1},
+              {"delivery_ratio", 3},
+              {"first_death_s", 1}};
   }
   return {};
 }
@@ -366,7 +384,7 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
   ObjectReader r(v, ctx);
   // Design experiments have no simulated duration, so a quick
   // "duration_s" there would be silently ignored — reject it like the
-  // kind-mismatched top-level keys.
+  // kind-mismatched top-level keys. (Replay experiments DO simulate.)
   if (kind == ExperimentKind::Design) {
     r.forbid("duration_s",
              "is only valid for simulation kinds (design instances are "
@@ -378,7 +396,7 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
   // Grid experiments have no replication count, so a quick "runs" there
   // would be silently ignored — reject it like the top-level key.
   if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Density ||
-      kind == ExperimentKind::Design) {
+      kind == ExperimentKind::Design || kind == ExperimentKind::Replay) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0) fail(ctx + " runs must be >= 1");
@@ -386,13 +404,15 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
     }
   } else {
     r.forbid("runs",
-             "is only valid for kinds \"sweep\", \"density\" and \"design\"");
+             "is only valid for kinds \"sweep\", \"density\", \"design\" "
+             "and \"replay\"");
   }
   if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Grid) {
     if (const auto* p = r.optional("rates_pps"))
       q.rates_pps = as_rate_list(*p, ctx + " rates_pps");
   }
-  if (kind == ExperimentKind::Density || kind == ExperimentKind::Design) {
+  if (kind == ExperimentKind::Density || kind == ExperimentKind::Design ||
+      kind == ExperimentKind::Replay) {
     if (const auto* p = r.optional("node_counts"))
       q.node_counts = as_node_list(*p, ctx + " node_counts");
   }
@@ -422,7 +442,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
   if (e.title.empty()) e.title = e.id;
 
   const bool sim = e.kind != ExperimentKind::Mopt &&
-                   e.kind != ExperimentKind::Design;
+                   e.kind != ExperimentKind::Design &&
+                   e.kind != ExperimentKind::Replay;
   if (sim) {
     if (const auto* p = r.optional("scenario"))
       e.scenario = parse_scenario(*p, ctx + " scenario");
@@ -445,12 +466,19 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
 
     if (const auto* p = r.optional("seed"))
       e.seed = as_uint(*p, ctx + " seed");
-  } else if (e.kind == ExperimentKind::Design) {
+  } else if (e.kind == ExperimentKind::Design ||
+             e.kind == ExperimentKind::Replay) {
+    const std::string kname = kind_name(e.kind);
     r.forbid("scenario",
-             "is not valid for kind \"design\" (instances derive from the "
-             "node counts via the fixed density law)");
-    r.forbid("stacks", "is not valid for kind \"design\" (use "
-                       "\"heuristics\")");
+             "is not valid for kind \"" + kname +
+                 "\" (instances derive from the node counts via the fixed "
+                 "density law)");
+    r.forbid("stacks",
+             e.kind == ExperimentKind::Design
+                 ? "is not valid for kind \"design\" (use \"heuristics\")"
+                 : "is not valid for kind \"replay\" (use \"heuristics\" "
+                   "for the series and the singular \"stack\" for the "
+                   "simulated protocol stack)");
     if (const auto* p = r.optional("seed"))
       e.seed = as_uint(*p, ctx + " seed");
   } else {
@@ -464,26 +492,37 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     case ExperimentKind::Grid:
       e.rates_pps = as_rate_list(r.required("rates_pps"), ctx + " rates_pps");
       r.forbid("node_counts",
-               "is only valid for kinds \"density\" and \"design\"");
+               "is only valid for kinds \"density\", \"design\" and "
+               "\"replay\"");
       break;
     case ExperimentKind::Density:
     case ExperimentKind::Design:
+    case ExperimentKind::Replay:
       e.node_counts =
           as_node_list(r.required("node_counts"), ctx + " node_counts");
       r.forbid("rates_pps",
                "is only valid for kinds \"sweep\" and \"grid\" (set the "
-               "density rate via scenario.rate_pps)");
+               "density rate via scenario.rate_pps" +
+                   std::string(e.kind == ExperimentKind::Replay
+                                   ? ", the replay rate via \"rate_pps\""
+                                   : "") +
+                   ")");
       break;
     case ExperimentKind::Mopt: break;
   }
 
-  if (e.kind == ExperimentKind::Design) {
+  if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay) {
     const json::Value& heur = r.required("heuristics");
     if (!heur.is_array() || heur.as_array().empty())
       fail(ctx + " heuristics must be a non-empty array");
     for (const auto& h : heur.as_array()) {
       const std::string name = as_string(h, ctx + " heuristics entry");
       opt::heuristic_by_name(name);  // throws listing valid names
+      if (e.kind == ExperimentKind::Design &&
+          opt::heuristic_uses_battery_budget(name))
+        fail("heuristic \"" + name + "\" in " + ctx +
+             " needs a battery budget and is only valid for kind "
+             "\"replay\" (its \"battery_j\" defines the per-node budget)");
       if (std::find(e.heuristics.begin(), e.heuristics.end(), name) !=
           e.heuristics.end())
         fail("duplicate heuristic \"" + name + "\" in " + ctx +
@@ -517,14 +556,67 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     };
     for (const std::size_t n : e.node_counts) check_capacity(n);
   } else {
-    r.forbid("heuristics", "is only valid for kind \"design\"");
-    r.forbid("demands", "is only valid for kind \"design\"");
-    r.forbid("starts", "is only valid for kind \"design\"");
-    r.forbid("anneal_iters", "is only valid for kind \"design\"");
+    r.forbid("heuristics",
+             "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("demands", "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("starts", "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("anneal_iters",
+             "is only valid for kinds \"design\" and \"replay\"");
+  }
+
+  if (e.kind == ExperimentKind::Replay) {
+    if (const auto* p = r.optional("stack")) {
+      e.replay_stack = as_string(*p, ctx + " stack");
+      net::stack_preset(e.replay_stack);  // throws listing valid presets
+    }
+    if (const auto* p = r.optional("duration_s")) {
+      e.replay_duration_s = as_finite(*p, ctx + " duration_s");
+      if (!(e.replay_duration_s > 0.0) || e.replay_duration_s > 1e6)
+        fail(ctx + " duration_s must be in (0, 1e6] seconds");
+    }
+    if (const auto* p = r.optional("rate_pps")) {
+      e.replay_rate_pps = as_finite(*p, ctx + " rate_pps");
+      if (!(e.replay_rate_pps > 0.0) || e.replay_rate_pps > 1e6)
+        fail(ctx + " rate_pps must be in (0, 1e6]");
+    }
+    if (const auto* p = r.optional("battery_j")) {
+      e.battery_j = as_finite(*p, ctx + " battery_j");
+      if (e.battery_j < 0.0 || e.battery_j > 1e9)
+        fail(ctx + " battery_j must be in [0, 1e9] joules (0 = infinite)");
+    }
+    if (const auto* p = r.optional("demand_weights")) {
+      if (!p->is_array() || p->as_array().empty())
+        fail(ctx + " demand_weights must be a non-empty array");
+      for (const auto& w : p->as_array()) {
+        const double m = as_finite(w, ctx + " demand_weights entry");
+        if (!(m > 0.0) || m > 1e3)
+          fail(ctx + " demand_weights entries must be in (0, 1e3], got " +
+               json::dump(w));
+        e.demand_weights.push_back(m);
+      }
+    }
+    // A lifetime heuristic without a battery would silently degenerate to
+    // its base variant and mislabel the series — demand the budget.
+    for (const auto& name : e.heuristics)
+      if (opt::heuristic_uses_battery_budget(name) && !(e.battery_j > 0.0))
+        fail(ctx + " lists heuristic \"" + name +
+             "\" but battery_j is 0 — lifetime-constrained search needs a "
+             "positive per-node battery budget");
+  } else {
+    r.forbid("stack",
+             "is only valid for kind \"replay\" (simulation kinds take a "
+             "\"stacks\" array)");
+    r.forbid("rate_pps", "is only valid for kind \"replay\"");
+    r.forbid("battery_j", "is only valid for kind \"replay\"");
+    r.forbid("demand_weights", "is only valid for kind \"replay\"");
+    if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Mopt)
+      r.forbid("duration_s",
+               "is only valid for kinds with a simulated horizon (the "
+               "\"replay\" kind, or scenario.duration_s on sim kinds)");
   }
 
   if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
-      e.kind == ExperimentKind::Design) {
+      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0 || n > 10000) fail(ctx + " runs must be in [1, 10000]");
@@ -532,7 +624,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     }
   } else {
     r.forbid("runs",
-             "is only valid for kinds \"sweep\", \"density\" and \"design\"");
+             "is only valid for kinds \"sweep\", \"density\", \"design\" "
+             "and \"replay\"");
   }
 
   if (e.kind == ExperimentKind::Grid) {
@@ -596,7 +689,9 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
   if (e.kind != ExperimentKind::Mopt) {
     if (const auto* p = r.optional("quick"))
       e.quick = parse_quick(*p, e.kind, ctx + " quick");
-    if (e.kind == ExperimentKind::Design && e.quick.node_counts)
+    if ((e.kind == ExperimentKind::Design ||
+         e.kind == ExperimentKind::Replay) &&
+        e.quick.node_counts)
       for (const std::size_t n : *e.quick.node_counts)
         if (e.demands > n * (n - 1))
           fail(ctx + " quick node count " + std::to_string(n) +
@@ -616,7 +711,8 @@ json::Object experiment_to_json(const Experiment& e) {
   o.emplace_back("kind", std::string(kind_name(e.kind)));
 
   const bool sim = e.kind != ExperimentKind::Mopt &&
-                   e.kind != ExperimentKind::Design;
+                   e.kind != ExperimentKind::Design &&
+                   e.kind != ExperimentKind::Replay;
   if (sim) {
     o.emplace_back("scenario", scenario_to_json(e.scenario));
     json::Array stacks;
@@ -628,19 +724,31 @@ json::Object experiment_to_json(const Experiment& e) {
     for (double r : e.rates_pps) rates.emplace_back(r);
     o.emplace_back("rates_pps", std::move(rates));
   }
-  if (e.kind == ExperimentKind::Density || e.kind == ExperimentKind::Design) {
+  if (e.kind == ExperimentKind::Density || e.kind == ExperimentKind::Design ||
+      e.kind == ExperimentKind::Replay) {
     json::Array nodes;
     for (std::size_t n : e.node_counts)
       nodes.emplace_back(static_cast<double>(n));
     o.emplace_back("node_counts", std::move(nodes));
   }
-  if (e.kind == ExperimentKind::Design) {
+  if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay) {
     json::Array heur;
     for (const auto& h : e.heuristics) heur.emplace_back(h);
     o.emplace_back("heuristics", std::move(heur));
     o.emplace_back("demands", static_cast<double>(e.demands));
     o.emplace_back("starts", static_cast<double>(e.starts));
     o.emplace_back("anneal_iters", static_cast<double>(e.anneal_iters));
+  }
+  if (e.kind == ExperimentKind::Replay) {
+    o.emplace_back("stack", e.replay_stack);
+    o.emplace_back("duration_s", e.replay_duration_s);
+    o.emplace_back("rate_pps", e.replay_rate_pps);
+    o.emplace_back("battery_j", e.battery_j);
+    if (!e.demand_weights.empty()) {
+      json::Array weights;
+      for (double w : e.demand_weights) weights.emplace_back(w);
+      o.emplace_back("demand_weights", std::move(weights));
+    }
   }
   if (e.kind == ExperimentKind::Mopt) {
     json::Array cards;
@@ -653,9 +761,9 @@ json::Object experiment_to_json(const Experiment& e) {
     o.emplace_back("rb", std::move(rb));
   }
   if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
-      e.kind == ExperimentKind::Design)
+      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay)
     o.emplace_back("runs", static_cast<double>(e.runs));
-  if (sim || e.kind == ExperimentKind::Design)
+  if (e.kind != ExperimentKind::Mopt)
     o.emplace_back("seed", static_cast<double>(e.seed));
   if (e.kind == ExperimentKind::Grid)
     o.emplace_back("base_rate_pps", e.base_rate_pps);
@@ -698,6 +806,7 @@ const char* kind_name(ExperimentKind k) {
     case ExperimentKind::Grid: return "grid";
     case ExperimentKind::Mopt: return "mopt";
     case ExperimentKind::Design: return "design";
+    case ExperimentKind::Replay: return "replay";
   }
   return "?";
 }
@@ -708,8 +817,9 @@ ExperimentKind kind_from_name(const std::string& name) {
   if (name == "grid") return ExperimentKind::Grid;
   if (name == "mopt") return ExperimentKind::Mopt;
   if (name == "design") return ExperimentKind::Design;
+  if (name == "replay") return ExperimentKind::Replay;
   fail("unknown experiment kind \"" + name +
-       "\" (valid: sweep, density, grid, mopt, design)");
+       "\" (valid: sweep, density, grid, mopt, design, replay)");
 }
 
 const std::vector<std::string>& metric_names(ExperimentKind kind) {
@@ -719,6 +829,7 @@ const std::vector<std::string>& metric_names(ExperimentKind kind) {
     case ExperimentKind::Grid: return kGridMetrics;
     case ExperimentKind::Mopt: return kMoptMetrics;
     case ExperimentKind::Design: return kDesignMetrics;
+    case ExperimentKind::Replay: return kReplayMetrics;
   }
   return kSimMetrics;
 }
@@ -731,6 +842,8 @@ std::string metric_display_name(const std::string& name) {
   for (const MetricInfo& m : kMoptMetricInfo)
     if (name == m.name) return m.display;
   for (const MetricInfo& m : kDesignMetricInfo)
+    if (name == m.name) return m.display;
+  for (const MetricInfo& m : kReplayMetricInfo)
     if (name == m.name) return m.display;
   fail("no display name for metric \"" + name + "\"");
 }
@@ -841,6 +954,7 @@ std::vector<std::string> Manifest::experiment_summaries() const {
         xs = e.rb.size();
         break;
       case ExperimentKind::Design:
+      case ExperimentKind::Replay:
         series = e.heuristics.size();
         xs = e.node_counts.size();
         break;

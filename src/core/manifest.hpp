@@ -14,6 +14,9 @@
 //   mopt     characteristic hop count per card      — Fig. 7 (§5.1)
 //   design   (heuristic × instance size) Eq. 5 design-search portfolio
 //            over random §5.2.2-density fields      — the §3 problem itself
+//   replay   (heuristic × instance size) searched designs realized as
+//            scenarios and re-run through net::Network — the simulated-vs-
+//            analytic cross-check, with battery caps and demand weights
 //
 // Parsing is strict: unknown keys, duplicate experiment ids, duplicate
 // cells (repeated stacks / rates / node counts), and out-of-range values
@@ -32,7 +35,7 @@
 
 namespace eend::core {
 
-enum class ExperimentKind { Sweep, Density, Grid, Mopt, Design };
+enum class ExperimentKind { Sweep, Density, Grid, Mopt, Design, Replay };
 
 const char* kind_name(ExperimentKind k);
 ExperimentKind kind_from_name(const std::string& name);
@@ -102,10 +105,22 @@ struct Experiment {
   std::uint64_t seed = 1;
   double base_rate_pps = 2.0;  ///< grid: rate of the route-freezing sim
 
-  // design kind: instance and search knobs.
+  // design + replay kinds: instance and search knobs.
   std::size_t demands = 8;       ///< demands sampled per instance
   std::size_t starts = 8;        ///< portfolio multi-start count
   std::size_t anneal_iters = 300;///< annealing iterations per (re)start
+
+  // replay kind: realization and simulation knobs.
+  std::string replay_stack = "dsr_active";  ///< stack preset ("stack" key)
+  double replay_duration_s = 300.0;  ///< sim horizon ("duration_s" key)
+  double replay_rate_pps = 2.0;      ///< base CBR rate per unit demand rate
+  /// Per-node battery (J); 0 = infinite. Required > 0 when any
+  /// `*_lifetime` heuristic is listed (it doubles as the search budget).
+  double battery_j = 0.0;
+  /// Heterogeneous per-demand rate multipliers, cycled over the demands
+  /// (mixed_rate-style); they drive Eq. 5 and the CBR generators from one
+  /// source of truth. Empty = homogeneous.
+  std::vector<double> demand_weights;
 
   std::vector<MetricSpec> metrics;  ///< defaulted per kind when empty
   QuickSpec quick;

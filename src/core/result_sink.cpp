@@ -106,7 +106,8 @@ void TableSink::end_experiment(const Experiment& e) {
       case ExperimentKind::Sweep:
       case ExperimentKind::Grid: return "rate (pkt/s)";
       case ExperimentKind::Density:
-      case ExperimentKind::Design: return "# of nodes";
+      case ExperimentKind::Design:
+      case ExperimentKind::Replay: return "# of nodes";
       case ExperimentKind::Mopt: return "R/B";
     }
     return "x";
@@ -115,6 +116,7 @@ void TableSink::end_experiment(const Experiment& e) {
     switch (e.kind) {
       case ExperimentKind::Density:
       case ExperimentKind::Design:
+      case ExperimentKind::Replay:
         return std::to_string(static_cast<long long>(x));
       case ExperimentKind::Mopt: return Table::num(x, 2);
       default: return Table::num(x, 1);
@@ -123,7 +125,8 @@ void TableSink::end_experiment(const Experiment& e) {
   // Analytic kinds have no replication spread; "x +- 0" would be noise.
   const bool with_ci = e.kind == ExperimentKind::Sweep ||
                        e.kind == ExperimentKind::Density ||
-                       e.kind == ExperimentKind::Design;
+                       e.kind == ExperimentKind::Design ||
+                       e.kind == ExperimentKind::Replay;
 
   for (const MetricSpec& metric : e.metrics) {
     std::vector<std::string> header{x_header};

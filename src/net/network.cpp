@@ -26,6 +26,12 @@ Network::Network(const ScenarioConfig& scenario, const StackSpec& stack)
   }
 
   build_nodes(place_nodes(scenario_));
+  // Powered-off nodes (replayed designs' inactive sets) go dark before
+  // anything runs: a failed radio never transmits, locks receptions, or
+  // wakes, so the node is absent from the network in every respect except
+  // its position.
+  for (const std::size_t id : scenario_.powered_off_nodes)
+    radios_[id]->fail_permanently();
   build_routing();
   build_traffic();
 }
@@ -171,7 +177,15 @@ metrics::RunResult Network::run() {
   EEND_REQUIRE_MSG(!ran_, "Network::run() may only be called once");
   ran_ = true;
 
-  for (auto& r : radios_) r->begin_metering(energy::RadioMode::Idle);
+  // Powered-off nodes are excluded from metering entirely: a powered-off
+  // interface draws nothing, unlike a sleeping one (p_sleep > 0), so their
+  // meters must read zero rather than integrate sleep draw. Mid-run
+  // failures (battery, schedule_node_failure) still meter normally.
+  std::vector<char> powered_off(radios_.size(), 0);
+  for (const std::size_t id : scenario_.powered_off_nodes)
+    powered_off[id] = 1;
+  for (auto& r : radios_)
+    if (!powered_off[r->id()]) r->begin_metering(energy::RadioMode::Idle);
   for (auto& p : power_) p->start();
   if (psm_) psm_->start();
   for (auto& r : routing_) r->start();
@@ -181,7 +195,8 @@ metrics::RunResult Network::run() {
                      [this] { battery_tick(); });
 
   sim_.run_until(scenario_.duration_s);
-  for (auto& r : radios_) r->finish_metering();
+  for (auto& r : radios_)
+    if (!powered_off[r->id()]) r->finish_metering();
 
   metrics::RunResult out;
   out.sent = tracker_.sent();

@@ -28,20 +28,69 @@ void ScenarioConfig::validate() const {
     EEND_REQUIRE_MSG(m > 0.0 && std::isfinite(m),
                      "rate_multipliers must be positive and finite, got "
                          << m);
+  std::set<std::size_t> off(powered_off_nodes.begin(),
+                            powered_off_nodes.end());
   if (placement == Placement::Grid) {
     EEND_REQUIRE_MSG(grid_cols * grid_rows == node_count,
                      "grid dims must multiply to node_count");
-    if (flows_left_right)
+    if (flows_left_right) {
       EEND_REQUIRE_MSG(flow_count <= grid_rows,
                        "one left->right flow per grid row at most");
+      // Row-end endpoints are deterministic, so the powered-off invariant
+      // is checkable here.
+      for (std::size_t j = 0; j < flow_count; ++j)
+        EEND_REQUIRE_MSG(!off.count(j * grid_cols) &&
+                             !off.count(j * grid_cols + grid_cols - 1),
+                         "left->right flow " << j
+                         << " would use a powered-off row end");
+    }
   }
-  if (flow_count > 0 && !flows_left_right) {
+  if (flow_count > 0 && !flows_left_right && flow_endpoints.empty()) {
     const std::size_t pool =
         flow_endpoint_pool > 0 ? std::min(flow_endpoint_pool, node_count)
                                : node_count;
-    EEND_REQUIRE_MSG(pool >= 2, "need >= 2 endpoint candidates for flows");
-    EEND_REQUIRE_MSG(flow_count <= pool * (pool - 1),
-                     "more distinct flows requested than endpoint pairs");
+    // Randomly sampled endpoints skip powered-off nodes (make_flows), so
+    // the distinct-pair capacity is over the powered-on part of the pool.
+    std::size_t off_in_pool = 0;
+    for (const std::size_t id : off)
+      if (id < pool) ++off_in_pool;
+    const std::size_t avail = pool - off_in_pool;
+    EEND_REQUIRE_MSG(avail >= 2,
+                     "need >= 2 powered-on endpoint candidates for flows");
+    EEND_REQUIRE_MSG(flow_count <= avail * (avail - 1),
+                     "more distinct flows requested than powered-on "
+                     "endpoint pairs");
+  }
+  if (!flow_endpoints.empty()) {
+    EEND_REQUIRE_MSG(!flows_left_right,
+                     "flow_endpoints and flows_left_right are exclusive");
+    std::set<std::pair<std::size_t, std::size_t>> pairs;
+    for (const auto& [s, d] : flow_endpoints) {
+      EEND_REQUIRE_MSG(s < node_count && d < node_count,
+                       "flow endpoint (" << s << ", " << d
+                                         << ") out of range for node_count "
+                                         << node_count);
+      EEND_REQUIRE_MSG(s != d, "flow endpoint pair (" << s << ", " << s
+                                                      << ") is a self-loop");
+      EEND_REQUIRE_MSG(pairs.insert({s, d}).second,
+                       "duplicate flow endpoint pair (" << s << ", " << d
+                                                        << ")");
+    }
+  }
+  if (!powered_off_nodes.empty()) {
+    std::set<std::size_t> off;
+    for (const std::size_t id : powered_off_nodes) {
+      EEND_REQUIRE_MSG(id < node_count, "powered-off node " << id
+                       << " out of range for node_count " << node_count);
+      EEND_REQUIRE_MSG(off.insert(id).second,
+                       "duplicate powered-off node " << id);
+    }
+    EEND_REQUIRE_MSG(off.size() < node_count,
+                     "cannot power off every node");
+    for (const auto& [s, d] : flow_endpoints)
+      EEND_REQUIRE_MSG(!off.count(s) && !off.count(d),
+                       "flow endpoint pair (" << s << ", " << d
+                       << ") uses a powered-off node");
   }
 }
 
@@ -176,6 +225,25 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
     return cfg.rate_pps * cfg.rate_multipliers[j % cfg.rate_multipliers.size()];
   };
 
+  if (!cfg.flow_endpoints.empty()) {
+    // Design replay: one flow per demand, endpoints fixed by the realized
+    // design in demand order. Rates and start times go through the same
+    // machinery as every other scenario, so the only difference from an
+    // organic run is *where* the traffic flows.
+    for (std::size_t j = 0; j < cfg.flow_endpoints.size(); ++j) {
+      traffic::FlowSpec f;
+      f.flow_id = static_cast<int>(j);
+      f.source = static_cast<mac::NodeId>(cfg.flow_endpoints[j].first);
+      f.destination =
+          static_cast<mac::NodeId>(cfg.flow_endpoints[j].second);
+      f.packets_per_s = flow_rate(j);
+      f.payload_bits = cfg.payload_bits;
+      f.start_s = rng.uniform(cfg.flow_start_min_s, cfg.flow_start_max_s);
+      flows.push_back(f);
+    }
+    return flows;
+  }
+
   if (cfg.flows_left_right) {
     // Grid study: source = left end of row j, destination = right end.
     EEND_REQUIRE(cfg.placement == Placement::Grid);
@@ -199,6 +267,12 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
                                           cfg.node_count)
                                : cfg.node_count;
   EEND_REQUIRE_MSG(pool >= 2, "need at least two nodes for a flow");
+  // Powered-off nodes can neither source nor sink traffic; skip them in
+  // the draw (validate() guarantees enough powered-on candidates remain).
+  // With no powered-off nodes the rejection path never triggers, so the
+  // historical endpoint sequence is untouched.
+  const std::set<std::size_t> off(cfg.powered_off_nodes.begin(),
+                                  cfg.powered_off_nodes.end());
   std::set<std::pair<mac::NodeId, mac::NodeId>> used;
   for (std::size_t j = 0; j < cfg.flow_count; ++j) {
     traffic::FlowSpec f;
@@ -206,7 +280,7 @@ std::vector<traffic::FlowSpec> make_flows(const ScenarioConfig& cfg) {
     for (;;) {
       const auto s = static_cast<mac::NodeId>(rng.next_below(pool));
       const auto d = static_cast<mac::NodeId>(rng.next_below(pool));
-      if (s == d) continue;
+      if (s == d || off.count(s) || off.count(d)) continue;
       if (!used.insert({s, d}).second) continue;
       f.source = s;
       f.destination = d;

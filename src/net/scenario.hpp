@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "energy/radio_card.hpp"
@@ -48,6 +49,24 @@ struct ScenarioConfig {
   /// Grid studies: flow j runs from the left edge of row j to its right
   /// edge (paper §5.2.3) instead of random endpoints.
   bool flows_left_right = false;
+  /// Design-driven traffic (the replay/ subsystem): when non-empty, flow j
+  /// is exactly (source, destination) = flow_endpoints[j] — one CBR flow
+  /// per design demand, in demand order — instead of randomly sampled
+  /// endpoints. Rates still come from rate_pps · rate_multipliers[j % size]
+  /// and start times from the usual seeded window, so a replayed design
+  /// shares every traffic knob with the organic scenarios. flow_count is
+  /// ignored (the endpoint list defines the flows).
+  std::vector<std::pair<std::size_t, std::size_t>> flow_endpoints;
+
+  // topology, continued
+  /// Nodes powered off for the whole run (the replay/ subsystem maps a
+  /// design's inactive node set here): their radios are failed before t=0,
+  /// they are excluded from energy metering entirely (a powered-off
+  /// interface draws nothing — unlike sleep), and they never count toward
+  /// battery deaths. Ids must be in range and unique; no flow may end at
+  /// one (explicit flow_endpoints and left->right grid flows are rejected
+  /// by validate(), randomly sampled endpoints skip them in the draw).
+  std::vector<std::size_t> powered_off_nodes;
 
   // execution
   double duration_s = 900.0;

@@ -10,7 +10,7 @@ namespace eend::opt {
 
 CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
                                     const CandidateDesign& start,
-                                    const analytical::Eq5Params& eval,
+                                    const DesignObjective& objective,
                                     const AnnealingSchedule& schedule,
                                     std::uint64_t seed) {
   EEND_REQUIRE_MSG(start.feasible, "annealing needs a feasible seed");
@@ -66,7 +66,7 @@ CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
       proposal.push_back(cands[rng.next_below(cands.size())]);
     }
 
-    CandidateDesign cand = evaluate_design(problem, proposal, eval);
+    CandidateDesign cand = evaluate_design(problem, proposal, objective);
     if (!cand.feasible) continue;
     const double delta = cand.cost() - cur.cost();
     const bool accept =

@@ -23,9 +23,10 @@ struct AnnealingSchedule {
   double cooling = 0.97;            ///< geometric decay per iteration
 };
 
+/// The objective implicitly converts from bare Eq5Params (plain scoring).
 CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
                                     const CandidateDesign& start,
-                                    const analytical::Eq5Params& eval,
+                                    const DesignObjective& objective,
                                     const AnnealingSchedule& schedule,
                                     std::uint64_t seed);
 

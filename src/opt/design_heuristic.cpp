@@ -10,9 +10,35 @@
 
 namespace eend::opt {
 
+std::vector<double> node_energy_loads(
+    const graph::Graph& g,
+    std::span<const analytical::RoutedDemand> routes,
+    const analytical::Eq5Params& eval) {
+  std::vector<double> load(g.node_count(), 0.0);
+  std::vector<char> active(g.node_count(), 0);
+  for (const analytical::RoutedDemand& r : routes) {
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      active[r.path[i]] = 1;
+      if (i + 1 < r.path.size()) {
+        const double w = g.edge_weight_between(r.path[i], r.path[i + 1]);
+        EEND_CHECK(w < graph::kInfCost);
+        const double half = 0.5 * eval.t_data_per_packet * r.packets * w;
+        load[r.path[i]] += half;
+        load[r.path[i + 1]] += half;
+      }
+    }
+  }
+  // Idle is charged to every active node — simulated endpoints drain their
+  // batteries too, so the lifetime proxy must not zero them out the way the
+  // Eq. 5 idle term does.
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    if (active[v]) load[v] += eval.t_idle * g.node_weight(v);
+  return load;
+}
+
 CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
                                 const std::vector<graph::NodeId>& nodes,
-                                const analytical::Eq5Params& eval) {
+                                const DesignObjective& objective) {
   EEND_REQUIRE_MSG(!nodes.empty(), "a design needs at least one node");
   CandidateDesign out;
   const auto routes = problem.try_route_in_subgraph(nodes);
@@ -22,7 +48,21 @@ CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
     out.feasible = false;
     return out;
   }
-  out.score = analytical::evaluate_eq5(problem.graph(), *routes, eval);
+  out.score = analytical::evaluate_eq5(problem.graph(), *routes,
+                                       objective.eval);
+  // The load scan is O(N + route length) per evaluation and only the
+  // lifetime objective consumes it; the plain mode — the innermost loop of
+  // every design-kind search — must not pay for it.
+  if (objective.battery_budget_j > 0.0) {
+    const std::vector<double> loads =
+        node_energy_loads(problem.graph(), *routes, objective.eval);
+    double overload = 0.0;
+    for (const double l : loads) {
+      out.max_node_load = std::max(out.max_node_load, l);
+      overload += std::max(0.0, l - objective.battery_budget_j);
+    }
+    out.lifetime_penalty = objective.overload_penalty * overload;
+  }
   // Normalize the state to the nodes the routing actually uses: allowed-
   // but-idle-free nodes contribute nothing to Eq. 5 and would make equal-
   // cost designs compare unequal.
@@ -35,14 +75,14 @@ CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
 
 CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
                                  const graph::SteinerTree& tree,
-                                 const analytical::Eq5Params& eval) {
+                                 const DesignObjective& objective) {
   if (!tree.feasible || tree.nodes.empty()) {
     CandidateDesign out;
     out.nodes = tree.nodes;
     out.feasible = false;
     return out;
   }
-  return evaluate_design(problem, tree.nodes, eval);
+  return evaluate_design(problem, tree.nodes, objective);
 }
 
 namespace {
@@ -52,6 +92,24 @@ namespace {
 graph::SteinerTree klein_ravi_tree(const core::NetworkDesignProblem& p,
                                    const HeuristicOptions& o) {
   return o.klein_ravi_tree ? *o.klein_ravi_tree : p.solve_node_weighted();
+}
+
+/// The objective a heuristic scores under: plain Eq. 5 for the base
+/// variants, battery-penalized for the `*_lifetime` twins (which require a
+/// positive budget — running one without a battery would silently reduce to
+/// the base heuristic and mislabel its series).
+DesignObjective objective_of(const HeuristicOptions& o, bool lifetime,
+                             const std::string& name) {
+  DesignObjective obj(o.eval);
+  if (lifetime) {
+    EEND_REQUIRE_MSG(o.battery_budget_j > 0.0,
+                     "heuristic \"" << name
+                     << "\" needs HeuristicOptions::battery_budget_j > 0 "
+                        "(the per-node battery that defines overload)");
+    obj.battery_budget_j = o.battery_budget_j;
+    obj.overload_penalty = o.overload_penalty;
+  }
+  return obj;
 }
 
 // ---------------------------------------------------------------- registry ---
@@ -97,49 +155,60 @@ class KmbHeuristic final : public DesignHeuristic {
 
 class LocalSearchHeuristic final : public DesignHeuristic {
  public:
-  const std::string& name() const override {
-    static const std::string n = "local_search";
-    return n;
-  }
+  explicit LocalSearchHeuristic(bool lifetime)
+      : lifetime_(lifetime),
+        name_(lifetime ? "local_search_lifetime" : "local_search") {}
+  const std::string& name() const override { return name_; }
   CandidateDesign run(const core::NetworkDesignProblem& p,
                       const HeuristicOptions& o,
                       std::uint64_t) const override {
+    const DesignObjective obj = objective_of(o, lifetime_, name_);
     const CandidateDesign seed =
-        design_from_tree(p, klein_ravi_tree(p, o), o.eval);
+        design_from_tree(p, klein_ravi_tree(p, o), obj);
     if (!seed.feasible) return seed;
-    return local_search(p, seed, o.eval);
+    return local_search(p, seed, obj);
   }
+
+ private:
+  bool lifetime_;
+  std::string name_;
 };
 
 class AnnealingHeuristic final : public DesignHeuristic {
  public:
-  const std::string& name() const override {
-    static const std::string n = "annealing";
-    return n;
-  }
+  explicit AnnealingHeuristic(bool lifetime)
+      : lifetime_(lifetime),
+        name_(lifetime ? "annealing_lifetime" : "annealing") {}
+  const std::string& name() const override { return name_; }
   CandidateDesign run(const core::NetworkDesignProblem& p,
                       const HeuristicOptions& o,
                       std::uint64_t seed) const override {
+    const DesignObjective obj = objective_of(o, lifetime_, name_);
     const CandidateDesign start =
-        design_from_tree(p, klein_ravi_tree(p, o), o.eval);
+        design_from_tree(p, klein_ravi_tree(p, o), obj);
     if (!start.feasible) return start;
     AnnealingSchedule sched;
     sched.iterations = o.anneal_iterations;
-    return simulated_annealing(p, start, o.eval, sched, seed);
+    return simulated_annealing(p, start, obj, sched, seed);
   }
+
+ private:
+  bool lifetime_;
+  std::string name_;
 };
 
 class PortfolioHeuristic final : public DesignHeuristic {
  public:
-  const std::string& name() const override {
-    static const std::string n = "portfolio";
-    return n;
-  }
+  explicit PortfolioHeuristic(bool lifetime)
+      : lifetime_(lifetime),
+        name_(lifetime ? "portfolio_lifetime" : "portfolio") {}
+  const std::string& name() const override { return name_; }
   CandidateDesign run(const core::NetworkDesignProblem& p,
                       const HeuristicOptions& o,
                       std::uint64_t seed) const override {
+    const DesignObjective obj = objective_of(o, lifetime_, name_);
     PortfolioOptions po;
-    po.eval = o.eval;
+    po.objective = obj;
     po.starts = o.starts;
     po.jobs = o.jobs;
     po.anneal.iterations = o.anneal_iterations;
@@ -147,11 +216,22 @@ class PortfolioHeuristic final : public DesignHeuristic {
     po.klein_ravi_tree = o.klein_ravi_tree;
     return design_portfolio(p, po).best;
   }
+
+ private:
+  bool lifetime_;
+  std::string name_;
 };
 
 const DesignHeuristic* const kRegistry[] = {
-    new KleinRaviHeuristic,  new MpcHeuristic,       new KmbHeuristic,
-    new LocalSearchHeuristic, new AnnealingHeuristic, new PortfolioHeuristic,
+    new KleinRaviHeuristic,
+    new MpcHeuristic,
+    new KmbHeuristic,
+    new LocalSearchHeuristic(false),
+    new AnnealingHeuristic(false),
+    new PortfolioHeuristic(false),
+    new LocalSearchHeuristic(true),
+    new AnnealingHeuristic(true),
+    new PortfolioHeuristic(true),
 };
 
 }  // namespace
@@ -176,6 +256,14 @@ const DesignHeuristic& heuristic_by_name(const std::string& name) {
   EEND_REQUIRE_MSG(false, "unknown design heuristic \"" << name
                           << "\" (valid: " << valid << ")");
   throw CheckError("unreachable");
+}
+
+bool heuristic_uses_battery_budget(const std::string& name) {
+  heuristic_by_name(name);  // throws on unknown names
+  const std::string suffix = "_lifetime";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
 }
 
 }  // namespace eend::opt

@@ -14,6 +14,14 @@
 // options, seed) -> CandidateDesign. Every heuristic is deterministic in
 // (problem, options, seed); the registry (heuristic_names /
 // heuristic_by_name) is what manifests and benches validate against.
+//
+// Two scoring modes share one objective type: the plain Eq. 5 total, and —
+// when DesignObjective::battery_budget_j > 0 — a lifetime-constrained mode
+// that adds a penalty for every unit by which a node's idle + routed energy
+// share exceeds the per-node battery budget. The `*_lifetime` registry
+// variants run the same searches under the penalized objective, steering
+// them toward designs whose most-loaded node survives longest (the
+// replay/ subsystem validates exactly that against simulated first-death).
 #pragma once
 
 #include <memory>
@@ -32,23 +40,60 @@ struct CandidateDesign {
   std::vector<graph::NodeId> nodes;
   analytical::Eq5Breakdown score;
   bool feasible = false;
+  /// Lifetime-constrained scoring only (both 0 under the plain objective,
+  /// whose hot search loops skip the load scan): the largest per-node
+  /// energy share (see node_energy_loads), and
+  /// penalty_weight · Σ_v max(0, load(v) − battery_budget_j).
+  double max_node_load = 0.0;
+  double lifetime_penalty = 0.0;
 
-  double cost() const { return score.total(); }
+  double cost() const { return score.total() + lifetime_penalty; }
 };
 
+/// Search objective: Eq. 5, optionally penalized by per-node battery
+/// overload. Implicitly constructible from bare Eq5Params so existing
+/// plain-objective call sites read unchanged (budget 0 ⇒ identical cost).
+struct DesignObjective {
+  analytical::Eq5Params eval;
+  /// Per-node energy budget in the same units Eq. 5 produces (joules when
+  /// t_idle/t_data_per_packet carry seconds). 0 = plain Eq. 5 scoring.
+  double battery_budget_j = 0.0;
+  /// Cost added per unit of per-node overload. Large enough by default
+  /// that a fraction of a joule of overload outweighs the ~100 J idle cost
+  /// of opening another relay — the budget acts as a near-hard constraint
+  /// whenever a compliant design is reachable.
+  double overload_penalty = 1024.0;
+
+  DesignObjective() = default;
+  DesignObjective(const analytical::Eq5Params& e) : eval(e) {}
+};
+
+/// Per-node energy shares of a routed design, in Eq. 5 units: every node on
+/// a route is charged t_idle · c(v) (endpoints included — unlike the Eq. 5
+/// idle term, a simulated endpoint idles and drains its battery too) plus
+/// half the data cost of each incident route edge (w(e) lumps the
+/// transmitter's and receiver's draw; the half/half split attributes it
+/// symmetrically). Indexed by NodeId over the whole graph; non-active nodes
+/// read 0.
+std::vector<double> node_energy_loads(
+    const graph::Graph& g,
+    std::span<const analytical::RoutedDemand> routes,
+    const analytical::Eq5Params& eval);
+
 /// Score the design implied by `nodes`: route every demand along its
-/// shortest path within the set, drop nodes no route uses, evaluate Eq. 5.
+/// shortest path within the set, drop nodes no route uses, evaluate Eq. 5
+/// and (when the objective carries a battery budget) the overload penalty.
 /// Infeasible sets (some demand unroutable) come back with feasible=false
 /// and an infinite-cost-like empty score — callers compare via cost() only
 /// on feasible candidates.
 CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
                                 const std::vector<graph::NodeId>& nodes,
-                                const analytical::Eq5Params& eval);
+                                const DesignObjective& objective);
 
 /// Evaluate a constructive solver's tree as a design seed.
 CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
                                  const graph::SteinerTree& tree,
-                                 const analytical::Eq5Params& eval);
+                                 const DesignObjective& objective);
 
 /// Knobs shared by every heuristic (each uses the subset it needs).
 struct HeuristicOptions {
@@ -56,6 +101,11 @@ struct HeuristicOptions {
   std::size_t starts = 8;             ///< portfolio: multi-start count
   std::size_t anneal_iterations = 300;///< annealing moves per (re)start
   std::size_t jobs = 1;               ///< portfolio: ParallelRunner width
+  /// Lifetime variants only: per-node energy budget (must be > 0 when a
+  /// `*_lifetime` heuristic runs) and the overload penalty weight. Base
+  /// heuristics ignore both and score plain Eq. 5.
+  double battery_budget_j = 0.0;
+  double overload_penalty = 1024.0;
   /// Optional precomputed Klein-Ravi tree for this problem. The tree is
   /// deterministic in the instance alone, and it seeds klein_ravi,
   /// local_search, annealing AND the portfolio's start 0 — callers running
@@ -77,10 +127,17 @@ class DesignHeuristic {
 };
 
 /// Registry names in canonical order: "klein_ravi", "mpc", "kmb",
-/// "local_search", "annealing", "portfolio".
+/// "local_search", "annealing", "portfolio", then the lifetime-constrained
+/// twins "local_search_lifetime", "annealing_lifetime",
+/// "portfolio_lifetime".
 const std::vector<std::string>& heuristic_names();
 
 /// Lookup by manifest name; throws CheckError listing the valid names.
 const DesignHeuristic& heuristic_by_name(const std::string& name);
+
+/// True for the `*_lifetime` variants, which require
+/// HeuristicOptions::battery_budget_j > 0 (manifests reject them where no
+/// battery provides the budget). Throws on unknown names.
+bool heuristic_uses_battery_budget(const std::string& name);
 
 }  // namespace eend::opt

@@ -18,6 +18,9 @@ DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
       spec.demand_count <= spec.node_count * (spec.node_count - 1),
       "more demands than distinct (source, destination) pairs");
   EEND_REQUIRE_MSG(spec.demand_rate > 0.0, "demand rate must be positive");
+  for (const double w : spec.demand_weights)
+    EEND_REQUIRE_MSG(w > 0.0 && std::isfinite(w),
+                     "demand weights must be positive and finite, got " << w);
 
   const double side =
       spec.field_side > 0.0
@@ -47,7 +50,12 @@ DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
     const auto d = static_cast<graph::NodeId>(
         rng.next_below(spec.node_count));
     if (s == d || !seen.insert({s, d}).second) continue;
-    out.problem.add_demand({s, d, spec.demand_rate});
+    const std::size_t j = seen.size() - 1;  // draw order = demand index
+    const double weight =
+        spec.demand_weights.empty()
+            ? 1.0
+            : spec.demand_weights[j % spec.demand_weights.size()];
+    out.problem.add_demand({s, d, spec.demand_rate * weight});
   }
   return out;
 }

@@ -25,6 +25,12 @@ struct DesignInstanceSpec {
   std::size_t demand_count = 8;
   std::uint64_t seed = 1;
   double demand_rate = 1.0;    ///< packets per demand over the horizon
+  /// Heterogeneous demand weights: demand j carries rate
+  /// demand_rate · demand_weights[j % size] (mixed_rate-style cycling).
+  /// Empty = homogeneous. These multipliers are the single source of truth
+  /// for per-demand load: Eq. 5 scores them through RoutedDemand::packets
+  /// and replay/ derives the CBR rate_multipliers from the same values.
+  std::vector<double> demand_weights;
   energy::RadioCard card;      ///< defaults to Cabletron
   /// Field side in meters; 0 = the §5.2.2 density law (1300·sqrt(N/200)).
   double field_side = 0.0;

@@ -28,7 +28,7 @@ std::vector<graph::NodeId> without(const std::vector<graph::NodeId>& nodes,
 
 CandidateDesign local_search(const core::NetworkDesignProblem& problem,
                              const CandidateDesign& start,
-                             const analytical::Eq5Params& eval,
+                             const DesignObjective& objective,
                              std::size_t max_passes,
                              LocalSearchStats* stats) {
   EEND_REQUIRE_MSG(start.feasible, "local search needs a feasible seed");
@@ -53,7 +53,7 @@ CandidateDesign local_search(const core::NetworkDesignProblem& problem,
     // Relay removal: drop each non-endpoint active node.
     for (graph::NodeId v : cur.nodes) {
       if (is_terminal(v)) continue;
-      consider(evaluate_design(problem, without(cur.nodes, v), eval));
+      consider(evaluate_design(problem, without(cur.nodes, v), objective));
     }
 
     // Steiner insertion: open each inactive node adjacent to the design.
@@ -66,7 +66,7 @@ CandidateDesign local_search(const core::NetworkDesignProblem& problem,
     for (graph::NodeId u : frontier) {
       std::vector<graph::NodeId> cand = cur.nodes;
       cand.push_back(u);
-      consider(evaluate_design(problem, cand, eval));
+      consider(evaluate_design(problem, cand, objective));
     }
 
     // Relay exchange (reroute): close relay v, open an inactive neighbor u
@@ -81,7 +81,7 @@ CandidateDesign local_search(const core::NetworkDesignProblem& problem,
       for (graph::NodeId u : swaps) {
         std::vector<graph::NodeId> cand = without(cur.nodes, v);
         cand.push_back(u);
-        consider(evaluate_design(problem, cand, eval));
+        consider(evaluate_design(problem, cand, objective));
       }
     }
 

@@ -30,9 +30,10 @@ struct LocalSearchStats {
 
 /// Steepest descent from `start` (which must be feasible). `max_passes`
 /// bounds the improvement rounds; each pass is O(moves · Eq5 evaluation).
+/// The objective implicitly converts from bare Eq5Params (plain scoring).
 CandidateDesign local_search(const core::NetworkDesignProblem& problem,
                              const CandidateDesign& start,
-                             const analytical::Eq5Params& eval,
+                             const DesignObjective& objective,
                              std::size_t max_passes = 64,
                              LocalSearchStats* stats = nullptr);
 

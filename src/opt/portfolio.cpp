@@ -54,16 +54,16 @@ PortfolioStart run_start(const core::NetworkDesignProblem& p,
                          const PortfolioOptions& o, std::size_t start) {
   PortfolioStart out;
   out.seed_kind = seed_kind_for(start);
-  out.seeded = design_from_tree(p, construct_seed(p, o, start), o.eval);
+  out.seeded = design_from_tree(p, construct_seed(p, o, start), o.objective);
   if (!out.seeded.feasible) {
     out.improved = out.seeded;
     return out;
   }
   CandidateDesign cur = out.seeded;
   if (o.anneal.iterations > 0)
-    cur = simulated_annealing(p, cur, o.eval, o.anneal,
+    cur = simulated_annealing(p, cur, o.objective, o.anneal,
                               Rng(o.seed).fork(0x5A17).fork(start).seed());
-  out.improved = local_search(p, cur, o.eval);
+  out.improved = local_search(p, cur, o.objective);
   return out;
 }
 

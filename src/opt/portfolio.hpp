@@ -22,7 +22,9 @@
 namespace eend::opt {
 
 struct PortfolioOptions {
-  analytical::Eq5Params eval;
+  /// Scoring objective for seeds, anneal walks and descents alike — plain
+  /// Eq. 5, or lifetime-penalized when battery_budget_j > 0.
+  DesignObjective objective;
   std::size_t starts = 8;    ///< total starts (>= 1; 0 is clamped to 1)
   std::size_t jobs = 1;      ///< ParallelRunner width (0 = auto)
   AnnealingSchedule anneal;  ///< iterations = 0 disables the anneal stage

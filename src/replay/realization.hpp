@@ -1,0 +1,82 @@
+// Design realization: turn a searched opt::CandidateDesign into a runnable
+// net::ScenarioConfig — the bridge that lets the packet-level simulator
+// judge what the Eq. 5 proxy promised.
+//
+// The mapping is exact and checked:
+//   * the realized scenario regenerates the instance's node placement
+//     bit-for-bit (same seed/field/card through net::place_nodes — an
+//     EEND_CHECK compares every position);
+//   * every node outside the design's active set is powered off
+//     (ScenarioConfig::powered_off_nodes: radio dark from t=0, zero energy);
+//   * every instance demand becomes one CBR flow between the same endpoints
+//     (ScenarioConfig::flow_endpoints, in demand order), its rate derived
+//     from the demand's rate multiplier — the single source of truth: the
+//     same multipliers feed Eq. 5 (RoutedDemand::packets) and the
+//     mixed_rate-style rate_multipliers the traffic generators consume,
+//     and an EEND_CHECK verifies the realized flows match the demands 1:1.
+//
+// replay_eq5_params() scales the analytic objective into joules over the
+// replay horizon, so Eq. 5 totals, per-node load budgets and simulated
+// battery capacities all share one unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytical/design_eval.hpp"
+#include "net/scenario.hpp"
+#include "net/stack.hpp"
+#include "opt/design_heuristic.hpp"
+#include "opt/design_instance.hpp"
+
+namespace eend::replay {
+
+/// How to drive the simulator when replaying a design.
+struct ReplaySettings {
+  net::StackSpec stack;              ///< defaults to DSR-Active (set in ctor)
+  double duration_s = 300.0;         ///< simulation horizon
+  double rate_pps = 2.0;             ///< base CBR rate per unit demand rate
+  std::uint32_t payload_bits = 1024; ///< 128-byte packets, the paper's size
+  /// Finite per-node battery (J); 0 = infinite. Doubles as the per-node
+  /// load budget of the `*_lifetime` heuristics when the replay engine
+  /// wires HeuristicOptions::battery_budget_j from it.
+  double battery_capacity_j = 0.0;
+  double flow_start_min_s = 20.0;    ///< §5.2 start window
+  double flow_start_max_s = 25.0;
+
+  ReplaySettings();
+};
+
+/// Eq. 5 parameters that express the analytic objective in joules over the
+/// replay horizon: t_idle is the full duration (idle draw runs the whole
+/// run) and t_data_per_packet folds the per-hop airtime
+/// (payload / bandwidth) times the expected packet count of a unit-rate
+/// demand (rate_pps · mean active window). A demand with rate multiplier r
+/// then contributes r of those packet batches — exactly what the CBR
+/// generators inject. include_endpoint_idle is on: simulated endpoints
+/// idle and drain batteries like any relay.
+analytical::Eq5Params replay_eq5_params(const ReplaySettings& settings,
+                                        const energy::RadioCard& card);
+
+/// A design materialized as a runnable scenario plus its analytic side.
+struct DesignRealization {
+  net::ScenarioConfig scenario;  ///< validated, ready for net::Network
+  /// The demands routed inside the design (shortest paths the Eq. 5 score
+  /// is built on) — what the simulator's routing is being compared to.
+  std::vector<analytical::RoutedDemand> routes;
+  analytical::Eq5Breakdown analytic;  ///< Eq. 5 under replay_eq5_params
+  double max_node_load_j = 0.0;  ///< largest per-node analytic share (J)
+  std::size_t active_nodes = 0;
+  std::size_t powered_off_nodes = 0;
+};
+
+/// Materialize `design` (which must be feasible) over the instance that
+/// `spec` generated. Throws CheckError when the design is infeasible, when
+/// the realized placement fails to reproduce the instance positions, or
+/// when the realized flows disagree with the instance demands.
+DesignRealization realize_design(const opt::DesignInstanceSpec& spec,
+                                 const opt::DesignInstance& instance,
+                                 const opt::CandidateDesign& design,
+                                 const ReplaySettings& settings);
+
+}  // namespace eend::replay

@@ -1,0 +1,42 @@
+#include "replay/replay.hpp"
+
+#include "net/network.hpp"
+
+namespace eend::replay {
+
+ReplayReport run_realization(const DesignRealization& realization,
+                             const ReplaySettings& settings) {
+  ReplayReport out;
+  net::Network network(realization.scenario, settings.stack);
+  out.sim = network.run();
+
+  out.analytic_energy_j = realization.analytic.total();
+  out.sim_energy_j = out.sim.total_energy_j;
+  out.gap_pct =
+      out.analytic_energy_j > 0.0
+          ? 100.0 * (out.sim_energy_j - out.analytic_energy_j) /
+                out.analytic_energy_j
+          : 0.0;
+  out.sim_j_per_kbit = out.sim.goodput_bit_per_j > 0.0
+                           ? 1000.0 / out.sim.goodput_bit_per_j
+                           : 0.0;
+  out.delivery_ratio = out.sim.delivery_ratio;
+  out.first_death_s = out.sim.first_death_s < 0.0
+                          ? realization.scenario.duration_s
+                          : out.sim.first_death_s;
+  out.depleted_nodes = out.sim.depleted_nodes;
+  out.active_nodes = realization.active_nodes;
+  out.powered_off_nodes = realization.powered_off_nodes;
+  out.max_node_load_j = realization.max_node_load_j;
+  return out;
+}
+
+ReplayReport replay_design(const opt::DesignInstanceSpec& spec,
+                           const opt::DesignInstance& instance,
+                           const opt::CandidateDesign& design,
+                           const ReplaySettings& settings) {
+  return run_realization(realize_design(spec, instance, design, settings),
+                         settings);
+}
+
+}  // namespace eend::replay

@@ -1,0 +1,48 @@
+// Replay a realized design through the full MAC/routing/energy stack and
+// report simulated-vs-analytic agreement — the cross-check the paper's
+// premise rests on (Eq. 5 is only a proxy for what the packet-level
+// simulator measures).
+//
+// A ReplayReport carries both sides: the Eq. 5 analytic energy in joules
+// (replay_eq5_params scaling), the simulated network energy, the gap
+// between them, simulated joules per delivered kilobit, delivery ratio,
+// and — under finite batteries — the network lifetime (time of first
+// depletion, horizon when nobody dies). Deterministic: the same
+// realization replayed twice is bit-identical in every field.
+#pragma once
+
+#include "metrics/run_metrics.hpp"
+#include "replay/realization.hpp"
+
+namespace eend::replay {
+
+struct ReplayReport {
+  metrics::RunResult sim;            ///< full simulator metrics
+  double analytic_energy_j = 0.0;    ///< Eq. 5 total under replay params
+  double sim_energy_j = 0.0;         ///< simulated E_network
+  /// 100 · (sim − analytic) / analytic: what the proxy misses (control
+  /// traffic, MAC overhead, retries, overhearing).
+  double gap_pct = 0.0;
+  double sim_j_per_kbit = 0.0;       ///< simulated J per delivered Kbit
+  double delivery_ratio = 0.0;
+  /// Time of first battery depletion; the horizon when no node dies (so
+  /// "longer is better" holds with or without deaths). Horizon with
+  /// infinite batteries.
+  double first_death_s = 0.0;
+  std::size_t depleted_nodes = 0;
+  std::size_t active_nodes = 0;      ///< design's active set size
+  std::size_t powered_off_nodes = 0;
+  double max_node_load_j = 0.0;      ///< analytic per-node load peak
+};
+
+/// Simulate the realization under settings.stack and derive the report.
+ReplayReport run_realization(const DesignRealization& realization,
+                             const ReplaySettings& settings);
+
+/// Convenience: realize_design + run_realization in one step.
+ReplayReport replay_design(const opt::DesignInstanceSpec& spec,
+                           const opt::DesignInstance& instance,
+                           const opt::CandidateDesign& design,
+                           const ReplaySettings& settings);
+
+}  // namespace eend::replay

@@ -20,6 +20,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -204,6 +205,46 @@ TEST(GoldenRegression, DesignPortfolio) {
   check_against_golden("design_portfolio_quick", "design_portfolio.json");
 }
 
+// Design-replay family: pins the replay/ subsystem end-to-end — instance
+// generation with demand weights, lifetime-penalized search, realization
+// (powered-off sets, demand-derived CBR flows) and the full simulator run
+// per cell. Also the acceptance bar for the lifetime mode: on this pinned
+// family the portfolio_lifetime series must reach a strictly later
+// first_death_s than the unconstrained portfolio (asserted below from the
+// same rows the golden pins).
+TEST(GoldenRegression, DesignReplay) {
+  check_against_golden("design_replay_quick", "design_replay.json");
+}
+
+TEST(GoldenRegression, ReplayLifetimeOutlivesUnconstrainedPortfolio) {
+  const auto lines = split_lines(run_quick("design_replay.json", 1).jsonl);
+  // first_death_s per (series, x); require portfolio_lifetime > portfolio
+  // on at least one instance family (x value), never earlier on any.
+  std::map<double, double> portfolio, lifetime;
+  for (const auto& l : lines) {
+    const auto row = json::parse(l);
+    const std::string series = row.find("series")->as_string();
+    const double x = row.find("x")->as_number();
+    const double death = row.find("metrics")
+                             ->find("first_death_s")
+                             ->find("mean")
+                             ->as_number();
+    if (series == "portfolio") portfolio[x] = death;
+    if (series == "portfolio_lifetime") lifetime[x] = death;
+  }
+  ASSERT_FALSE(portfolio.empty());
+  ASSERT_EQ(portfolio.size(), lifetime.size());
+  bool strictly_later_somewhere = false;
+  for (const auto& [x, death] : portfolio) {
+    ASSERT_TRUE(lifetime.count(x));
+    EXPECT_GE(lifetime[x], death) << "lifetime variant died earlier at n="
+                                  << x;
+    strictly_later_somewhere |= lifetime[x] > death;
+  }
+  EXPECT_TRUE(strictly_later_somewhere)
+      << "portfolio_lifetime never outlived the unconstrained portfolio";
+}
+
 // Determinism contract: the machine-readable streams must be byte-identical
 // for any --jobs value, not merely numerically close.
 
@@ -221,6 +262,17 @@ TEST(GoldenRegression, DesignKindByteIdenticalAcrossJobs) {
   // ParallelRunner); its seed-order merge must keep every sink byte-stable.
   const EngineOutput serial = run_quick("design_portfolio.json", 1);
   const EngineOutput parallel = run_quick("design_portfolio.json", 8);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_FALSE(serial.jsonl.empty());
+}
+
+TEST(GoldenRegression, ReplayKindByteIdenticalAcrossJobs) {
+  // The replay kind fans two phases across the pool (search per cell, then
+  // one full simulation per cell × heuristic); both land in pre-sized
+  // slots, so every sink must be byte-stable for any --jobs.
+  const EngineOutput serial = run_quick("design_replay.json", 1);
+  const EngineOutput parallel = run_quick("design_replay.json", 8);
   EXPECT_EQ(serial.jsonl, parallel.jsonl);
   EXPECT_EQ(serial.csv, parallel.csv);
   ASSERT_FALSE(serial.jsonl.empty());

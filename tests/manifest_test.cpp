@@ -155,6 +155,134 @@ TEST(Manifest, ParsesDesignExperiment) {
   EXPECT_EQ(e.metrics[1].name, "gap_vs_klein_ravi");
 }
 
+TEST(Manifest, ParsesReplayExperiment) {
+  const auto m = Manifest::parse(R"({
+    "name": "rp",
+    "experiments": [{
+      "id": "replay_scaling",
+      "kind": "replay",
+      "node_counts": [50, 100],
+      "heuristics": ["klein_ravi", "portfolio", "portfolio_lifetime"],
+      "demands": 6,
+      "starts": 4,
+      "anneal_iters": 100,
+      "stack": "dsr_odpm",
+      "duration_s": 120,
+      "rate_pps": 16,
+      "battery_j": 102.5,
+      "demand_weights": [0.5, 1, 3],
+      "runs": 2,
+      "seed": 9
+    }]
+  })");
+  ASSERT_EQ(m.experiments.size(), 1u);
+  const Experiment& e = m.experiments[0];
+  EXPECT_EQ(e.kind, ExperimentKind::Replay);
+  EXPECT_EQ(e.node_counts, (std::vector<std::size_t>{50, 100}));
+  EXPECT_EQ(e.heuristics,
+            (std::vector<std::string>{"klein_ravi", "portfolio",
+                                      "portfolio_lifetime"}));
+  EXPECT_EQ(e.replay_stack, "dsr_odpm");
+  EXPECT_DOUBLE_EQ(e.replay_duration_s, 120.0);
+  EXPECT_DOUBLE_EQ(e.replay_rate_pps, 16.0);
+  EXPECT_DOUBLE_EQ(e.battery_j, 102.5);
+  EXPECT_EQ(e.demand_weights, (std::vector<double>{0.5, 1.0, 3.0}));
+  EXPECT_EQ(e.runs, 2u);
+  EXPECT_EQ(e.seed, 9u);
+  // Default metric set: both sides of the cross-check plus lifetime.
+  ASSERT_EQ(e.metrics.size(), 5u);
+  EXPECT_EQ(e.metrics[0].name, "analytic_eq5_j");
+  EXPECT_EQ(e.metrics[1].name, "sim_energy_j");
+  EXPECT_EQ(e.metrics[2].name, "analytic_gap_pct");
+  EXPECT_EQ(e.metrics[3].name, "delivery_ratio");
+  EXPECT_EQ(e.metrics[4].name, "first_death_s");
+}
+
+TEST(Manifest, ReplayKindRejectsBadInputsActionably) {
+  const auto replay = [](const std::string& patch) {
+    return R"({"name":"t","experiments":[{"id":"r","kind":"replay",
+      "node_counts":[50],)" + patch + R"(}]})";
+  };
+  // Heuristics validate against the opt/ registry, like the design kind.
+  expect_rejected(
+      [&] { Manifest::parse(replay("\"heuristics\": [\"simplex\"]")); },
+      "unknown design heuristic \"simplex\" (valid: klein_ravi");
+  // Lifetime variants need the battery that defines their budget.
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"portfolio_lifetime\"]"));
+      },
+      "battery_j is 0");
+  // ...and are meaningless for the un-simulated design kind.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+          "kind":"design","node_counts":[50],
+          "heuristics":["portfolio_lifetime"]}]})");
+      },
+      "only valid for kind \"replay\"");
+  // Range validation on the replay knobs.
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay(
+            "\"heuristics\": [\"klein_ravi\"], \"battery_j\": -1"));
+      },
+      "battery_j must be in [0, 1e9]");
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay(
+            "\"heuristics\": [\"klein_ravi\"], \"rate_pps\": 0"));
+      },
+      "rate_pps must be in (0, 1e6]");
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay(
+            "\"heuristics\": [\"klein_ravi\"], \"duration_s\": 0"));
+      },
+      "duration_s must be in (0, 1e6]");
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"klein_ravi\"], "
+                               "\"demand_weights\": []"));
+      },
+      "demand_weights must be a non-empty array");
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"klein_ravi\"], "
+                               "\"demand_weights\": [0]"));
+      },
+      "demand_weights entries must be in (0, 1e3]");
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"klein_ravi\"], "
+                               "\"stack\": \"warp_drive\""));
+      },
+      "unknown stack preset");
+  // Replay takes the singular "stack", not the sim kinds' array...
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"klein_ravi\"], "
+                               "\"stacks\": [\"titan_pc\"]"));
+      },
+      "the singular \"stack\"");
+  // ...and the singular "stack" is replay-only.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"a",
+          "kind":"sweep","scenario":{"preset":"small_network"},
+          "stacks":["titan_pc"],"rates_pps":[2],
+          "stack":"dsr_active"}]})");
+      },
+      "only valid for kind \"replay\"");
+  // Sim metrics that are not replay metrics stay rejected.
+  expect_rejected(
+      [&] {
+        Manifest::parse(replay("\"heuristics\": [\"klein_ravi\"], "
+                               "\"metrics\": [\"goodput_bit_per_j\"]"));
+      },
+      "not valid for kind \"replay\"");
+}
+
 TEST(Manifest, DesignKindRejectsBadInputsActionably) {
   const auto design = [](const std::string& patch) {
     return R"({"name":"t","experiments":[{"id":"d","kind":"design",
@@ -272,6 +400,13 @@ TEST(Manifest, SerializeParseRoundTripIsAFixedPoint) {
                "node_counts":[50,200],"heuristics":["klein_ravi","portfolio"],
                "demands":6,"starts":4,"anneal_iters":150,"runs":2,
                "quick":{"node_counts":[50],"runs":1}}]})",
+           R"({"name":"r","experiments":[{"id":"rp","kind":"replay",
+               "node_counts":[50,100],
+               "heuristics":["klein_ravi","portfolio_lifetime"],
+               "demands":6,"stack":"dsr_active","duration_s":120,
+               "rate_pps":16,"battery_j":102.5,
+               "demand_weights":[0.5,1,3],"runs":2,
+               "quick":{"node_counts":[50],"runs":1,"duration_s":60}}]})",
        }) {
     const Manifest m1 = Manifest::parse(text);
     const std::string canon = m1.serialize();
@@ -304,14 +439,14 @@ TEST(Manifest, RejectsUnknownKeysWithAllowedList) {
 TEST(Manifest, RejectsKindMismatchedKeys) {
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("node_counts", "[300]")); },
-      "only valid for kinds \"density\" and \"design\"");
+      "only valid for kinds \"density\", \"design\" and \"replay\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("heuristics",
                                                "[\"portfolio\"]")); },
-      "only valid for kind \"design\"");
+      "only valid for kinds \"design\" and \"replay\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("starts", "4")); },
-      "only valid for kind \"design\"");
+      "only valid for kinds \"design\" and \"replay\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("cards", "[]")); },
       "only valid for kind \"mopt\"");

@@ -1,0 +1,340 @@
+// Design-replay subsystem tests.
+//
+//   * exact-mapping suite: a tiny hand-built graph where routed demand
+//     paths, per-node energy shares and the lifetime penalty are asserted
+//     against closed-form values, and a generated instance whose realized
+//     ScenarioConfig (powered-off set, demand-derived flows, rate
+//     multipliers) is asserted field by field;
+//   * the single-source-of-truth contract: realized CBR rates are exactly
+//     rate_pps x the demand's rate multiplier, in demand order;
+//   * powered-off semantics: dark radios meter zero energy and the
+//     simulated network total is exactly the active nodes' sum;
+//   * determinism: replaying the same design twice is bit-identical in
+//     every report field;
+//   * lifetime scoring: registry classification, the budget requirement,
+//     and the penalized objective actually lowering the max per-node load
+//     on a pinned instance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "opt/design_heuristic.hpp"
+#include "opt/design_instance.hpp"
+#include "replay/replay.hpp"
+#include "util/check.hpp"
+
+namespace eend::replay {
+namespace {
+
+// --------------------------------------------------- hand-built exactness ---
+
+/// 3-node path 0 -2- 1 -4- 2, node weight 5 everywhere, one demand
+/// 0 -> 2 with rate multiplier 3.
+core::NetworkDesignProblem hand_problem() {
+  graph::Graph g(3);
+  for (graph::NodeId v = 0; v < 3; ++v) g.set_node_weight(v, 5.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  core::NetworkDesignProblem p(std::move(g));
+  p.add_demand({0, 2, 3.0});
+  return p;
+}
+
+TEST(NodeLoads, HandGraphSharesAreExact) {
+  const core::NetworkDesignProblem p = hand_problem();
+  const auto routes = p.try_route_in_subgraph({0, 1, 2});
+  ASSERT_TRUE(routes.has_value());
+  ASSERT_EQ(routes->size(), 1u);
+  EXPECT_EQ(routes->front().path, (std::vector<graph::NodeId>{0, 1, 2}));
+  EXPECT_EQ(routes->front().packets, 3.0);  // = the demand's rate multiplier
+
+  analytical::Eq5Params eval;
+  eval.t_idle = 7.0;
+  eval.t_data_per_packet = 0.5;
+  const std::vector<double> loads =
+      opt::node_energy_loads(p.graph(), *routes, eval);
+  ASSERT_EQ(loads.size(), 3u);
+  // Every active node pays idle (7 * 5 = 35); each route edge's data cost
+  // (0.5 * 3 * w) splits half/half between its endpoints.
+  EXPECT_EQ(loads[0], 35.0 + 0.5 * 0.5 * 3.0 * 2.0);  // 36.5
+  EXPECT_EQ(loads[1], 35.0 + 1.5 + 0.5 * 0.5 * 3.0 * 4.0);  // 39.5
+  EXPECT_EQ(loads[2], 35.0 + 3.0);  // 38
+}
+
+TEST(NodeLoads, LifetimePenaltyIsExactAndChangesCostOnly) {
+  const core::NetworkDesignProblem p = hand_problem();
+  analytical::Eq5Params eval;
+  eval.t_idle = 7.0;
+  eval.t_data_per_packet = 0.5;
+
+  const opt::CandidateDesign plain =
+      opt::evaluate_design(p, {0, 1, 2}, eval);
+  ASSERT_TRUE(plain.feasible);
+  // Eq. 5: relay idle (node 1) + data over both edges.
+  EXPECT_EQ(plain.score.idle, 35.0);
+  EXPECT_EQ(plain.score.data, 0.5 * 3.0 * (2.0 + 4.0));
+  // The plain objective skips the load scan entirely (hot search loops).
+  EXPECT_EQ(plain.lifetime_penalty, 0.0);
+  EXPECT_EQ(plain.max_node_load, 0.0);
+
+  opt::DesignObjective obj(eval);
+  obj.battery_budget_j = 38.0;
+  obj.overload_penalty = 2.0;
+  const opt::CandidateDesign penalized =
+      opt::evaluate_design(p, {0, 1, 2}, obj);
+  ASSERT_TRUE(penalized.feasible);
+  EXPECT_EQ(penalized.max_node_load, 39.5);
+  // Only node 1 exceeds the budget: 39.5 - 38 = 1.5 -> penalty 3.
+  EXPECT_EQ(penalized.lifetime_penalty, 3.0);
+  EXPECT_EQ(penalized.cost(), plain.cost() + 3.0);
+  EXPECT_EQ(penalized.score.total(), plain.score.total());
+}
+
+// ------------------------------------------------------ realized scenario ---
+
+struct Realized {
+  opt::DesignInstanceSpec spec;
+  opt::DesignInstance instance;
+  opt::CandidateDesign design;
+  ReplaySettings settings;
+  DesignRealization realization;
+};
+
+Realized realize_small(std::uint64_t seed = 3) {
+  Realized r;
+  r.spec.node_count = 24;
+  r.spec.demand_count = 3;
+  r.spec.seed = seed;
+  r.spec.demand_weights = {1.0, 2.0};  // cycles: 1, 2, 1
+  r.instance = opt::make_design_instance(r.spec);
+  r.settings.duration_s = 60.0;
+  r.settings.rate_pps = 2.0;
+  const opt::DesignObjective obj =
+      replay_eq5_params(r.settings, r.spec.card);
+  r.design = opt::design_from_tree(
+      r.instance.problem, r.instance.problem.solve_node_weighted(), obj);
+  EEND_REQUIRE(r.design.feasible);
+  r.realization =
+      realize_design(r.spec, r.instance, r.design, r.settings);
+  return r;
+}
+
+TEST(Realization, PoweredOffSetIsExactComplement) {
+  const Realized r = realize_small();
+  std::set<std::size_t> active(r.design.nodes.begin(), r.design.nodes.end());
+  std::vector<std::size_t> want_off;
+  for (std::size_t id = 0; id < r.spec.node_count; ++id)
+    if (!active.count(id)) want_off.push_back(id);
+  EXPECT_EQ(r.realization.scenario.powered_off_nodes, want_off);
+  EXPECT_EQ(r.realization.active_nodes, active.size());
+  EXPECT_EQ(r.realization.powered_off_nodes,
+            r.spec.node_count - active.size());
+}
+
+TEST(Realization, FlowsMirrorDemandsInOrderWithWeightedRates) {
+  const Realized r = realize_small();
+  const auto& demands = r.instance.problem.demands();
+  const auto& sc = r.realization.scenario;
+  ASSERT_EQ(sc.flow_endpoints.size(), demands.size());
+  ASSERT_EQ(sc.rate_multipliers.size(), demands.size());
+  // Demand weights cycle 1, 2, 1 over the three demands.
+  EXPECT_EQ(sc.rate_multipliers, (std::vector<double>{1.0, 2.0, 1.0}));
+  const auto flows = net::make_flows(sc);
+  ASSERT_EQ(flows.size(), demands.size());
+  for (std::size_t j = 0; j < demands.size(); ++j) {
+    EXPECT_EQ(sc.flow_endpoints[j].first, demands[j].source);
+    EXPECT_EQ(sc.flow_endpoints[j].second, demands[j].destination);
+    EXPECT_EQ(flows[j].source, demands[j].source);
+    EXPECT_EQ(flows[j].destination, demands[j].destination);
+    // Single source of truth: CBR rate = rate_pps x demand multiplier.
+    EXPECT_EQ(flows[j].packets_per_s,
+              r.settings.rate_pps * demands[j].rate);
+  }
+}
+
+TEST(Realization, ScenarioReproducesInstancePositionsBitwise) {
+  const Realized r = realize_small();
+  const auto placed = net::place_nodes(r.realization.scenario);
+  ASSERT_EQ(placed.size(), r.instance.positions.size());
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    EXPECT_EQ(placed[i].x, r.instance.positions[i].x);
+    EXPECT_EQ(placed[i].y, r.instance.positions[i].y);
+  }
+}
+
+TEST(Realization, RoutesMatchDesignRouting) {
+  const Realized r = realize_small();
+  const auto routes =
+      r.instance.problem.try_route_in_subgraph(r.design.nodes);
+  ASSERT_TRUE(routes.has_value());
+  ASSERT_EQ(r.realization.routes.size(), routes->size());
+  for (std::size_t i = 0; i < routes->size(); ++i) {
+    EXPECT_EQ(r.realization.routes[i].path, (*routes)[i].path);
+    EXPECT_EQ(r.realization.routes[i].packets, (*routes)[i].packets);
+    // Every routed node is active; no route touches a powered-off node.
+    for (const graph::NodeId v : r.realization.routes[i].path)
+      EXPECT_TRUE(std::binary_search(r.design.nodes.begin(),
+                                     r.design.nodes.end(), v));
+  }
+}
+
+TEST(Realization, InfeasibleDesignIsRejected) {
+  const Realized r = realize_small();
+  opt::CandidateDesign bad = r.design;
+  bad.feasible = false;
+  EXPECT_THROW(realize_design(r.spec, r.instance, bad, r.settings),
+               CheckError);
+}
+
+// ------------------------------------------------- scenario-level checks ---
+
+TEST(ScenarioValidation, RejectsBadPoweredOffAndEndpointLists) {
+  net::ScenarioConfig sc = net::ScenarioConfig::small_network();
+  sc.powered_off_nodes = {sc.node_count};  // out of range
+  EXPECT_THROW(sc.validate(), CheckError);
+  sc.powered_off_nodes = {3, 3};
+  EXPECT_THROW(sc.validate(), CheckError);
+  sc.powered_off_nodes.clear();
+  sc.flow_endpoints = {{1, 1}};  // self-loop
+  EXPECT_THROW(sc.validate(), CheckError);
+  sc.flow_endpoints = {{1, 2}, {1, 2}};  // duplicate pair
+  EXPECT_THROW(sc.validate(), CheckError);
+  sc.flow_endpoints = {{1, 2}};
+  sc.powered_off_nodes = {2};  // endpoint powered off
+  EXPECT_THROW(sc.validate(), CheckError);
+  sc.powered_off_nodes = {3};
+  sc.validate();  // endpoint-disjoint powered-off set is fine
+  sc.powered_off_nodes.clear();
+  for (std::size_t id = 0; id < sc.node_count; ++id)
+    sc.powered_off_nodes.push_back(id);
+  sc.flow_endpoints.clear();
+  EXPECT_THROW(sc.validate(), CheckError);  // cannot power off everything
+}
+
+TEST(PoweredOff, DarkRadiosMeterZeroAndTotalsComeFromActiveNodes) {
+  const Realized r = realize_small();
+  net::Network network(r.realization.scenario, r.settings.stack);
+  const metrics::RunResult result = network.run();
+
+  std::set<std::size_t> off(r.realization.scenario.powered_off_nodes.begin(),
+                            r.realization.scenario.powered_off_nodes.end());
+  double active_sum = 0.0;
+  for (std::size_t id = 0; id < network.node_count(); ++id) {
+    const double total =
+        network.radio(static_cast<mac::NodeId>(id)).meter().total();
+    if (off.count(id)) {
+      EXPECT_EQ(total, 0.0) << "powered-off node " << id
+                            << " consumed energy";
+    } else {
+      EXPECT_GT(total, 0.0) << "active node " << id << " metered nothing";
+      active_sum += total;
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.total_energy_j, active_sum);
+  // Demands route inside the design, so traffic must actually flow.
+  EXPECT_GT(result.delivered, 0u);
+}
+
+// ------------------------------------------------------------ determinism ---
+
+TEST(Replay, SameDesignReplaysBitIdentically) {
+  const Realized r = realize_small(7);
+  const ReplayReport a =
+      replay_design(r.spec, r.instance, r.design, r.settings);
+  const ReplayReport b =
+      replay_design(r.spec, r.instance, r.design, r.settings);
+  EXPECT_EQ(a.analytic_energy_j, b.analytic_energy_j);
+  EXPECT_EQ(a.sim_energy_j, b.sim_energy_j);
+  EXPECT_EQ(a.gap_pct, b.gap_pct);
+  EXPECT_EQ(a.sim_j_per_kbit, b.sim_j_per_kbit);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.first_death_s, b.first_death_s);
+  EXPECT_EQ(a.depleted_nodes, b.depleted_nodes);
+  EXPECT_EQ(a.max_node_load_j, b.max_node_load_j);
+  EXPECT_EQ(a.sim.sent, b.sim.sent);
+  EXPECT_EQ(a.sim.delivered, b.sim.delivered);
+  EXPECT_EQ(a.sim.total_energy_j, b.sim.total_energy_j);
+  EXPECT_EQ(a.sim.transmit_energy_j, b.sim.transmit_energy_j);
+  EXPECT_EQ(a.sim.control_energy_j, b.sim.control_energy_j);
+  EXPECT_EQ(a.sim.channel_transmissions, b.sim.channel_transmissions);
+  EXPECT_EQ(a.sim.mac_collisions, b.sim.mac_collisions);
+}
+
+TEST(Replay, ReportSidesAgreeWithTheirSources) {
+  const Realized r = realize_small();
+  const ReplayReport rep = run_realization(r.realization, r.settings);
+  EXPECT_EQ(rep.analytic_energy_j, r.realization.analytic.total());
+  EXPECT_EQ(rep.sim_energy_j, rep.sim.total_energy_j);
+  EXPECT_EQ(rep.max_node_load_j, r.realization.max_node_load_j);
+  EXPECT_EQ(rep.active_nodes, r.realization.active_nodes);
+  // No batteries here: nobody dies, first_death_s reads the horizon.
+  EXPECT_EQ(rep.first_death_s, r.settings.duration_s);
+  EXPECT_EQ(rep.depleted_nodes, 0u);
+}
+
+// -------------------------------------------------------- lifetime search ---
+
+TEST(Lifetime, RegistryClassifiesVariants) {
+  EXPECT_TRUE(opt::heuristic_uses_battery_budget("portfolio_lifetime"));
+  EXPECT_TRUE(opt::heuristic_uses_battery_budget("local_search_lifetime"));
+  EXPECT_TRUE(opt::heuristic_uses_battery_budget("annealing_lifetime"));
+  EXPECT_FALSE(opt::heuristic_uses_battery_budget("portfolio"));
+  EXPECT_FALSE(opt::heuristic_uses_battery_budget("klein_ravi"));
+  EXPECT_THROW(opt::heuristic_uses_battery_budget("nope"), CheckError);
+}
+
+TEST(Lifetime, VariantWithoutBudgetThrowsActionably) {
+  const Realized r = realize_small();
+  opt::HeuristicOptions ho;  // battery_budget_j = 0
+  EXPECT_THROW(opt::heuristic_by_name("portfolio_lifetime")
+                   .run(r.instance.problem, ho, 1),
+               CheckError);
+}
+
+TEST(Lifetime, BindingBudgetLowersMaxNodeLoadOnPinnedInstance) {
+  // The pinned quick family's shape at small scale: under a budget sitting
+  // between the spread-out and concentrated max loads, the lifetime
+  // portfolio must find a design whose hottest node carries strictly less
+  // than the unconstrained winner's — that is the whole point of the mode.
+  opt::DesignInstanceSpec spec;
+  spec.node_count = 50;
+  spec.demand_count = 6;
+  spec.seed = 1;
+  spec.demand_weights = {0.5, 1.0, 3.0};
+  const opt::DesignInstance inst = opt::make_design_instance(spec);
+
+  ReplaySettings settings;
+  settings.duration_s = 120.0;
+  settings.rate_pps = 16.0;
+  settings.battery_capacity_j = 102.5;
+
+  opt::HeuristicOptions ho;
+  ho.eval = replay_eq5_params(settings, spec.card);
+  ho.starts = 6;
+  ho.anneal_iterations = 200;
+  ho.battery_budget_j = settings.battery_capacity_j;
+
+  const opt::CandidateDesign base =
+      opt::heuristic_by_name("portfolio").run(inst.problem, ho, spec.seed);
+  const opt::CandidateDesign lifetime =
+      opt::heuristic_by_name("portfolio_lifetime")
+          .run(inst.problem, ho, spec.seed);
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(lifetime.feasible);
+  // Re-score the plain winner under the penalized objective (the plain run
+  // itself skips the load scan) to compare hottest nodes.
+  opt::DesignObjective obj(ho.eval);
+  obj.battery_budget_j = ho.battery_budget_j;
+  const opt::CandidateDesign base_scored =
+      opt::evaluate_design(inst.problem, base.nodes, obj);
+  EXPECT_LT(lifetime.max_node_load, base_scored.max_node_load);
+  // The plain-Eq. 5 winner pays for its concentration under the penalized
+  // objective; the lifetime winner is the cheaper of the two there.
+  EXPECT_LE(lifetime.cost(), base_scored.cost());
+}
+
+}  // namespace
+}  // namespace eend::replay

@@ -218,10 +218,11 @@ int main(int argc, char** argv) {
     for (const auto& e : manifest.experiments)
       applies |= e.kind == core::ExperimentKind::Sweep ||
                  e.kind == core::ExperimentKind::Density ||
-                 e.kind == core::ExperimentKind::Design;
+                 e.kind == core::ExperimentKind::Design ||
+                 e.kind == core::ExperimentKind::Replay;
     if (!applies) {
       std::cerr << "eend_run: --runs has no effect — none of the selected "
-                   "experiments are sweep, density or design kind\n";
+                   "experiments are sweep, density, design or replay kind\n";
       return 2;
     }
     opts.runs_override = static_cast<std::size_t>(runs);
