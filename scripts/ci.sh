@@ -1,18 +1,55 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure, build, ctest) plus one --quick
-# bench smoke per figure family and a jobs=1 vs jobs=4 determinism check.
-# Usable locally too: ./scripts/ci.sh
+# CI entry point — the whole gate, reproducible locally. Modes:
+#
+#   ./scripts/ci.sh           # release: build (-Werror), ctest (incl. the
+#                             # eend_lint tree gate), lint JSON report,
+#                             # bench smokes, jobs determinism checks
+#   ./scripts/ci.sh asan      # ASan+UBSan Debug: build, full ctest,
+#                             # --jobs=8 eend_run smoke under the sanitizer
+#   ./scripts/ci.sh tsan      # TSan Debug: same, exercising ParallelRunner
+#   ./scripts/ci.sh all       # all three in sequence
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="${1:-release}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# Sanitizer legs build Debug with zero suppressions and run the FULL ctest
+# suite, then push a --quick --jobs=8 manifest through eend_run so the
+# thread pool itself (fan-out, seed-order merge) runs under the sanitizer.
+sanitizer_gate() {
+  local kind="$1" dir="$2"
+  echo "== [$kind] configure + build (Debug, EEND_SANITIZE=$kind, -Werror) =="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DEEND_SANITIZE="$kind" -DEEND_WERROR=ON
+  cmake --build "$dir" -j"$JOBS"
+  echo "== [$kind] full ctest =="
+  ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+  echo "== [$kind] eend_run --quick --jobs=8 smoke =="
+  "$dir/tools/eend_run" --manifest examples/manifests/small_field.json \
+    --quick --quiet --jobs=8 > /dev/null
+  echo "== [$kind] gate passed =="
+}
+
+case "$MODE" in
+  asan) sanitizer_gate address build-asan; exit 0 ;;
+  tsan) sanitizer_gate thread build-tsan; exit 0 ;;
+  all) "$0" release && "$0" asan && "$0" tsan; exit 0 ;;
+  release) ;;
+  *) echo "usage: $0 [release|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
 echo "== configure + build =="
-cmake -B build -S .
+cmake -B build -S . -DEEND_WERROR=ON
 cmake --build build -j"$JOBS"
 
 echo "== ctest =="
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== determinism lint (JSON artifact) =="
+./build/tools/eend_lint --quiet --json=LINT_report.json
+test -s LINT_report.json
+echo "OK: tree is lint-clean, wrote LINT_report.json"
 
 echo "== bench smokes (--quick, one per figure family) =="
 run() {

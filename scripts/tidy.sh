@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-tidy sweep over the tree using the profile in .clang-tidy.
+#
+#   ./scripts/tidy.sh                 # whole tree (needs a configured build/)
+#   ./scripts/tidy.sh src/routing     # just one subtree
+#
+# Requires clang-tidy and a compile_commands.json; we export one from the
+# existing CMake cache (build/ by default, override with BUILD_DIR=...).
+# Advisory locally; the hard gates are eend_lint and the -Werror build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "tidy: clang-tidy not installed — skipping (advisory check)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy: exporting compile_commands.json into $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+TARGETS=("${@:-src tests bench tools examples}")
+FILES=$(find ${TARGETS[@]} -name '*.cpp' -o -name '*.cc' -o -name '*.cxx' \
+        | sort)
+if [ -z "$FILES" ]; then
+  echo "tidy: no sources under: ${TARGETS[*]}" >&2
+  exit 2
+fi
+
+echo "$FILES" | xargs -P "$JOBS" -n 1 \
+  clang-tidy -p "$BUILD_DIR" --quiet
+echo "tidy: clean"

@@ -923,6 +923,13 @@ Manifest Manifest::load(const std::string& path) {
   }
 }
 
+// GCC 12's -Warray-bounds misfires on the grow-from-empty reallocation
+// path of vector<pair<string, Value>> at -O2 (stl_pair.h, inlined from the
+// emplace_back below); the function is a plain append sequence.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
 json::Value Manifest::to_json() const {
   json::Object o;
   o.emplace_back("name", name);
@@ -932,6 +939,9 @@ json::Value Manifest::to_json() const {
   o.emplace_back("experiments", std::move(exps));
   return json::Value(std::move(o));
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::string Manifest::serialize() const { return json::dump(to_json(), 2); }
 

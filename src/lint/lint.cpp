@@ -1,0 +1,800 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace eend::lint {
+
+namespace {
+
+struct RuleInfo {
+  Rule rule;
+  std::string_view id;
+  std::string_view summary;
+};
+
+constexpr std::array<RuleInfo, 5> kRules{{
+    {Rule::UnorderedIter, "unordered-iter",
+     "iteration over an unordered container (order is "
+     "implementation-defined)"},
+    {Rule::NondetSource, "nondet-source",
+     "banned nondeterminism source (rand/random_device/system_clock/"
+     "time(nullptr))"},
+    {Rule::PtrKey, "ptr-key",
+     "ordered container keyed by a pointer (address order is "
+     "nondeterministic)"},
+    {Rule::FloatAccum, "float-accum",
+     "float accumulator (rounding drifts with summation order; use "
+     "double)"},
+    {Rule::BadAllow, "bad-allow",
+     "malformed eend-lint annotation (unknown rule or missing reason)"},
+}};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool word_bounded(std::string_view text, std::size_t pos, std::size_t len) {
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  if (pos + len < text.size() && is_ident_char(text[pos + len])) return false;
+  return true;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// ------------------------------------------------------------ stripping ---
+
+struct AllowEntry {
+  Rule rule;
+  int line;  // annotation line; coverage extends to the next code line
+};
+
+/// Comments, string literals, char literals and raw strings blanked to
+/// spaces (newlines preserved, so offsets and line numbers survive).
+/// eend-lint annotations are parsed out of comment text during the pass.
+struct Stripped {
+  std::string code;
+  std::vector<AllowEntry> allows;
+  std::vector<Finding> bad_allows;  // file field filled by caller
+};
+
+/// Parse annotations out of one comment's text. `line` is the line the
+/// comment text starts on; block comments count newlines as they go.
+void scan_comment(std::string_view comment, int line, Stripped& out) {
+  static constexpr std::string_view kTag = "eend-lint:";
+  std::size_t from = 0;
+  int cur_line = line;
+  std::size_t last_nl_scan = 0;
+  while (true) {
+    const std::size_t at = comment.find(kTag, from);
+    if (at == std::string_view::npos) return;
+    for (std::size_t i = last_nl_scan; i < at; ++i)
+      if (comment[i] == '\n') ++cur_line;
+    last_nl_scan = at;
+    from = at + kTag.size();
+
+    const auto bad = [&](std::string msg) {
+      Finding f;
+      f.rule = Rule::BadAllow;
+      f.line = cur_line;
+      f.message = std::move(msg);
+      out.bad_allows.push_back(std::move(f));
+    };
+
+    std::size_t p = from;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    static constexpr std::string_view kAllow = "allow(";
+    if (p >= comment.size() ||
+        comment.compare(p, kAllow.size(), kAllow) != 0) {
+      bad("eend-lint annotation without allow(<rule>)");
+      continue;
+    }
+    p += kAllow.size();
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string_view::npos) {
+      bad("unterminated allow( in eend-lint annotation");
+      continue;
+    }
+    const std::string id = trim(comment.substr(p, close - p));
+    const auto rule = rule_from_id(id);
+    if (!rule || *rule == Rule::BadAllow) {
+      bad("allow(" + id + "): unknown rule id");
+      continue;
+    }
+    // The reason is mandatory: everything after ')' up to the end of the
+    // annotation's line, minus separator punctuation, must be non-empty.
+    std::size_t r = close + 1;
+    const std::size_t eol = comment.find('\n', r);
+    std::string reason = trim(comment.substr(
+        r, (eol == std::string_view::npos ? comment.size() : eol) - r));
+    while (!reason.empty() &&
+           (reason.front() == '-' || reason.front() == ':' ||
+            static_cast<unsigned char>(reason.front()) > 0x7f))
+      reason.erase(reason.begin());
+    if (trim(reason).empty()) {
+      bad("allow(" + id + "): missing reason after the closing parenthesis");
+      continue;
+    }
+    out.allows.push_back(AllowEntry{*rule, cur_line});
+  }
+}
+
+Stripped strip(std::string_view src) {
+  Stripped out;
+  out.code.assign(src.size(), ' ');
+  int line = 1;
+  std::size_t i = 0;
+  const auto keep = [&](std::size_t at) { out.code[at] = src[at]; };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string_view::npos ? src.size() : eol;
+      scan_comment(src.substr(i + 2, end - i - 2), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t end =
+          close == std::string_view::npos ? src.size() : close + 2;
+      scan_comment(src.substr(i + 2, (close == std::string_view::npos
+                                          ? src.size()
+                                          : close) -
+                                         i - 2),
+                   line, out);
+      for (std::size_t k = i; k < end; ++k)
+        if (src[k] == '\n') {
+          out.code[k] = '\n';
+          ++line;
+        }
+      i = end;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(src[i - 1]))) {
+      std::size_t d = i + 2;
+      while (d < src.size() && src[d] != '(' && src[d] != '"' &&
+             src[d] != '\n')
+        ++d;
+      if (d < src.size() && src[d] == '(') {
+        const std::string closer =
+            ")" + std::string(src.substr(i + 2, d - i - 2)) + "\"";
+        const std::size_t close = src.find(closer, d + 1);
+        const std::size_t end = close == std::string_view::npos
+                                    ? src.size()
+                                    : close + closer.size();
+        for (std::size_t k = i; k < end; ++k)
+          if (src[k] == '\n') {
+            out.code[k] = '\n';
+            ++line;
+          }
+        i = end;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t k = i + 1;
+      while (k < src.size() && src[k] != c && src[k] != '\n') {
+        if (src[k] == '\\' && k + 1 < src.size()) ++k;
+        ++k;
+      }
+      i = k < src.size() ? k + 1 : src.size();
+      continue;
+    }
+    keep(i);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- line lookup ---
+
+struct LineIndex {
+  std::vector<std::size_t> starts;  // starts[k] = offset of line k+1
+
+  explicit LineIndex(std::string_view text) {
+    starts.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i)
+      if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  int line_of(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), offset);
+    return static_cast<int>(it - starts.begin());
+  }
+  std::string_view line_text(std::string_view text, int line) const {
+    if (line < 1 || line > static_cast<int>(starts.size())) return {};
+    const std::size_t b = starts[static_cast<std::size_t>(line) - 1];
+    const std::size_t e = line < static_cast<int>(starts.size())
+                              ? starts[static_cast<std::size_t>(line)] - 1
+                              : text.size();
+    return text.substr(b, e - b);
+  }
+};
+
+/// Skip a balanced (...) starting at `open` (which must index '(').
+/// Returns the offset one past the matching ')', or npos.
+std::size_t skip_parens(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    else if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Skip a balanced <...> starting at `open` ('<'). Template args only —
+/// stops pairing on ';' or '{' which cannot appear inside them.
+std::size_t skip_angles(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') ++depth;
+    else if (c == '>' && --depth == 0) return i + 1;
+    else if (c == ';' || c == '{') return std::string_view::npos;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_spaces(std::string_view code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])))
+    ++i;
+  return i;
+}
+
+std::string read_ident(std::string_view code, std::size_t i,
+                       std::size_t* end = nullptr) {
+  std::size_t b = i;
+  while (i < code.size() && is_ident_char(code[i])) ++i;
+  if (end) *end = i;
+  return std::string(code.substr(b, i - b));
+}
+
+bool contains_word(std::string_view text, std::string_view word) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = text.find(word, from);
+    if (at == std::string_view::npos) return false;
+    if (word_bounded(text, at, word.size())) return true;
+    from = at + 1;
+  }
+}
+
+// ------------------------------------------------------------- the rules ---
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes{
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+void collect_unordered_into(std::string_view code,
+                            std::vector<std::string>& names) {
+  for (const std::string_view type : kUnorderedTypes) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t at = code.find(type, from);
+      if (at == std::string_view::npos) break;
+      from = at + type.size();
+      if (!word_bounded(code, at, type.size())) continue;
+      std::size_t i = skip_spaces(code, at + type.size());
+      if (i >= code.size() || code[i] != '<') continue;
+      i = skip_angles(code, i);
+      if (i == std::string_view::npos) continue;
+      // Declarator: optional refs/pointers/cv, then the variable name.
+      // `>::iterator it` and `using X = ...;` forms yield no name — skipped.
+      while (true) {
+        i = skip_spaces(code, i);
+        if (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+          ++i;
+          continue;
+        }
+        std::size_t end = i;
+        const std::string word = read_ident(code, i, &end);
+        if (word == "const" || word == "volatile") {
+          i = end;
+          continue;
+        }
+        if (!word.empty()) {
+          const std::size_t next = skip_spaces(code, end);
+          // A '(' would make this a function declaration returning the
+          // container — the name is not a variable then.
+          if (next >= code.size() || code[next] != '(')
+            names.push_back(word);
+        }
+        break;
+      }
+    }
+  }
+}
+
+struct Context {
+  const SourceFile& file;
+  std::string_view code;             // stripped
+  const LineIndex& lines;
+  const std::set<std::string>& container_names;
+  std::vector<Finding>& findings;
+
+  void flag(Rule rule, std::size_t offset, std::string message) const {
+    Finding f;
+    f.rule = rule;
+    f.file = file.path;
+    f.line = lines.line_of(offset);
+    f.message = std::move(message);
+    std::string snippet =
+        trim(lines.line_text(file.content, f.line));
+    if (snippet.size() > 160) snippet = snippet.substr(0, 157) + "...";
+    f.snippet = std::move(snippet);
+    findings.push_back(std::move(f));
+  }
+};
+
+bool mentions_unordered(const Context& ctx, std::string_view expr,
+                        std::string* who) {
+  if (expr.find("unordered_") != std::string_view::npos) {
+    *who = "unordered container expression";
+    return true;
+  }
+  for (const std::string& name : ctx.container_names) {
+    if (contains_word(expr, name)) {
+      *who = name;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool calls_begin_on_unordered(const Context& ctx, std::string_view expr,
+                              std::string* who) {
+  for (const std::string_view fn : {".begin", ".cbegin"}) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t at = expr.find(fn, from);
+      if (at == std::string_view::npos) break;
+      from = at + fn.size();
+      // Identify the object the .begin() is called on: the identifier
+      // immediately before the '.'.
+      std::size_t e = at;
+      while (e > 0 && is_ident_char(expr[e - 1])) --e;
+      const std::string obj(expr.substr(e, at - e));
+      if (!obj.empty() && ctx.container_names.count(obj)) {
+        *who = obj;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void rule_unordered_iter(const Context& ctx) {
+  const std::string_view code = ctx.code;
+  // for (...) — both the range-for and iterator-loop shapes.
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = code.find("for", from);
+    if (at == std::string_view::npos) break;
+    from = at + 3;
+    if (!word_bounded(code, at, 3)) continue;
+    const std::size_t open = skip_spaces(code, at + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = skip_parens(code, open);
+    if (close == std::string_view::npos) continue;
+    const std::string_view header = code.substr(open + 1, close - open - 2);
+
+    // Top-level ':' (skipping '::') separates a range-for.
+    std::size_t colon = std::string_view::npos;
+    int depth = 0;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      const char c = header[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      else if (c == ')' || c == ']' || c == '}') --depth;
+      else if (c == ':' && depth == 0) {
+        if (i + 1 < header.size() && header[i + 1] == ':') {
+          ++i;
+          continue;
+        }
+        if (i > 0 && header[i - 1] == ':') continue;
+        colon = i;
+        break;
+      }
+    }
+
+    std::string who;
+    if (colon != std::string_view::npos) {
+      const std::string_view range = header.substr(colon + 1);
+      if (mentions_unordered(ctx, range, &who))
+        ctx.flag(Rule::UnorderedIter, at,
+                 "range-for over unordered container '" + who +
+                     "': iteration order is implementation-defined");
+    } else if (calls_begin_on_unordered(ctx, header, &who)) {
+      ctx.flag(Rule::UnorderedIter, at,
+               "iterator loop over unordered container '" + who +
+                   "': iteration order is implementation-defined");
+    }
+  }
+
+  // std::for_each(x.begin(), ...) and friends.
+  from = 0;
+  while (true) {
+    const std::size_t at = code.find("for_each", from);
+    if (at == std::string_view::npos) break;
+    from = at + 8;
+    if (!word_bounded(code, at, 8)) continue;
+    const std::size_t open = skip_spaces(code, at + 8);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = skip_parens(code, open);
+    const std::string_view args =
+        code.substr(open + 1, (close == std::string_view::npos
+                                   ? code.size()
+                                   : close - 1) -
+                                  open - 1);
+    std::string who;
+    if (calls_begin_on_unordered(ctx, args, &who))
+      ctx.flag(Rule::UnorderedIter, at,
+               "std::for_each over unordered container '" + who +
+                   "': iteration order is implementation-defined");
+  }
+}
+
+void rule_nondet_source(const Context& ctx) {
+  const std::string_view code = ctx.code;
+  struct Banned {
+    std::string_view token;
+    std::string_view why;
+    bool needs_call;  // must be followed by '('
+  };
+  static constexpr std::array<Banned, 5> kBanned{{
+      {"rand", "seedless PRNG; use the scenario's util::Rng", true},
+      {"srand", "global PRNG reseed; use the scenario's util::Rng", true},
+      {"random_device",
+       "hardware entropy is unreproducible; use the scenario's util::Rng",
+       false},
+      {"system_clock",
+       "wall-clock time; use steady_clock for timing, never in results",
+       false},
+      {"gettimeofday",
+       "wall-clock time; use steady_clock for timing, never in results",
+       true},
+  }};
+  for (const Banned& b : kBanned) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t at = code.find(b.token, from);
+      if (at == std::string_view::npos) break;
+      from = at + b.token.size();
+      if (!word_bounded(code, at, b.token.size())) continue;
+      if (b.needs_call) {
+        const std::size_t next = skip_spaces(code, at + b.token.size());
+        if (next >= code.size() || code[next] != '(') continue;
+      }
+      ctx.flag(Rule::NondetSource, at,
+               "banned nondeterminism source '" + std::string(b.token) +
+                   "': " + std::string(b.why));
+    }
+  }
+  // time(nullptr) / time(NULL) / time(0)
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = code.find("time", from);
+    if (at == std::string_view::npos) break;
+    from = at + 4;
+    if (!word_bounded(code, at, 4)) continue;
+    std::size_t i = skip_spaces(code, at + 4);
+    if (i >= code.size() || code[i] != '(') continue;
+    i = skip_spaces(code, i + 1);
+    std::size_t end = i;
+    const std::string arg = read_ident(code, i, &end);
+    if (arg != "nullptr" && arg != "NULL" && arg != "0") continue;
+    if (skip_spaces(code, end) >= code.size() ||
+        code[skip_spaces(code, end)] != ')')
+      continue;
+    ctx.flag(Rule::NondetSource, at,
+             "banned nondeterminism source 'time(" + arg +
+                 ")': wall-clock seed; use the scenario's util::Rng");
+  }
+}
+
+void rule_ptr_key(const Context& ctx) {
+  const std::string_view code = ctx.code;
+  static constexpr std::array<std::string_view, 4> kOrdered{
+      "map", "set", "multimap", "multiset"};
+  for (const std::string_view type : kOrdered) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t at = code.find(type, from);
+      if (at == std::string_view::npos) break;
+      from = at + type.size();
+      if (!word_bounded(code, at, type.size())) continue;
+      const std::size_t open = skip_spaces(code, at + type.size());
+      if (open >= code.size() || code[open] != '<') continue;
+      if (skip_angles(code, open) == std::string_view::npos) continue;
+      // First template argument, at top angle/paren level.
+      std::size_t i = open + 1;
+      int angle = 0, paren = 0;
+      std::size_t arg_end = std::string_view::npos;
+      for (; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '<') ++angle;
+        else if (c == '>') {
+          if (angle == 0) {
+            arg_end = i;
+            break;
+          }
+          --angle;
+        } else if (c == '(') ++paren;
+        else if (c == ')') --paren;
+        else if (c == ',' && angle == 0 && paren == 0) {
+          arg_end = i;
+          break;
+        }
+      }
+      if (arg_end == std::string_view::npos) continue;
+      const std::string key = trim(code.substr(open + 1, arg_end - open - 1));
+      if (!key.empty() && key.back() == '*')
+        ctx.flag(Rule::PtrKey, at,
+                 "ordered container keyed by pointer '" + key +
+                     "': address order is nondeterministic; key by id or "
+                     "use a sorted-by-id vector");
+    }
+  }
+}
+
+void rule_float_accum(const Context& ctx) {
+  const std::string_view code = ctx.code;
+  std::set<std::string> float_vars;
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = code.find("float", from);
+    if (at == std::string_view::npos) break;
+    from = at + 5;
+    if (!word_bounded(code, at, 5)) continue;
+    const std::size_t i = skip_spaces(code, at + 5);
+    std::size_t end = i;
+    const std::string name = read_ident(code, i, &end);
+    if (name.empty()) continue;
+    const std::size_t next = skip_spaces(code, end);
+    // `float f(...)` declares a function, not an accumulator.
+    if (next < code.size() && code[next] == '(') continue;
+    float_vars.insert(name);
+  }
+  for (const std::string& name : float_vars) {
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t at = code.find(name, pos);
+      if (at == std::string_view::npos) break;
+      pos = at + name.size();
+      if (!word_bounded(code, at, name.size())) continue;
+      const std::size_t i = skip_spaces(code, at + name.size());
+      if (i + 1 < code.size() && code[i] == '+' && code[i + 1] == '=')
+        ctx.flag(Rule::FloatAccum, at,
+                 "float accumulator '" + name +
+                     "': float rounding drifts with summation order; "
+                     "accumulate in double");
+    }
+  }
+  // std::accumulate(..., 0.0f) — a float init forces float accumulation
+  // regardless of the element type.
+  from = 0;
+  while (true) {
+    const std::size_t at = code.find("accumulate", from);
+    if (at == std::string_view::npos) break;
+    from = at + 10;
+    if (!word_bounded(code, at, 10)) continue;
+    const std::size_t open = skip_spaces(code, at + 10);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = skip_parens(code, open);
+    if (close == std::string_view::npos) continue;
+    const std::string_view args = code.substr(open + 1, close - open - 2);
+    // Any top-level argument that is a float literal (ends in f/F after
+    // digits) is the init value.
+    int depth = 0;
+    std::size_t arg_begin = 0;
+    for (std::size_t i = 0; i <= args.size(); ++i) {
+      const char c = i < args.size() ? args[i] : ',';
+      if (c == '(' || c == '<' || c == '[') ++depth;
+      else if (c == ')' || c == '>' || c == ']') --depth;
+      else if (c == ',' && depth == 0) {
+        const std::string arg = trim(args.substr(arg_begin, i - arg_begin));
+        arg_begin = i + 1;
+        if (arg.size() >= 2 && (arg.back() == 'f' || arg.back() == 'F') &&
+            std::isdigit(static_cast<unsigned char>(
+                arg[arg.size() - 2]))) {
+          ctx.flag(Rule::FloatAccum, at,
+                   "std::accumulate with float init '" + arg +
+                       "': accumulates in float; use a double init");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- plumbing ---
+
+/// allow(rule) on line L covers L and the next line that carries code.
+std::set<std::pair<int, Rule>> coverage(
+    const std::vector<AllowEntry>& allows, std::string_view stripped) {
+  const LineIndex idx(stripped);
+  const auto next_code_line = [&](int line) {
+    const int last = static_cast<int>(idx.starts.size());
+    for (int l = line + 1; l <= last; ++l) {
+      const std::string_view text = idx.line_text(stripped, l);
+      if (!trim(text).empty()) return l;
+    }
+    return line;
+  };
+  std::set<std::pair<int, Rule>> covered;
+  for (const AllowEntry& a : allows) {
+    covered.insert({a.line, a.rule});
+    covered.insert({next_code_line(a.line), a.rule});
+  }
+  return covered;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view rule_id(Rule r) {
+  for (const RuleInfo& info : kRules)
+    if (info.rule == r) return info.id;
+  return "unknown";
+}
+
+std::string_view rule_summary(Rule r) {
+  for (const RuleInfo& info : kRules)
+    if (info.rule == r) return info.summary;
+  return "";
+}
+
+std::optional<Rule> rule_from_id(std::string_view id) {
+  for (const RuleInfo& info : kRules)
+    if (info.id == id) return info.rule;
+  return std::nullopt;
+}
+
+std::vector<Rule> all_rules() {
+  std::vector<Rule> out;
+  for (const RuleInfo& info : kRules) out.push_back(info.rule);
+  return out;
+}
+
+std::vector<std::string> collect_unordered_names(std::string_view content) {
+  std::vector<std::string> names;
+  collect_unordered_into(strip(content).code, names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> lint_source(
+    const SourceFile& file,
+    const std::vector<std::string>& extra_unordered_names) {
+  Stripped stripped = strip(file.content);
+  const LineIndex lines(file.content);
+
+  std::set<std::string> names(extra_unordered_names.begin(),
+                              extra_unordered_names.end());
+  {
+    std::vector<std::string> own;
+    collect_unordered_into(stripped.code, own);
+    names.insert(own.begin(), own.end());
+  }
+
+  std::vector<Finding> findings;
+  const Context ctx{file, stripped.code, lines, names, findings};
+  rule_unordered_iter(ctx);
+  rule_nondet_source(ctx);
+  rule_ptr_key(ctx);
+  rule_float_accum(ctx);
+
+  const auto covered = coverage(stripped.allows, stripped.code);
+  std::vector<Finding> kept;
+  for (Finding& f : findings)
+    if (!covered.count({f.line, f.rule})) kept.push_back(std::move(f));
+
+  for (Finding& f : stripped.bad_allows) {
+    f.file = file.path;
+    f.snippet = trim(lines.line_text(file.content, f.line));
+    kept.push_back(std::move(f));
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return rule_id(a.rule) < rule_id(b.rule);
+            });
+  return kept;
+}
+
+std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
+  // Header names, keyed by path stem, feed the paired implementation.
+  std::map<std::string, std::vector<std::string>> header_names;
+  for (const SourceFile& f : files) {
+    const std::size_t dot = f.path.rfind('.');
+    if (dot == std::string::npos) continue;
+    const std::string ext = f.path.substr(dot);
+    if (ext == ".hpp" || ext == ".h" || ext == ".hh") {
+      auto& slot = header_names[f.path.substr(0, dot)];
+      const auto names = collect_unordered_names(f.content);
+      slot.insert(slot.end(), names.begin(), names.end());
+    }
+  }
+
+  std::vector<Finding> all;
+  for (const SourceFile& f : files) {
+    std::vector<std::string> extra;
+    const std::size_t dot = f.path.rfind('.');
+    if (dot != std::string::npos) {
+      const auto it = header_names.find(f.path.substr(0, dot));
+      if (it != header_names.end()) extra = it->second;
+    }
+    auto found = lint_source(f, extra);
+    all.insert(all.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return rule_id(a.rule) < rule_id(b.rule);
+            });
+  return all;
+}
+
+std::string report_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\"tool\":\"eend_lint\",\"files_scanned\":" << files_scanned
+      << ",\"count\":" << findings.size() << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ",";
+    out << "{\"rule\":\"" << rule_id(f.rule) << "\",\"file\":\""
+        << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"message\":\"" << json_escape(f.message)
+        << "\",\"snippet\":\"" << json_escape(f.snippet) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eend::lint

@@ -1,0 +1,104 @@
+// eend_lint — the repo's determinism / correctness contract, statically
+// enforced.
+//
+// Every pinned result (the Figs 7-16 / Table 2 goldens, the design-search
+// and replay families) relies on output being byte-identical for any
+// --jobs. The rules below catch the idioms that historically break that
+// contract, or memory-safety hygiene around it:
+//
+//   unordered-iter  iteration over std::unordered_{map,set,multimap,
+//                   multiset} (range-for, iterator loops, std::for_each):
+//                   iteration order is implementation-defined and silently
+//                   leaks into tie-breaks and emitted tables.
+//   nondet-source   banned nondeterminism sources: std::rand/srand,
+//                   std::random_device, std::chrono::system_clock,
+//                   time(nullptr), gettimeofday. Seeded util::Rng and
+//                   steady_clock are the sanctioned alternatives.
+//   ptr-key         std::map/set/multimap/multiset keyed by a pointer:
+//                   address order changes run to run.
+//   float-accum     float (not double) accumulators (`float x; ... x += `)
+//                   and std::accumulate with a float literal init: float
+//                   rounding drifts with summation order — the PR 1 fig7
+//                   R/B crash class.
+//   bad-allow       a malformed eend-lint annotation (unknown rule id or
+//                   missing reason) — so the escape hatch cannot rot.
+//
+// The escape hatch: a comment of the form
+//
+//   // eend-lint: allow(unordered-iter) — why this site is order-free
+//
+// suppresses that rule on the annotation's own line and on the next line
+// that carries code (so a multi-line explanation block above the loop
+// works). The reason text after the closing parenthesis is mandatory.
+//
+// The engine is lexical by design: it strips comments, string/char
+// literals and raw strings, then pattern-matches the remaining code. That
+// keeps it dependency-free (no libclang in the image), fast enough to run
+// as a ctest case, and — because it sees headers and sources as plain text
+// — immune to build-configuration blind spots. The cost is a small
+// false-positive surface, which is what allow() is for.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eend::lint {
+
+enum class Rule {
+  UnorderedIter,
+  NondetSource,
+  PtrKey,
+  FloatAccum,
+  BadAllow,
+};
+
+/// Stable rule identifier used in diagnostics and allow() annotations.
+std::string_view rule_id(Rule r);
+
+/// One-line description for --rules / reports.
+std::string_view rule_summary(Rule r);
+
+std::optional<Rule> rule_from_id(std::string_view id);
+
+/// Every enforceable rule, in diagnostic order.
+std::vector<Rule> all_rules();
+
+struct Finding {
+  Rule rule;
+  std::string file;
+  int line = 0;          ///< 1-based
+  std::string message;   ///< human diagnostic, names the offending symbol
+  std::string snippet;   ///< trimmed source line
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// A file handed to the engine. `path` is used verbatim in diagnostics.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Names of variables/members declared with an unordered container type in
+/// `content`. Exposed so callers can thread header declarations into the
+/// matching implementation file (the engine has no cross-TU view).
+std::vector<std::string> collect_unordered_names(std::string_view content);
+
+/// Lint one file. `extra_unordered_names` are identifiers known to be
+/// unordered containers from elsewhere (typically the paired header).
+std::vector<Finding> lint_source(
+    const SourceFile& file,
+    const std::vector<std::string>& extra_unordered_names = {});
+
+/// Lint a set of files with automatic header/impl pairing: unordered names
+/// declared in dir/stem.hpp (or .h) are visible when linting dir/stem.cpp.
+/// Findings are sorted by (file, line, rule id).
+std::vector<Finding> lint_files(const std::vector<SourceFile>& files);
+
+/// JSON report (machine-readable twin of the stdout diagnostics).
+std::string report_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned);
+
+}  // namespace eend::lint

@@ -78,17 +78,17 @@ void ScenarioConfig::validate() const {
     }
   }
   if (!powered_off_nodes.empty()) {
-    std::set<std::size_t> off;
+    std::set<std::size_t> dark;
     for (const std::size_t id : powered_off_nodes) {
       EEND_REQUIRE_MSG(id < node_count, "powered-off node " << id
                        << " out of range for node_count " << node_count);
-      EEND_REQUIRE_MSG(off.insert(id).second,
+      EEND_REQUIRE_MSG(dark.insert(id).second,
                        "duplicate powered-off node " << id);
     }
-    EEND_REQUIRE_MSG(off.size() < node_count,
+    EEND_REQUIRE_MSG(dark.size() < node_count,
                      "cannot power off every node");
     for (const auto& [s, d] : flow_endpoints)
-      EEND_REQUIRE_MSG(!off.count(s) && !off.count(d),
+      EEND_REQUIRE_MSG(!dark.count(s) && !dark.count(d),
                        "flow endpoint pair (" << s << ", " << d
                        << ") uses a powered-off node");
   }

@@ -34,6 +34,11 @@ void DsdvRouting::schedule_quality_tick() {
     // neighbors with fresh quality noise, modeling fading-driven metric
     // drift that the distance-only phy cannot produce.
     std::vector<mac::NodeId> valid;
+    // eend-lint: allow(unordered-iter) — pre-shuffle collection: the chosen
+    // subset lands in the sorted dirty_ set, and the collection order itself
+    // is --jobs-invariant (table_'s operation history does not depend on the
+    // thread count); re-ordering would re-roll the synthesized churn subset
+    // and invalidate the pinned dsdvh golden suites.
     for (const auto& [dest, e] : table_)
       if (dest != env_.id && e.valid) valid.push_back(dest);
     env_.rng.shuffle(valid);
@@ -50,6 +55,11 @@ void DsdvRouting::periodic_dump() {
   table_[env_.id].seq = own_seq_;
   std::vector<DsdvEntry> entries;
   entries.reserve(table_.size());
+  // eend-lint: allow(unordered-iter) — wire order is behavior-neutral for
+  // table CONTENTS (receivers fold each dest independently), but it fixes
+  // the order receivers first INSERT dests into their own table_, whose
+  // iteration order the quality-churn subset (see schedule_quality_tick)
+  // deliberately pins. Sorting here re-rolls the dsdvh golden suites.
   for (const auto& [dest, e] : table_)
     entries.push_back(DsdvEntry{dest, e.seq, e.valid ? e.metric : kInf});
   broadcast_entries(entries);
@@ -106,6 +116,8 @@ void DsdvRouting::on_pm_mode_change() {
   if (!cfg_.advertise_pm_changes) return;
   // Our reachability cost (as seen by neighbors evaluating h against our
   // PM state) changed: re-advertise the full table.
+  // eend-lint: allow(unordered-iter) — inserts into the sorted dirty_ set;
+  // per-entry independent, so iteration order cannot leak.
   for (const auto& [dest, e] : table_) {
     (void)e;
     if (dest != env_.id) dirty_.insert(dest);
@@ -212,6 +224,8 @@ void DsdvRouting::handle_data(const mac::Packet& p) {
 void DsdvRouting::handle_link_failure(mac::NodeId next_hop) {
   ++stats_.drops_mac;
   bool changed = false;
+  // eend-lint: allow(unordered-iter) — per-entry independent invalidation;
+  // results land in the sorted dirty_ set, order cannot leak.
   for (auto& [dest, e] : table_) {
     if (dest == env_.id || e.next_hop != next_hop || !e.valid) continue;
     e.valid = false;

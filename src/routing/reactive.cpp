@@ -175,6 +175,9 @@ void ReactiveRouting::handle_rerr(const mac::Packet& p) {
 }
 
 void ReactiveRouting::purge_link(mac::NodeId a, mac::NodeId b) {
+  // eend-lint: allow(unordered-iter) — erase-only sweep: every route using
+  // the broken link is dropped, so the surviving cache state is the same
+  // for any visit order.
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (path_uses_link(it->second.path, a, b))
       it = cache_.erase(it);

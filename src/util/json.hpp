@@ -16,11 +16,13 @@ namespace eend::json {
 
 class Value;
 
+// Kind precedes the Array/Object aliases: GCC's -Wshadow otherwise flags
+// the scoped enumerators as shadowing the namespace-level alias names.
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
 using Array = std::vector<Value>;
 /// Ordered key/value list. Duplicate keys are a parse error.
 using Object = std::vector<std::pair<std::string, Value>>;
-
-enum class Kind { Null, Bool, Number, String, Array, Object };
 
 /// One JSON value. A tagged union kept simple on purpose: accessors check
 /// the kind (throwing CheckError on mismatch) so manifest code can chain

@@ -13,8 +13,8 @@
 // as artifacts). To regenerate a golden after an intentional behavior
 // change:
 //
-//   ./build/tools/eend_run --manifest examples/manifests/<m>.json \
-//       --quick --quiet --no-table --csv=none \
+//   ./build/tools/eend_run --manifest examples/manifests/<m>.json
+//       --quick --quiet --no-table --csv=none
 //       --jsonl=tests/golden/<name>_quick.jsonl
 #include <gtest/gtest.h>
 

@@ -234,9 +234,11 @@ TEST(Portfolio, CostNeverExceedsKleinRaviOnRandomFields) {
     EXPECT_EQ(result.starts[0].seed_kind, "klein_ravi");
     // Start 0 is Klein-Ravi + descent: the portfolio-wide guarantee.
     EXPECT_LE(result.best.cost(), result.starts[0].seeded.cost());
-    for (const auto& s : result.starts)
-      if (s.improved.feasible)
+    for (const auto& s : result.starts) {
+      if (s.improved.feasible) {
         EXPECT_LE(s.improved.cost(), s.seeded.cost()) << s.seed_kind;
+      }
+    }
   }
 }
 

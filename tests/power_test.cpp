@@ -17,7 +17,8 @@ struct Rig {
   mac::NodeRadio& add() {
     auto r = std::make_unique<mac::NodeRadio>(
         static_cast<mac::NodeId>(radios.size()),
-        phy::Position{0.0, 100.0 * radios.size()}, energy::cabletron(), sim);
+        phy::Position{0.0, 100.0 * static_cast<double>(radios.size())},
+        energy::cabletron(), sim);
     psm.register_radio(r.get());
     r->begin_metering(energy::RadioMode::Idle);
     radios.push_back(std::move(r));

@@ -233,10 +233,9 @@ TEST_P(StackProperty, RunInvariantsHold) {
   // transmit-everything bound.
   const double dur = sc.duration_s;
   const auto& card = sc.card;
-  EXPECT_GE(r.total_energy_j,
-            sc.node_count * card.p_sleep * dur * 0.5);
-  EXPECT_LE(r.total_energy_j,
-            sc.node_count * card.max_transmit_power() * dur);
+  const double nodes = static_cast<double>(sc.node_count);
+  EXPECT_GE(r.total_energy_j, nodes * card.p_sleep * dur * 0.5);
+  EXPECT_LE(r.total_energy_j, nodes * card.max_transmit_power() * dur);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStacks, StackProperty, ::testing::Range(0, 12));

@@ -118,7 +118,7 @@ TEST(KleinRavi, WithinLogFactorOfExactOnRandomGraphs) {
       g.set_node_weight(v, rng.uniform(0.5, 3.0));
     // Random connected-ish graph: ring + chords.
     for (NodeId v = 0; v < n; ++v)
-      g.add_edge(v, (v + 1) % n, 1.0);
+      g.add_edge(v, static_cast<NodeId>((v + 1) % n), 1.0);
     for (int c = 0; c < 6; ++c) {
       const auto a = static_cast<NodeId>(rng.next_below(n));
       const auto b = static_cast<NodeId>(rng.next_below(n));
@@ -143,7 +143,7 @@ TEST(Kmb, TreeHasNoNonTerminalLeaves) {
     const std::size_t n = 12;
     Graph g(n);
     for (NodeId v = 0; v < n; ++v)
-      g.add_edge(v, (v + 1) % n, rng.uniform(1.0, 4.0));
+      g.add_edge(v, static_cast<NodeId>((v + 1) % n), rng.uniform(1.0, 4.0));
     for (int c = 0; c < 8; ++c) {
       const auto a = static_cast<NodeId>(rng.next_below(n));
       const auto b = static_cast<NodeId>(rng.next_below(n));

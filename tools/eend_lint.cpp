@@ -1,0 +1,147 @@
+// eend_lint — enforce the repo's determinism / correctness contract.
+//
+//   eend_lint                          # lint src tests bench tools examples
+//   eend_lint --root=/path/to/repo     # same, rooted elsewhere
+//   eend_lint src/routing bench        # explicit paths (files or dirs)
+//   eend_lint --json=LINT_report.json  # also write the machine report
+//   eend_lint --rules                  # print the rule table
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error. See
+// src/lint/lint.hpp for the rules and the allow() annotation grammar.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using eend::lint::Finding;
+using eend::lint::SourceFile;
+
+namespace {
+
+constexpr const char* kDefaultPaths[] = {"src", "tests", "bench", "tools",
+                                         "examples"};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+int usage(std::ostream& out, int code) {
+  out << "usage: eend_lint [--root=DIR] [--json[=FILE]] [--quiet] "
+         "[--rules] [PATH...]\n"
+         "  PATHs default to: src tests bench tools examples (under "
+         "--root, default .)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool want_json = false;
+  std::string json_file;  // empty with want_json: report to stdout
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--rules") {
+      for (const auto r : eend::lint::all_rules())
+        std::cout << eend::lint::rule_id(r) << "\n    "
+                  << eend::lint::rule_summary(r) << "\n";
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_file = arg.substr(7);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "eend_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty())
+    paths.assign(std::begin(kDefaultPaths), std::end(kDefaultPaths));
+
+  // Collect files (sorted, so diagnostics and reports are stable).
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           it != end && !ec; it.increment(ec))
+        if (it->is_regular_file(ec) && lintable(it->path()))
+          files.push_back(it->path());
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      std::cerr << "eend_lint: no such file or directory: " << full << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "eend_lint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    // Report paths relative to --root: stable across checkouts.
+    sources.push_back(SourceFile{
+        fs::proximate(f, root).generic_string(), buf.str()});
+  }
+
+  const std::vector<Finding> findings = eend::lint::lint_files(sources);
+
+  // Bare --json streams the report to stdout — keep that stream pure JSON.
+  if (want_json && json_file.empty()) quiet = true;
+
+  if (!quiet) {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": ["
+                << eend::lint::rule_id(f.rule) << "] " << f.message << "\n";
+      if (!f.snippet.empty()) std::cout << "    " << f.snippet << "\n";
+    }
+    std::cout << "eend_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in "
+              << sources.size() << " files\n";
+  }
+
+  if (want_json) {
+    const std::string report =
+        eend::lint::report_json(findings, sources.size());
+    if (json_file.empty()) {
+      std::cout << report << "\n";
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      if (!out) {
+        std::cerr << "eend_lint: cannot write " << json_file << "\n";
+        return 2;
+      }
+      out << report << "\n";
+    }
+  }
+
+  return findings.empty() ? 0 : 1;
+}
