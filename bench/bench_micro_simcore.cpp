@@ -1,108 +1,303 @@
-// Micro-benchmarks (google-benchmark): simulator event throughput, graph
-// algorithms, channel transmission path, energy metering. These guard the
-// performance envelope that makes the 200-node/900-second figure benches
-// run in seconds.
-#include <benchmark/benchmark.h>
+// Event-core throughput benchmark: ladder-queue Simulator vs the frozen
+// pre-PR binary-heap engine (sim/baseline_simulator.hpp), measured in the
+// same run so the speedup is anchored, not compared across machines.
+//
+// Workloads are churn-shaped — the regime the engine actually sees — not
+// the schedule-1000-empty-closures-upfront microloop this file used to
+// contain:
+//
+//   * churn          — waves of long-horizon keep-alive/route-lifetime
+//                      timers (32-byte captures) where 95% are cancelled
+//                      before firing (the ODPM/PSM refresh idiom), over a
+//                      deep backlog of survivors; ops = schedule + cancel +
+//                      fire.
+//   * fifo_burst     — mixed-horizon schedule/drain with no cancels: the
+//                      pure ordering path, including far-future overflow.
+//   * timer_restart  — Timer::restart() churn, the cancel+schedule pair
+//                      every keep-alive touch performs.
+//   * network (info) — a full net::Network protocol-stack run; ops/s =
+//                      Simulator::executed_events() / wall time. Ladder
+//                      engine only (the stack is written against it), so
+//                      no speedup column — it anchors the micro numbers to
+//                      the real workload.
+//
+// Emits BENCH_simcore.json (--json= overrides, "none" disables) and a
+// human table. Self-asserting: --assert-churn-speedup=X and
+// --assert-churn-events-per-s=Y make the binary exit non-zero when the
+// churn workload misses the floor — the CI release leg runs with both.
+//
+// Flags: --quick, --quiet, --reps=N, --seed=S, --json=PATH,
+//        --assert-churn-speedup=X, --assert-churn-events-per-s=Y.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "graph/shortest_path.hpp"
-#include "graph/steiner.hpp"
-#include "mac/channel.hpp"
 #include "net/network.hpp"
+#include "net/scenario.hpp"
+#include "net/stack.hpp"
+#include "sim/baseline_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace eend;
 
-void BM_SimulatorScheduleExecute(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator s;
-    for (int i = 0; i < 1000; ++i)
-      s.schedule_at(static_cast<double>(i % 97), [] {});
-    s.run_all();
-    benchmark::DoNotOptimize(s.executed_events());
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_SimulatorScheduleExecute);
-
-void BM_TimerRestartChurn(benchmark::State& state) {
-  sim::Simulator s;
-  sim::Timer t(s, [] {});
-  for (auto _ : state) {
-    t.restart(1.0);
-    benchmark::DoNotOptimize(t.armed());
-  }
-}
-BENCHMARK(BM_TimerRestartChurn);
-
-graph::Graph random_graph(std::size_t n, std::size_t extra, Rng& rng) {
-  graph::Graph g(n);
-  for (graph::NodeId v = 0; v + 1 < n; ++v)
-    g.add_edge(v, v + 1, rng.uniform(0.1, 3.0));
-  for (std::size_t i = 0; i < extra; ++i) {
-    const auto a = static_cast<graph::NodeId>(rng.next_below(n));
-    const auto b = static_cast<graph::NodeId>(rng.next_below(n));
-    if (a != b) g.add_edge(a, b, rng.uniform(0.1, 3.0));
-  }
-  return g;
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
-void BM_Dijkstra(benchmark::State& state) {
-  Rng rng(7);
-  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
-                              static_cast<std::size_t>(state.range(0)) * 3,
-                              rng);
-  for (auto _ : state) {
-    const auto t = graph::dijkstra(g, 0);
-    benchmark::DoNotOptimize(t.distance.back());
-  }
-}
-BENCHMARK(BM_Dijkstra)->Arg(64)->Arg(256)->Arg(1024);
+struct WorkloadResult {
+  std::string name;
+  double ladder_ops_per_s = 0.0;
+  double baseline_ops_per_s = 0.0;  ///< 0 = workload has no baseline leg
+  double speedup = 0.0;
+  std::uint64_t ops = 0;  ///< per run (both engines execute the same ops)
+};
 
-void BM_KmbSteiner(benchmark::State& state) {
-  Rng rng(11);
-  const auto g = random_graph(128, 384, rng);
-  const std::vector<graph::NodeId> terms{1, 40, 80, 120};
-  for (auto _ : state) {
-    const auto t = graph::kmb_steiner_tree(g, terms);
-    benchmark::DoNotOptimize(t.edge_cost);
-  }
-}
-BENCHMARK(BM_KmbSteiner);
+// ---------------------------------------------------------------- churn ---
+// The keep-alive / route-lifetime refresh idiom: every touch of a route
+// (or a PSM neighbor) cancels its long-horizon expiry timer and schedules
+// a fresh one, so in steady state ~95% of scheduled timers are cancelled
+// before they fire and a deep backlog of still-armed survivors accrues.
+// The capture mirrors the real handlers: this-pointer plus the context
+// they carry (neighbor id, deadline, attempt counter) — 32 bytes, past the
+// old engine's std::function SSO but inline in the slot map.
+struct KeepAliveCtx {
+  void* self;
+  std::uint64_t neighbor;
+  double deadline;
+  std::uint32_t attempt;
+};
 
-void BM_EnergyMeterTransitions(benchmark::State& state) {
-  const auto card = energy::cabletron();
-  for (auto _ : state) {
-    energy::EnergyMeter m(card);
-    double now = 0.0;
-    m.begin(now, energy::RadioMode::Idle);
-    for (int i = 0; i < 100; ++i) {
-      now += 0.001;
-      m.set_transmit(now, 1.4, energy::Category::Data);
-      now += 0.001;
-      m.set_passive_mode(now, energy::RadioMode::Idle);
+template <typename Sim>
+std::uint64_t run_churn(Sim& s, int waves, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t ops = 0;
+  std::vector<std::uint64_t> wave;  // both engines' EventId is uint64
+  static std::uint64_t sink = 0;    // per-instantiation, defeats DCE
+  for (int round = 0; round < waves; ++round) {
+    wave.clear();
+    for (int i = 0; i < 5000; ++i) {
+      const KeepAliveCtx ctx{&s, static_cast<std::uint64_t>(i),
+                             s.now() + 100000.0,
+                             static_cast<std::uint32_t>(round)};
+      wave.push_back(s.schedule_in(rng.uniform(0.1, 100000.0),
+                                   [ctx] { sink += ctx.neighbor; }));
+      ++ops;
     }
-    m.finish(now + 1.0);
-    benchmark::DoNotOptimize(m.total());
+    for (int i = 0; i < 5000; ++i) {
+      if (i % 20 != 0) {  // 1-in-20 survives to (eventually) expire
+        s.cancel(wave[static_cast<std::size_t>(i)]);
+        ++ops;
+      }
+    }
+    s.run_until(s.now() + 5.0);
   }
-  state.SetItemsProcessed(state.iterations() * 200);
+  s.run_all();
+  return ops + s.executed_events();
 }
-BENCHMARK(BM_EnergyMeterTransitions);
 
-void BM_FullSmallNetworkRun(benchmark::State& state) {
-  for (auto _ : state) {
-    net::ScenarioConfig sc = net::ScenarioConfig::small_network();
-    sc.duration_s = 60.0;
-    sc.seed = 3;
-    net::Network n(sc, net::StackSpec::titan_pc());
-    const auto r = n.run();
-    benchmark::DoNotOptimize(r.total_energy_j);
+// ----------------------------------------------------------- fifo burst ---
+// Mixed horizons, no cancels: 70% dense near-future, 20% mid, 10% far
+// future (the overflow top rung / deep heap respectively).
+template <typename Sim>
+std::uint64_t run_fifo_burst(Sim& s, int bursts, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t ops = 0;
+  int sink = 0;
+  for (int round = 0; round < bursts; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      const double u = rng.uniform();
+      const double delay = u < 0.7   ? rng.uniform(0.0, 2.0)
+                           : u < 0.9 ? rng.uniform(0.0, 100.0)
+                                     : rng.uniform(0.0, 20000.0);
+      s.schedule_in(delay, [&sink] { ++sink; });
+      ++ops;
+    }
+    s.run_until(s.now() + 10.0);
   }
+  s.run_all();
+  return ops + s.executed_events();
 }
-BENCHMARK(BM_FullSmallNetworkRun)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------- timer restart ---
+template <typename SimT, typename TimerT>
+std::uint64_t run_timer_restart(SimT& s, int touches) {
+  int expired = 0;
+  std::vector<std::unique_ptr<TimerT>> timers;
+  for (int i = 0; i < 32; ++i)
+    timers.push_back(
+        std::make_unique<TimerT>(s, [&expired] { ++expired; }));
+  std::uint64_t ops = 0;
+  for (int t = 0; t < touches; ++t) {
+    timers[static_cast<std::size_t>(t) % timers.size()]->restart(2.0);
+    ++ops;
+    if (t % 16 == 0) s.run_until(s.now() + 0.1);
+  }
+  s.run_all();
+  return ops + s.executed_events();
+}
+
+template <typename Fn>
+double best_of(int reps, std::uint64_t& ops_out, Fn run) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ops_out = run();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+template <typename LadderFn, typename BaselineFn>
+WorkloadResult run_pair(const std::string& name, int reps, LadderFn lf,
+                        BaselineFn bf) {
+  WorkloadResult r;
+  r.name = name;
+  const double tl = best_of(reps, r.ops, lf);
+  std::uint64_t ops_b = 0;
+  const double tb = best_of(reps, ops_b, bf);
+  EEND_REQUIRE_MSG(ops_b == r.ops,
+                   "engines diverged on op count for " << name);
+  r.ladder_ops_per_s = static_cast<double>(r.ops) / tl;
+  r.baseline_ops_per_s = static_cast<double>(r.ops) / tb;
+  r.speedup = r.ladder_ops_per_s / r.baseline_ops_per_s;
+  return r;
+}
+
+WorkloadResult bench_network(int reps, bool quick) {
+  // End-to-end anchor: a DSDVH-ODPM-PSM stack (timer-heavy — keep-alives,
+  // beacons, periodic dumps) on the paper's small-network scenario.
+  WorkloadResult r;
+  r.name = "network";
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    net::ScenarioConfig sc = net::ScenarioConfig::small_network();
+    sc.duration_s = quick ? 60.0 : 200.0;
+    net::Network net(sc, net::StackSpec::dsdvh_odpm_psm());
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)net.run();
+    const double t = seconds_since(t0);
+    if (t < best) {
+      best = t;
+      r.ops = net.simulator().executed_events();
+    }
+  }
+  r.ladder_ops_per_s = static_cast<double>(r.ops) / best;
+  return r;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const bool quiet = flags.get_bool("quiet", false);
+  const int reps = static_cast<int>(flags.get_int("reps", quick ? 3 : 7));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_path = flags.get("json", "BENCH_simcore.json");
+  const double floor_speedup = flags.get_double("assert-churn-speedup", 0.0);
+  const double floor_eps = flags.get_double("assert-churn-events-per-s", 0.0);
+
+  const int waves = quick ? 40 : 200;
+  const int bursts = quick ? 100 : 500;
+  const int touches = quick ? 20000 : 100000;
+
+  std::vector<WorkloadResult> results;
+  results.push_back(run_pair(
+      "churn", reps,
+      [&] {
+        sim::Simulator s;
+        return run_churn(s, waves, seed);
+      },
+      [&] {
+        sim::BaselineSimulator s;
+        return run_churn(s, waves, seed);
+      }));
+  if (!quiet) std::cerr << "  churn done\n";
+  results.push_back(run_pair(
+      "fifo_burst", reps,
+      [&] {
+        sim::Simulator s;
+        return run_fifo_burst(s, bursts, seed);
+      },
+      [&] {
+        sim::BaselineSimulator s;
+        return run_fifo_burst(s, bursts, seed);
+      }));
+  if (!quiet) std::cerr << "  fifo_burst done\n";
+  results.push_back(run_pair(
+      "timer_restart", reps,
+      [&] {
+        sim::Simulator s;
+        return run_timer_restart<sim::Simulator, sim::Timer>(s, touches);
+      },
+      [&] {
+        sim::BaselineSimulator s;
+        return run_timer_restart<sim::BaselineSimulator,
+                                 sim::BaselineTimer>(s, touches);
+      }));
+  if (!quiet) std::cerr << "  timer_restart done\n";
+  results.push_back(bench_network(quick ? 1 : 2, quick));
+  if (!quiet) std::cerr << "  network done\n";
+
+  Table t({"workload", "ops/run", "ladder ops/s", "heap ops/s", "speedup"});
+  for (const WorkloadResult& r : results)
+    t.add_row({r.name, format_u64(r.ops), Table::num(r.ladder_ops_per_s, 0),
+               r.baseline_ops_per_s > 0.0
+                   ? Table::num(r.baseline_ops_per_s, 0)
+                   : std::string("-"),
+               r.speedup > 0.0 ? Table::num(r.speedup, 2)
+                               : std::string("-")});
+  print_table(std::cout,
+              "Event core — ladder-queue Simulator vs pre-PR binary heap",
+              t);
+
+  if (json_path != "none") {
+    json::Array arr;
+    for (const WorkloadResult& r : results) {
+      json::Object o;
+      o.emplace_back("workload", r.name);
+      o.emplace_back("ops_per_run", static_cast<double>(r.ops));
+      o.emplace_back("ladder_ops_per_s", r.ladder_ops_per_s);
+      o.emplace_back("baseline_ops_per_s", r.baseline_ops_per_s);
+      o.emplace_back("speedup", r.speedup);
+      arr.emplace_back(std::move(o));
+    }
+    json::Object top;
+    top.emplace_back("bench", std::string("simcore"));
+    top.emplace_back("seed", static_cast<double>(seed));
+    top.emplace_back("reps", static_cast<double>(reps));
+    top.emplace_back("results", std::move(arr));
+    std::ofstream out(json_path, std::ios::binary);
+    EEND_REQUIRE_MSG(out, "cannot write " << json_path);
+    out << json::dump(json::Value(std::move(top)), 2) << "\n";
+    if (!quiet) std::cerr << "  wrote " << json_path << "\n";
+  }
+
+  // CI floors: conservative bounds (well under measured numbers) that
+  // still catch an accidental return to heap-scheduler scaling.
+  const WorkloadResult& churn = results.front();
+  bool ok = true;
+  if (floor_speedup > 0.0 && churn.speedup < floor_speedup) {
+    std::cerr << "FLOOR VIOLATION: churn speedup " << churn.speedup << " < "
+              << floor_speedup << "\n";
+    ok = false;
+  }
+  if (floor_eps > 0.0 && churn.ladder_ops_per_s < floor_eps) {
+    std::cerr << "FLOOR VIOLATION: churn ladder ops/s "
+              << churn.ladder_ops_per_s << " < " << floor_eps << "\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

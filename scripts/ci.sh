@@ -106,6 +106,15 @@ cmp /tmp/eend_dr_j1.csv /tmp/eend_dr_j8.csv
 cmp /tmp/eend_dr_j1.jsonl /tmp/eend_dr_j8.jsonl
 echo "OK: replay kind byte-identical for jobs=1 and jobs=8"
 
+echo "== event core: ladder-queue vs baseline-heap bench (JSON artifact) =="
+# Self-asserting floors: conservative bounds (measured ~4.8x / ~59M ops/s
+# even in --quick mode) that still catch a return to heap-scheduler scaling.
+./build/bench/bench_micro_simcore --quick --quiet \
+  --json=BENCH_simcore.json \
+  --assert-churn-speedup=3.0 --assert-churn-events-per-s=10000000 > /dev/null
+test -s BENCH_simcore.json
+echo "OK: wrote BENCH_simcore.json (churn speedup/events-per-s floors held)"
+
 echo "== spatial index: construction/query bench (JSON artifact) =="
 ./build/bench/bench_channel_build --quick --quiet \
   --json=BENCH_channel_build.json > /dev/null

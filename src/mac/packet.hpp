@@ -1,21 +1,130 @@
 // Network-layer packet and MAC-layer frame records.
 //
-// Packets are value types; routing-protocol payloads ride along as a shared
-// immutable std::any (the simulator never serializes: a payload is whatever
+// Packets are value types; routing-protocol payloads ride along as shared
+// immutable bodies (the simulator never serializes: a payload is whatever
 // struct the protocol attaches, by convention documented on each protocol).
+//
+// Payload bodies live in PayloadRef: one type-checked, intrusively
+// refcounted block allocated from the simulation's MemoryPool
+// (sim::Simulator::pool()) instead of the two-to-three global-allocator
+// hits of the old shared_ptr<const std::any> — on the transmit path a
+// routing message's body is recycled through the pool's free lists, not
+// malloc'd. Like the rest of the engine, PayloadRef is single-threaded by
+// construction: packets never leave the replication that created them, so
+// the refcount is a plain integer (the TSan CI leg guards the confinement).
 #pragma once
 
-#include <any>
 #include <cstdint>
-#include <memory>
+#include <new>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
 
 #include "energy/energy_meter.hpp"
 #include "graph/graph.hpp"
+#include "util/pool.hpp"
 
 namespace eend::mac {
 
 using NodeId = graph::NodeId;
 inline constexpr NodeId kBroadcast = graph::kInvalidNode;
+
+/// Shared immutable payload body, pool-allocated in a single block
+/// (header + object). Copies bump a refcount; the last owner destroys the
+/// body and returns the block to the pool it came from, which therefore
+/// must outlive every packet — sim::Simulator guarantees this for its own
+/// pool.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  PayloadRef(const PayloadRef& o) : h_(o.h_) {
+    if (h_ != nullptr) ++h_->refs;
+  }
+  PayloadRef(PayloadRef&& o) noexcept : h_(o.h_) { o.h_ = nullptr; }
+  PayloadRef& operator=(const PayloadRef& o) {
+    PayloadRef tmp(o);
+    std::swap(h_, tmp.h_);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    std::swap(h_, o.h_);
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  explicit operator bool() const { return h_ != nullptr; }
+
+  // GCC's -Wuse-after-free cannot follow refcounts: when two PayloadRef
+  // copies of the same block are destroyed in one function it assumes the
+  // second read chases the first's delete, though --refs==0 is true for
+  // exactly one owner. Known false positive (GCC PR 108795 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
+  void reset() {
+    if (h_ != nullptr && --h_->refs == 0) {
+      util::MemoryPool* pool = h_->pool;
+      const std::uint32_t bytes = h_->block_bytes;
+      h_->destroy(static_cast<void*>(
+          reinterpret_cast<unsigned char*>(h_) + h_->obj_offset));
+      pool->release(static_cast<void*>(h_), bytes);
+    }
+    h_ = nullptr;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  /// Build a payload holding `value` in one pooled block.
+  template <typename T>
+  static PayloadRef make(util::MemoryPool& pool, T&& value) {
+    using V = std::decay_t<T>;
+    static_assert(alignof(V) <= alignof(std::max_align_t));
+    constexpr std::size_t off =
+        (sizeof(Head) + alignof(V) - 1) / alignof(V) * alignof(V);
+    constexpr std::size_t bytes = off + sizeof(V);
+    void* block = pool.allocate(bytes);
+    Head* h = ::new (block)
+        Head{1, static_cast<std::uint32_t>(bytes),
+             static_cast<std::uint32_t>(off),
+             [](void* p) { static_cast<V*>(p)->~V(); }, &typeid(V), &pool};
+    void* obj = static_cast<void*>(reinterpret_cast<unsigned char*>(h) + off);
+    try {
+      ::new (obj) V(std::forward<T>(value));
+    } catch (...) {
+      pool.release(block, bytes);
+      throw;
+    }
+    PayloadRef r;
+    r.h_ = h;
+    return r;
+  }
+
+  /// Type-checked access; the payload must hold exactly a T.
+  template <typename T>
+  const T& get() const {
+    EEND_REQUIRE(h_ != nullptr);
+    EEND_REQUIRE_MSG(*h_->type == typeid(T),
+                     "payload type mismatch: holds " << h_->type->name()
+                                                     << ", asked for "
+                                                     << typeid(T).name());
+    return *reinterpret_cast<const T*>(
+        reinterpret_cast<const unsigned char*>(h_) + h_->obj_offset);
+  }
+
+ private:
+  struct Head {
+    std::uint32_t refs;
+    std::uint32_t block_bytes;
+    std::uint32_t obj_offset;
+    void (*destroy)(void*);
+    const std::type_info* type;
+    util::MemoryPool* pool;
+  };
+
+  Head* h_ = nullptr;
+};
 
 /// One network-layer packet.
 struct Packet {
@@ -28,17 +137,18 @@ struct Packet {
   double created_at = 0.0;
   int ttl = 64;                   ///< hop budget (guards DV transient loops)
   int type = 0;                   ///< protocol-defined discriminator
-  std::shared_ptr<const std::any> payload;  ///< protocol-defined body
+  PayloadRef payload;             ///< protocol-defined body
 
   template <typename T>
   const T& body() const {
-    EEND_REQUIRE(payload != nullptr);
-    return std::any_cast<const T&>(*payload);
+    return payload.get<T>();
   }
 
+  /// Wrap `value` as a pooled payload body. Protocols pass their
+  /// simulation's pool (env_.sim->pool()).
   template <typename T>
-  static std::shared_ptr<const std::any> wrap(T&& value) {
-    return std::make_shared<const std::any>(std::forward<T>(value));
+  static PayloadRef wrap(util::MemoryPool& pool, T&& value) {
+    return PayloadRef::make(pool, std::forward<T>(value));
   }
 };
 

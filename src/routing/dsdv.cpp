@@ -106,7 +106,7 @@ void DsdvRouting::broadcast_entries(const std::vector<DsdvEntry>& entries) {
   p.size_bits = dsdv_bits(entries.size());
   p.created_at = env_.sim->now();
   p.type = kDsdvUpdate;
-  p.payload = mac::Packet::wrap(std::move(body));
+  p.payload = mac::Packet::wrap(env_.sim->pool(), std::move(body));
   ++stats_.updates_sent;
   last_update_tx_ = env_.sim->now();
   env_.mac->send_broadcast(std::move(p), env_.max_tx_power());
@@ -202,7 +202,7 @@ void DsdvRouting::forward(mac::Packet packet) {
   const mac::NodeId next = it->second.next_hop;
   packet.type = kData;
   if (!packet.payload) {
-    packet.payload = mac::Packet::wrap(DataBody{});  // hop-by-hop: no route
+    packet.payload = mac::Packet::wrap(env_.sim->pool(), DataBody{});  // hop-by-hop: no route
   }
   env_.mac->send_unicast(packet, next, env_.data_tx_power(next),
                          [this, next](bool ok) {

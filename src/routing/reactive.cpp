@@ -85,7 +85,7 @@ void ReactiveRouting::forward_data(mac::Packet packet, const DataBody& body) {
   // so the app payload size is preserved end to end).
   mac::Packet out = packet;
   out.type = kData;
-  out.payload = mac::Packet::wrap(next_body);
+  out.payload = mac::Packet::wrap(env_.sim->pool(), next_body);
   out.size_bits = data_bits(packet.size_bits, body.route.size());
 
   // Keep the original payload size for delivery accounting downstream.
@@ -150,7 +150,7 @@ void ReactiveRouting::send_rerr(const DataBody& body, mac::NodeId broken_to) {
   p.type = kRerr;
   RerrBody next = rerr;
   next.index = rerr.index - 1;
-  p.payload = mac::Packet::wrap(next);
+  p.payload = mac::Packet::wrap(env_.sim->pool(), next);
   ++stats_.rerr_sent;
   env_.mac->send_unicast(p, body.route[rerr.index - 1], env_.max_tx_power());
 }
@@ -168,7 +168,7 @@ void ReactiveRouting::handle_rerr(const mac::Packet& p) {
   mac::Packet fwd = p;
   RerrBody next = body;
   next.index = body.index - 1;
-  fwd.payload = mac::Packet::wrap(next);
+  fwd.payload = mac::Packet::wrap(env_.sim->pool(), next);
   ++stats_.rerr_sent;
   env_.mac->send_unicast(fwd, body.route[body.index - 1],
                          env_.max_tx_power());
@@ -214,7 +214,7 @@ void ReactiveRouting::issue_rreq(mac::NodeId dest) {
   p.size_bits = rreq_bits(1);
   p.created_at = env_.sim->now();
   p.type = kRreq;
-  p.payload = mac::Packet::wrap(std::move(body));
+  p.payload = mac::Packet::wrap(env_.sim->pool(), std::move(body));
   env_.mac->send_broadcast(std::move(p), env_.max_tx_power());
 
   const double timeout =
@@ -320,7 +320,7 @@ void ReactiveRouting::handle_rreq(const mac::Packet& p, mac::NodeId from) {
     const mac::NodeId prev_hop = rep.route[rep.index - 1];
     RrepBody next = rep;
     next.index = rep.index - 1;
-    out.payload = mac::Packet::wrap(std::move(next));
+    out.payload = mac::Packet::wrap(env_.sim->pool(), std::move(next));
     ++stats_.rrep_sent;
     env_.mac->send_unicast(std::move(out), prev_hop, env_.max_tx_power());
     return;
@@ -335,7 +335,7 @@ void ReactiveRouting::handle_rreq(const mac::Packet& p, mac::NodeId from) {
   mac::Packet out = p;
   out.uid = next_uid_++;
   out.size_bits = rreq_bits(fwd.route.size());
-  out.payload = mac::Packet::wrap(std::move(fwd));
+  out.payload = mac::Packet::wrap(env_.sim->pool(), std::move(fwd));
   ++stats_.rreq_forwarded;
   env_.mac->send_broadcast(std::move(out), env_.max_tx_power());
 }
@@ -374,7 +374,7 @@ void ReactiveRouting::handle_rrep(const mac::Packet& p) {
   mac::Packet fwd = p;
   RrepBody next = body;
   next.index = body.index - 1;
-  fwd.payload = mac::Packet::wrap(std::move(next));
+  fwd.payload = mac::Packet::wrap(env_.sim->pool(), std::move(next));
   ++stats_.rrep_sent;
   env_.mac->send_unicast(std::move(fwd), body.route[body.index - 1],
                          env_.max_tx_power());

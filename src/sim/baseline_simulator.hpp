@@ -1,0 +1,180 @@
+// The pre-ladder-queue event engine, retained verbatim as a frozen
+// reference: a binary heap (std::*_heap over a vector) with per-event
+// std::function handlers in an unordered_map and tombstone cancellation.
+//
+// Two consumers keep it alive:
+//   * bench_micro_simcore measures the ladder-queue Simulator against this
+//     engine in the same run, so BENCH_simcore.json carries a
+//     baseline-relative speedup rather than an unanchored number;
+//   * sim_test drives randomized schedule/cancel/run interleavings through
+//     both engines and asserts bit-identical execution order — the
+//     differential oracle behind the "all goldens stay byte-identical"
+//     guarantee.
+//
+// Do not "improve" this file; its value is that it does not change.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace eend::sim {
+
+class BaselineSimulator {
+ public:
+  using Time = double;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  BaselineSimulator() = default;
+  BaselineSimulator(const BaselineSimulator&) = delete;
+  BaselineSimulator& operator=(const BaselineSimulator&) = delete;
+
+  EventId schedule_at(Time at, std::function<void()> fn) {
+    EEND_REQUIRE_MSG(at >= now_, "scheduling into the past: at="
+                                     << at << " now=" << now_);
+    EEND_REQUIRE(fn != nullptr);
+    const EventId id = next_id_++;
+    heap_.push_back(Entry{at, next_seq_++, id});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    EEND_REQUIRE_MSG(delay >= 0.0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) {
+    if (handlers_.erase(id) == 0) return false;
+    ++stale_;
+    compact_if_stale();
+    return true;
+  }
+
+  bool pending(EventId id) const { return handlers_.count(id) > 0; }
+
+  Time now() const { return now_; }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const Entry e = heap_.front();
+      pop_top();
+      const auto it = handlers_.find(e.id);
+      if (it == handlers_.end()) {  // cancelled (tombstone)
+        --stale_;
+        continue;
+      }
+      EEND_CHECK(e.at >= now_);
+      now_ = e.at;
+      auto fn = std::move(it->second);
+      handlers_.erase(it);
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run_until(Time end) {
+    EEND_REQUIRE(end >= now_);
+    while (!heap_.empty()) {
+      const Entry e = heap_.front();
+      if (handlers_.count(e.id) == 0) {
+        pop_top();
+        --stale_;
+        continue;
+      }
+      if (e.at > end) break;
+      step();
+    }
+    now_ = end;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+  std::size_t queue_size() const { return handlers_.size(); }
+  std::size_t heap_size() const { return heap_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  static constexpr std::size_t kCompactMin = 64;
+
+  void pop_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+
+  void compact_if_stale() {
+    if (stale_ < kCompactMin || stale_ * 2 <= heap_.size()) return;
+    std::erase_if(heap_, [this](const Entry& e) {
+      return handlers_.find(e.id) == handlers_.end();
+    });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    stale_ = 0;
+  }
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry> heap_;
+  std::size_t stale_ = 0;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+/// The Timer idiom over the baseline engine — used by the cancel-churn
+/// benchmark to reproduce the pre-PR restart cost exactly.
+class BaselineTimer {
+ public:
+  BaselineTimer(BaselineSimulator& sim, std::function<void()> on_expire)
+      : sim_(&sim), on_expire_(std::move(on_expire)) {}
+
+  ~BaselineTimer() { cancel(); }
+  BaselineTimer(const BaselineTimer&) = delete;
+  BaselineTimer& operator=(const BaselineTimer&) = delete;
+
+  void restart(BaselineSimulator::Time delay) {
+    cancel();
+    id_ = sim_->schedule_in(delay, [this] {
+      id_ = BaselineSimulator::kInvalidEvent;
+      on_expire_();
+    });
+  }
+
+  void cancel() {
+    if (id_ != BaselineSimulator::kInvalidEvent) {
+      sim_->cancel(id_);
+      id_ = BaselineSimulator::kInvalidEvent;
+    }
+  }
+
+  bool armed() const {
+    return id_ != BaselineSimulator::kInvalidEvent && sim_->pending(id_);
+  }
+
+ private:
+  BaselineSimulator* sim_;
+  std::function<void()> on_expire_;
+  BaselineSimulator::EventId id_ = BaselineSimulator::kInvalidEvent;
+};
+
+}  // namespace eend::sim

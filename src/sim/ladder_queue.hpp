@@ -1,0 +1,430 @@
+// Ladder queue: the event-ordering structure behind sim::Simulator.
+//
+// A three-part priority structure tuned for the simulator's access pattern
+// (dense near-future timer churn, a sparse far-future tail):
+//
+//   * bottom — a sorted vector of the most imminent entries, drained by
+//     cursor; mid-drain insertions (handlers scheduling at or near now())
+//     binary-search into the undrained suffix.
+//   * rungs  — a stack of bucket arrays. Each rung partitions a time window
+//     into equal-width buckets (append-only, unsorted). When the next
+//     bucket is promoted it either becomes the new bottom (small buckets
+//     are sorted directly) or spawns a finer-grained child rung that tiles
+//     exactly that bucket's window — the classic ladder descent, giving
+//     amortized O(1) enqueue/dequeue without the calendar queue's
+//     pathological resize heuristics.
+//   * top    — the sorted-overflow rung: far-future entries beyond every
+//     rung's horizon, kept unsorted and re-seeded into a fresh rung 0 only
+//     when everything nearer has drained.
+//
+// Total order is (at, seq) with seq globally unique, so execution order is
+// bit-identical to a binary heap with the same tie-break — the property the
+// golden suite pins. Bucket membership is decided by floor((at-start)*inv)
+// — weakly monotone in `at` under IEEE arithmetic — and child rungs tile
+// their parent bucket exactly, so an entry can never land behind one that
+// must fire after it, boundary rounding included.
+//
+// The queue stores cancelled entries (tombstones) like live ones; the owner
+// filters them on pop and calls compact() to sweep. No entry is ever
+// compared across buckets: order comes from bucket sequence + in-bucket
+// sort, both deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace eend::sim {
+
+/// One queued event reference. `slot`/`gen` identify the handler in the
+/// simulator's slot map; the queue orders purely by (at, seq).
+struct QEntry {
+  double at;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t gen;
+};
+
+// A named functor (not a free function) so std::sort/std::lower_bound
+// inline the comparison instead of calling through a function pointer.
+struct QEntryLess {
+  bool operator()(const QEntry& a, const QEntry& b) const {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+};
+
+inline bool qentry_less(const QEntry& a, const QEntry& b) {
+  return QEntryLess{}(a, b);
+}
+
+class LadderQueue {
+ public:
+  /// Max entries promoted straight to bottom without spawning a child rung.
+  static constexpr std::size_t kBottomMax = 64;
+  /// Rung-depth backstop: beyond this, buckets are sorted regardless of
+  /// size (double precision exhausts itself long before 48 subdivisions).
+  static constexpr std::size_t kMaxRungs = 48;
+
+  bool empty() const { return stored_ == 0; }
+  std::size_t stored() const { return stored_; }
+
+  /// Add an entry. `at` must be >= the `at` of the last popped entry and
+  /// `seq` must exceed every seq ever pushed (the simulator guarantees
+  /// both).
+  void push(const QEntry& e) {
+    ++stored_;
+    if (rungs_.empty()) {
+      // Bottom covers [.., bottom_end_): everything nearer than the last
+      // promoted window joins the sorted drain; the rest overflows to top.
+      if (e.at < bottom_end_) {
+        insert_bottom(e);
+      } else {
+        top_.push_back(e);
+      }
+      return;
+    }
+    std::ptrdiff_t idx = rungs_.front().index_of(e.at);
+    if (idx >= static_cast<std::ptrdiff_t>(rungs_.front().buckets.size())) {
+      top_.push_back(e);  // beyond rung 0's horizon
+      return;
+    }
+    for (std::size_t i = 0;; ++i) {
+      Rung& r = rungs_[i];
+      const auto nb = static_cast<std::ptrdiff_t>(r.buckets.size());
+      // Membership in rung i was established by rung i-1 (or the horizon
+      // test above), so clamping is pure positioning and stays monotone.
+      if (idx < 0) idx = 0;
+      if (idx >= nb) idx = nb - 1;
+      const auto cur = static_cast<std::ptrdiff_t>(r.cur);
+      if (idx > cur - 1) {
+        r.buckets[static_cast<std::size_t>(idx)].push_back(e);
+        return;
+      }
+      if (idx == cur - 1 && i + 1 < rungs_.size()) {
+        // Rung i+1 tiles exactly bucket cur-1 of rung i: descend.
+        idx = rungs_[i + 1].index_of(e.at);
+        continue;
+      }
+      // An already-promoted window: the entry is imminent, join bottom.
+      insert_bottom(e);
+      return;
+    }
+  }
+
+  /// Pointer to the minimum entry, or nullptr when empty. May restructure
+  /// (promote buckets / seed from top) but never reorders. The pointer is
+  /// invalidated by any other call.
+  const QEntry* peek() {
+    while (bottom_pos_ >= bottom_.size()) {
+      if (!refill_bottom()) return nullptr;
+    }
+    return &bottom_[bottom_pos_];
+  }
+
+  /// Remove and return the minimum entry. Call peek() first; requires a
+  /// non-empty queue.
+  QEntry pop() {
+    EEND_CHECK(bottom_pos_ < bottom_.size());
+    --stored_;
+    return bottom_[bottom_pos_++];
+  }
+
+  /// Compaction sweep: drop every tombstone — an entry whose slot
+  /// generation has moved past the one it was queued with. `gens` is the
+  /// owner's generation array, indexed by QEntry::slot; taking it directly
+  /// (rather than a predicate) lets the sweep prefetch the random
+  /// generation reads a few entries ahead, which is where the sweep's time
+  /// goes on large queues.
+  void compact(const std::uint32_t* gens) {
+    bottom_.erase(bottom_.begin(),
+                  bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_));
+    bottom_pos_ = 0;
+    std::size_t kept = sweep(bottom_, gens);
+    for (Rung& r : rungs_)
+      for (std::size_t b = r.cur; b < r.buckets.size(); ++b)
+        kept += sweep(r.buckets[b], gens);
+    kept += sweep(top_, gens);
+    stored_ = kept;
+  }
+
+ private:
+  /// In-place filter keeping live entries; returns how many were kept.
+  static std::size_t sweep(std::vector<QEntry>& v,
+                           const std::uint32_t* gens) {
+    QEntry* const d = v.data();
+    const std::size_t n = v.size();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 8 < n) __builtin_prefetch(&gens[d[i + 8].slot]);
+      if (gens[d[i].slot] == d[i].gen) d[w++] = d[i];
+    }
+    v.resize(w);
+    return w;
+  }
+
+  struct Rung {
+    double start;
+    double width;
+    double inv;           // 1.0 / width, set wherever width is
+    std::size_t cur = 0;  // next bucket to promote; earlier ones are empty
+    std::vector<std::vector<QEntry>> buckets;
+
+    // Multiplying by the cached reciprocal keeps the FP divide off the
+    // per-push path. The index can differ from an exact divide by one near
+    // bucket boundaries, but x * inv is still weakly monotone in x (IEEE
+    // rounding is monotone), which is the only property ordering needs —
+    // membership stays consistent because every decision about this rung
+    // goes through this same function.
+    std::ptrdiff_t index_of(double at) const {
+      return static_cast<std::ptrdiff_t>(std::floor((at - start) * inv));
+    }
+  };
+
+  void insert_bottom(const QEntry& e) {
+    const auto it =
+        std::lower_bound(bottom_.begin() +
+                             static_cast<std::ptrdiff_t>(bottom_pos_),
+                         bottom_.end(), e, QEntryLess{});
+    bottom_.insert(it, e);
+    // An overgrown bottom makes these sorted inserts quadratic; two
+    // overflow rules keep it bounded under sustained push load:
+    if (bottom_.size() - bottom_pos_ <= 4 * kBottomMax) return;
+    if (rungs_.empty()) {
+      // No-rungs regime: the bottom's window can cover the far future (a
+      // small seed promotes everything up to its max timestamp). Spill the
+      // tail back to the overflow top and shrink the window. Safe: every
+      // spilled entry's (at, seq) exceeds every kept entry's (the vector
+      // was sorted; ties at the boundary keep the smaller seqs), and the
+      // top is only re-seeded after the bottom drains.
+      const std::size_t keep = bottom_pos_ + kBottomMax;
+      top_.insert(top_.end(), bottom_.begin() +
+                                  static_cast<std::ptrdiff_t>(keep),
+                  bottom_.end());
+      bottom_end_ = bottom_[keep].at;
+      bottom_.resize(keep);
+      return;
+    }
+    // Rungs present: the bottom is the deepest rung's promoted bucket
+    // (cur-1), whose window can stay "current" for a long stretch of
+    // simulated time and soak up arrivals. Spawning the undrained suffix
+    // as a child rung restores the exact invariant a promotion-time split
+    // would have given — rung i+1 tiles bucket cur-1 of rung i — while
+    // shrinking the arrival window geometrically. (Spilling to top instead
+    // would be wrong here: unpromoted rung entries fire before any
+    // re-seed, and their timestamps exceed the bottom's.)
+    if (rungs_.size() >= kMaxRungs) return;  // sorted fallback
+    const std::size_t undrained = bottom_.size() - bottom_pos_;
+    const double start = bottom_[bottom_pos_].at;
+    const std::size_t nb = buckets_for(undrained);
+    const double width = (bottom_end_ - start) / static_cast<double>(nb);
+    if (!(width > 0.0) || start + width == start) return;  // ties: stay sorted
+    Rung child;
+    child.start = start;
+    child.width = width;
+    child.inv = 1.0 / width;
+    child.buckets.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i)
+      child.buckets.push_back(alloc_bucket());
+    const auto nbs = static_cast<std::ptrdiff_t>(nb);
+    for (std::size_t i = bottom_pos_; i < bottom_.size(); ++i) {
+      std::ptrdiff_t idx = child.index_of(bottom_[i].at);
+      if (idx < 0) idx = 0;
+      if (idx >= nbs) idx = nbs - 1;
+      child.buckets[static_cast<std::size_t>(idx)].push_back(bottom_[i]);
+    }
+    rungs_.push_back(std::move(child));
+    bottom_.clear();
+    bottom_pos_ = 0;
+    // bottom_end_ keeps its value: the new rung tiles [start, bottom_end_)
+    // and the next peek() promotes its first bucket into a fresh bottom.
+  }
+
+  /// Install `b` as the new bottom (sorted drain) covering up to `end`.
+  void make_bottom(std::vector<QEntry>&& b, double end) {
+    bottom_ = std::move(b);
+    std::sort(bottom_.begin(), bottom_.end(), QEntryLess{});
+    bottom_pos_ = 0;
+    bottom_end_ = end;
+  }
+
+  /// Promote a rung bucket: copy it into the bottom (whose buffer is
+  /// reused) and recycle the bucket's storage — the steady-state drain
+  /// path allocates nothing.
+  void promote_to_bottom(std::vector<QEntry>& b, double end) {
+    bottom_.clear();
+    bottom_.insert(bottom_.end(), b.begin(), b.end());
+    std::sort(bottom_.begin(), bottom_.end(), QEntryLess{});
+    bottom_pos_ = 0;
+    bottom_end_ = end;
+    recycle_bucket(b);
+  }
+
+  std::vector<QEntry> alloc_bucket() {
+    if (spare_.empty()) return {};
+    std::vector<QEntry> b = std::move(spare_.back());
+    spare_.pop_back();
+    return b;
+  }
+
+  void recycle_bucket(std::vector<QEntry>& b) {
+    b.clear();
+    if (spare_.size() < kSpareMax && b.capacity() > 0)
+      spare_.push_back(std::move(b));
+  }
+
+  /// Refill the bottom from the rung structure / top. Returns false when
+  /// the queue is fully drained.
+  bool refill_bottom() {
+    bottom_.clear();
+    bottom_pos_ = 0;
+    while (true) {
+      if (rungs_.empty()) {
+        if (top_.empty()) {
+          bottom_end_ = -std::numeric_limits<double>::infinity();
+          return false;
+        }
+        seed_from_top();
+        // Small seeds skip the rung and land sorted in bottom directly.
+        if (!bottom_.empty()) return true;
+        continue;
+      }
+      Rung& r = rungs_.back();
+      while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) ++r.cur;
+      if (r.cur == r.buckets.size()) {
+        for (std::vector<QEntry>& b : r.buckets) recycle_bucket(b);
+        rungs_.pop_back();
+        continue;
+      }
+      std::vector<QEntry>& b = r.buckets[r.cur];
+      const double b_start = r.start + r.width * static_cast<double>(r.cur);
+      const double b_width = r.width;
+      ++r.cur;
+      const double b_end = r.start + r.width * static_cast<double>(r.cur);
+      if (b.size() <= kBottomMax || rungs_.size() >= kMaxRungs ||
+          !splittable(b)) {
+        promote_to_bottom(b, b_end);
+        return true;
+      }
+      if (!spawn_rung(b, b_start, b_width)) {
+        // Subdivision underflowed double precision; the bucket was sorted
+        // into the bottom instead.
+        bottom_end_ = b_end;
+        return true;
+      }
+    }
+  }
+
+  /// A bucket with a single distinct timestamp (or a vanishing width after
+  /// subdivision) cannot be usefully split — sort it instead.
+  static bool splittable(const std::vector<QEntry>& b) {
+    double lo = b.front().at, hi = b.front().at;
+    for (const QEntry& e : b) {
+      lo = std::min(lo, e.at);
+      hi = std::max(hi, e.at);
+    }
+    return hi > lo;
+  }
+
+  /// Bucket count that targets ~kBottomMax entries per bucket, so a
+  /// promoted bucket usually becomes the bottom directly (one small sort,
+  /// no further descent) and scatter passes touch few distinct buckets.
+  static std::size_t buckets_for(std::size_t n) {
+    return (n + kBottomMax - 1) / kBottomMax;
+  }
+
+  /// Child rung tiling exactly [b_start, b_start + b_width): membership was
+  /// decided by the parent's bucket index, positions here clamp into range.
+  /// Returns false (after sorting the bucket into the bottom) when the
+  /// subdivision underflows double precision. `b` is the parent's bucket;
+  /// its storage is recycled before rungs_ can reallocate.
+  bool spawn_rung(std::vector<QEntry>& b, double b_start, double b_width) {
+    Rung child;
+    child.start = b_start;
+    const std::size_t n = buckets_for(b.size());
+    child.width = b_width / static_cast<double>(n);
+    if (!(child.width > 0.0) || b_start + child.width == b_start) {
+      promote_to_bottom(b, b_start + b_width);
+      return false;
+    }
+    child.inv = 1.0 / child.width;
+    child.buckets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      child.buckets.push_back(alloc_bucket());
+    const auto nb = static_cast<std::ptrdiff_t>(n);
+    for (const QEntry& e : b) {
+      std::ptrdiff_t idx = child.index_of(e.at);
+      if (idx < 0) idx = 0;
+      if (idx >= nb) idx = nb - 1;
+      child.buckets[static_cast<std::size_t>(idx)].push_back(e);
+    }
+    recycle_bucket(b);
+    rungs_.push_back(std::move(child));
+    return true;
+  }
+
+  /// Re-seed the rung structure from the far-future overflow.
+  void seed_from_top() {
+    double lo = top_.front().at, hi = top_.front().at;
+    for (const QEntry& e : top_) {
+      lo = std::min(lo, e.at);
+      hi = std::max(hi, e.at);
+    }
+    if (top_.size() <= kBottomMax || hi <= lo) {
+      // Few entries (or one distinct timestamp): drain them sorted. The
+      // window ends just past `hi`, so later far-future arrivals overflow
+      // back into top instead of bloating the sorted insert path.
+      make_bottom(std::move(top_),
+                  std::nextafter(hi,
+                                 std::numeric_limits<double>::infinity()));
+      top_.clear();
+      return;
+    }
+    Rung r0;
+    r0.start = lo;
+    r0.width = (hi - lo) / static_cast<double>(buckets_for(top_.size()));
+    r0.inv = 1.0 / r0.width;
+    if (!(r0.width > 0.0) || lo + r0.width == lo) {
+      make_bottom(std::move(top_),
+                  std::nextafter(hi,
+                                 std::numeric_limits<double>::infinity()));
+      top_.clear();
+      return;
+    }
+    const std::size_t nb = static_cast<std::size_t>(r0.index_of(hi)) + 1;
+    r0.buckets.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i) r0.buckets.push_back(alloc_bucket());
+    const auto nbs = static_cast<std::ptrdiff_t>(nb);
+    for (const QEntry& e : top_) {
+      std::ptrdiff_t idx = r0.index_of(e.at);
+      if (idx < 0) idx = 0;
+      if (idx >= nbs) idx = nbs - 1;
+      r0.buckets[static_cast<std::size_t>(idx)].push_back(e);
+    }
+    top_.clear();
+    rungs_.clear();
+    rungs_.push_back(std::move(r0));
+  }
+
+  std::vector<QEntry> bottom_;  // sorted ascending (at, seq)
+  std::size_t bottom_pos_ = 0;  // drain cursor into bottom_
+  // Exclusive end of bottom's window while no rungs exist (rungs route by
+  // bucket index instead). -inf = nothing promoted yet: first push opens
+  // top.
+  double bottom_end_ = -std::numeric_limits<double>::infinity();
+  /// Retired bucket vectors kept for reuse (capacity only, no entries);
+  /// bounds the allocator traffic of rung spawn/drain cycles.
+  static constexpr std::size_t kSpareMax = 4096;
+
+  std::vector<Rung> rungs_;    // [0] = coarsest; back() = currently driven
+  std::vector<QEntry> top_;    // far-future overflow, unsorted
+  std::vector<std::vector<QEntry>> spare_;  // recycled bucket storage
+  std::size_t stored_ = 0;
+};
+
+}  // namespace eend::sim

@@ -1,60 +1,93 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
+#include <cstring>
 
 namespace eend::sim {
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
-  EEND_REQUIRE_MSG(at >= now_, "scheduling into the past: at=" << at
-                                                               << " now="
-                                                               << now_);
-  EEND_REQUIRE(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+Simulator::~Simulator() {
+  // Destroy every still-pending closure (and hand its overflow block back
+  // to the pool) before the members go: closures may hold pool-allocated
+  // payloads, and pool_ is destroyed last. Occupancy is tracked by the
+  // free list, not by the slots themselves.
+  std::vector<bool> is_free(slots_.size(), false);
+  for (const std::uint32_t si : free_) is_free[si] = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (!is_free[i]) destroy_closure(slots_[i], kinds_[i]);
 }
 
-bool Simulator::cancel(EventId id) {
-  if (handlers_.erase(id) == 0) return false;
-  ++stale_;
-  compact_if_stale();
-  return true;
+std::uint32_t Simulator::grow_slots() {
+  EEND_REQUIRE_MSG(slots_.size() < 0xFFFFFFFFu,
+                   "slot map exhausted (2^32 concurrent events)");
+  slots_.emplace_back();
+  gens_.push_back(1);
+  kinds_.push_back(kKindInlineTrivial);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Simulator::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  heap_.pop_back();
-}
-
-void Simulator::compact_if_stale() {
-  // Rebuild once tombstones outnumber live entries: O(heap) per rebuild,
-  // amortized O(1) per cancel, and the heap never holds more than half
-  // garbage afterwards.
-  if (stale_ < kCompactMin || stale_ * 2 <= heap_.size()) return;
-  std::erase_if(heap_, [this](const Entry& e) {
-    return handlers_.find(e.id) == handlers_.end();
-  });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+void Simulator::compact_now() {
+  queue_.compact(gens_.data());
   stale_ = 0;
 }
 
+void Simulator::fire(std::uint32_t si) {
+  Slot& s = slots_[si];
+  // Move the closure out of the slot before invoking it: the handler may
+  // schedule events (growing/reusing the slot vector) or cancel ids, and —
+  // matching the erased-before-call contract of the original engine —
+  // pending(self) is false and cancel(self) a no-op while it runs.
+  auto* const invoke = s.invoke;
+  const std::uint32_t kind = kinds_[si];
+  alignas(double) unsigned char tmp[kInlineClosure];
+  void* ctx;
+  void* block = nullptr;
+  std::uint32_t block_bytes = 0;
+  void (*destroy)(void*) = nullptr;
+  if (kind == kKindInlineTrivial) {
+    // Fixed-size copy, no destructor: the dominant path is branch + memcpy.
+    std::memcpy(tmp, s.buf, kInlineClosure);
+    ctx = static_cast<void*>(tmp);
+  } else if (kind == kKindInlineAux) {
+    Aux aux;
+    std::memcpy(&aux, s.buf + kInlineNonTrivial, sizeof(aux));
+    aux.relocate(static_cast<void*>(tmp), static_cast<void*>(s.buf));
+    ctx = static_cast<void*>(tmp);
+    destroy = aux.destroy;
+  } else {
+    OverflowRec rec;  // pooled storage is stable; just detach it
+    std::memcpy(&rec, s.buf, sizeof(rec));
+    ctx = block = rec.block;
+    block_bytes = kind;
+    destroy = rec.destroy;
+  }
+  release_slot(si);  // `s` is dead past this point (vector may reallocate)
+  --live_;
+  ++executed_;
+
+  struct Guard {  // destroy + recycle even if the handler throws
+    void (*destroy)(void*);
+    void* ctx;
+    void* block;
+    std::uint32_t bytes;
+    util::MemoryPool* pool;
+    ~Guard() {
+      if (destroy != nullptr) destroy(ctx);
+      if (block != nullptr) pool->release(block, bytes);
+    }
+  } guard{destroy, ctx, block, block_bytes, &pool_};
+  invoke(ctx);
+}
+
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Entry e = heap_.front();
-    pop_top();
-    const auto it = handlers_.find(e.id);
-    if (it == handlers_.end()) {  // cancelled (tombstone)
+  for (const QEntry* e; (e = queue_.peek()) != nullptr;) {
+    if (gens_[e->slot] != e->gen) {  // cancelled (tombstone)
+      queue_.pop();
       --stale_;
       continue;
     }
-    EEND_CHECK(e.at >= now_);
-    now_ = e.at;
-    auto fn = std::move(it->second);
-    handlers_.erase(it);
-    ++executed_;
-    fn();
+    const QEntry ent = queue_.pop();
+    EEND_CHECK(ent.at >= now_);
+    now_ = ent.at;
+    fire(ent.slot);
     return true;
   }
   return false;
@@ -62,16 +95,21 @@ bool Simulator::step() {
 
 void Simulator::run_until(Time end) {
   EEND_REQUIRE(end >= now_);
-  while (!heap_.empty()) {
-    // Peek through tombstones.
-    const Entry e = heap_.front();
-    if (handlers_.count(e.id) == 0) {
-      pop_top();
+  for (const QEntry* e; (e = queue_.peek()) != nullptr;) {
+    // Bound check first: popping far-future tombstones here would drag the
+    // queue's promoted window forward, turning the next wave of schedules
+    // into sorted-bottom insertions (quadratic under cancel-heavy churn).
+    // Compaction reclaims them instead.
+    if (e->at > end) break;
+    if (gens_[e->slot] != e->gen) {  // peek through tombstones
+      queue_.pop();
       --stale_;
       continue;
     }
-    if (e.at > end) break;
-    step();
+    const QEntry ent = queue_.pop();
+    EEND_CHECK(ent.at >= now_);
+    now_ = ent.at;
+    fire(ent.slot);
   }
   now_ = end;
 }
@@ -86,6 +124,7 @@ void Timer::restart(Time delay) {
   expiry_ = sim_->now() + delay;
   id_ = sim_->schedule_in(delay, [this] {
     id_ = kInvalidEvent;
+    expiry_ = 0.0;  // the expiry is only meaningful while armed
     on_expire_();
   });
 }
@@ -100,6 +139,7 @@ void Timer::cancel() {
   if (id_ != kInvalidEvent) {
     sim_->cancel(id_);
     id_ = kInvalidEvent;
+    expiry_ = 0.0;
   }
 }
 

@@ -1,0 +1,98 @@
+// Size-class free-list memory pool.
+//
+// One pool serves one simulation (single-threaded by construction — each
+// ParallelRunner replication owns its Simulator and therefore its pool, so
+// no synchronization is needed or provided). Blocks are rounded up to
+// 64-byte size classes; released blocks go on a per-class free list and are
+// handed back verbatim on the next allocation of the same class, so the
+// steady-state schedule/fire/release cycle of the event core and the
+// packet-payload churn of the routing layer touch the global allocator only
+// while a workload's live set is still growing.
+//
+// Requests larger than the biggest class (or over-aligned beyond
+// max_align_t) fall through to plain operator new/delete — correct, just
+// unpooled. All outstanding blocks must be released before the pool dies;
+// the pool frees only its free lists.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "util/check.hpp"
+
+namespace eend::util {
+
+class MemoryPool {
+ public:
+  static constexpr std::size_t kClassStep = 64;
+  static constexpr std::size_t kClassCount = 16;  // 64 .. 1024 bytes
+  static constexpr std::size_t kMaxPooled = kClassStep * kClassCount;
+
+  MemoryPool() = default;
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  ~MemoryPool() {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      FreeNode* n = free_[c];
+      while (n != nullptr) {
+        FreeNode* next = n->next;
+        ::operator delete(static_cast<void*>(n));
+        n = next;
+      }
+    }
+  }
+
+  /// Allocate at least `bytes` (alignment up to alignof(max_align_t)).
+  /// The same `bytes` value must be passed to release().
+  void* allocate(std::size_t bytes) {
+    EEND_CHECK(bytes > 0);
+    const std::size_t c = class_of(bytes);
+    if (c >= kClassCount) return ::operator new(bytes);
+    if (free_[c] != nullptr) {
+      FreeNode* n = free_[c];
+      free_[c] = n->next;
+      --free_count_;
+      return static_cast<void*>(n);
+    }
+    ++allocated_blocks_;
+    return ::operator new((c + 1) * kClassStep);
+  }
+
+  void release(void* p, std::size_t bytes) {
+    if (p == nullptr) return;
+    const std::size_t c = class_of(bytes);
+    if (c >= kClassCount) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* n = static_cast<FreeNode*>(p);
+    n->next = free_[c];
+    free_[c] = n;
+    ++free_count_;
+  }
+
+  /// Pooled blocks ever fetched from the global allocator (not the free
+  /// lists) — a flat curve under steady load is the "allocation-free in
+  /// steady state" property the event core relies on.
+  std::size_t allocated_blocks() const { return allocated_blocks_; }
+
+  /// Blocks currently parked on the free lists.
+  std::size_t free_blocks() const { return free_count_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(kClassStep >= sizeof(FreeNode));
+
+  static std::size_t class_of(std::size_t bytes) {
+    return (bytes - 1) / kClassStep;  // 1..64 -> 0, 65..128 -> 1, ...
+  }
+
+  FreeNode* free_[kClassCount] = {};
+  std::size_t allocated_blocks_ = 0;
+  std::size_t free_count_ = 0;
+};
+
+}  // namespace eend::util

@@ -8,6 +8,7 @@
 
 #include "util/check.hpp"
 #include "util/flags.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -282,6 +283,59 @@ TEST(Units, Conversions) {
   EXPECT_DOUBLE_EQ(kilobits(2), 2000.0);
   EXPECT_DOUBLE_EQ(bytes_to_bits(128), 1024.0);
   EXPECT_DOUBLE_EQ(milliseconds(300), 0.3);
+}
+
+TEST(MemoryPool, ReusesReleasedBlocksOfSameClass) {
+  util::MemoryPool pool;
+  void* a = pool.allocate(40);  // class 0 (<= 64 bytes)
+  EXPECT_EQ(pool.allocated_blocks(), 1u);
+  pool.release(a, 40);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  void* b = pool.allocate(64);  // same class: must be the recycled block
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.allocated_blocks(), 1u);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  pool.release(b, 64);
+}
+
+TEST(MemoryPool, SizeClassesAreIndependent) {
+  util::MemoryPool pool;
+  void* small = pool.allocate(10);    // class 0
+  void* medium = pool.allocate(100);  // class 1
+  void* large = pool.allocate(1000);  // class 15
+  EXPECT_EQ(pool.allocated_blocks(), 3u);
+  pool.release(small, 10);
+  // A class-1 request must not be served from the class-0 free list.
+  void* medium2 = pool.allocate(70);
+  EXPECT_NE(medium2, small);
+  EXPECT_EQ(pool.allocated_blocks(), 4u);
+  pool.release(medium, 100);
+  pool.release(medium2, 70);
+  pool.release(large, 1000);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+}
+
+TEST(MemoryPool, OversizedRequestsBypassThePool) {
+  util::MemoryPool pool;
+  void* big = pool.allocate(util::MemoryPool::kMaxPooled + 1);
+  ASSERT_NE(big, nullptr);
+  // Not counted: it came straight from (and returns straight to) the
+  // global allocator.
+  EXPECT_EQ(pool.allocated_blocks(), 0u);
+  pool.release(big, util::MemoryPool::kMaxPooled + 1);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+}
+
+TEST(MemoryPool, SteadyStateChurnAllocatesNothingNew) {
+  util::MemoryPool pool;
+  void* p = pool.allocate(200);
+  pool.release(p, 200);
+  const std::size_t baseline = pool.allocated_blocks();
+  for (int i = 0; i < 1000; ++i) {
+    void* q = pool.allocate(250);  // same size class as 200 (193..256)
+    pool.release(q, 250);
+  }
+  EXPECT_EQ(pool.allocated_blocks(), baseline);
 }
 
 }  // namespace
