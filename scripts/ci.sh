@@ -69,10 +69,14 @@ run bench_ablation_design_knobs --quick --quiet --jobs=0   # ablations
 run bench_ext_lifetime --quick --quiet --jobs=0      # lifetime extension
 
 echo "== design search: portfolio bench (JSON artifact) =="
+# The bench itself asserts (a) presolve on/off produces identical results
+# on the dense family and (b) the sparse shrink family drops >= 2% of its
+# nodes (measured 4-5%; half that is the regression floor).
 ./build/bench/bench_design_portfolio --quick --quiet \
+  --assert-min-shrink-pct=2 \
   --json=BENCH_design_portfolio.json > /dev/null
 test -s BENCH_design_portfolio.json
-echo "OK: wrote BENCH_design_portfolio.json"
+echo "OK: wrote BENCH_design_portfolio.json (presolve shrink floor held)"
 
 echo "== design search: quick design_portfolio cell, jobs=1 vs jobs=8 =="
 ./build/tools/eend_run --manifest examples/manifests/design_portfolio.json \

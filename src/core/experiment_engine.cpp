@@ -13,6 +13,7 @@
 #include "energy/radio_card.hpp"
 #include "opt/design_heuristic.hpp"
 #include "opt/design_instance.hpp"
+#include "presolve/presolve.hpp"
 #include "replay/replay.hpp"
 #include "util/table.hpp"
 
@@ -77,12 +78,18 @@ struct CellSearchResult {
 };
 
 CellSearchResult search_design_cell(
-    const core::NetworkDesignProblem& problem,
+    const opt::DesignInstance& inst,
     const std::vector<std::string>& heuristics, opt::HeuristicOptions ho,
     std::uint64_t seed, std::size_t n) {
+  const core::NetworkDesignProblem& problem = inst.problem;
+  ho.presolve = inst.presolve.get();
   CellSearchResult out;
   const auto t_base = std::chrono::steady_clock::now();
-  const graph::SteinerTree kr_tree = problem.solve_node_weighted();
+  // The shared tree comes from the dead-end-masked twin when presolve ran —
+  // bit-identical to the full solve (presolve/presolve.hpp), just cheaper.
+  const graph::SteinerTree kr_tree =
+      (inst.presolve ? inst.presolve->node_reduced : problem)
+          .solve_node_weighted();
   ho.klein_ravi_tree = &kr_tree;
   out.baseline = opt::heuristic_by_name("klein_ravi").run(problem, ho, seed);
   out.baseline_wall =
@@ -114,6 +121,15 @@ CellSearchResult search_design_cell(
                    "heuristic \"" << name
                    << "\" infeasible on a connected instance (n=" << n
                    << ", seed=" << seed << ")");
+    // Soundness of the certified bound, enforced where results become
+    // user-visible: no feasible design may score below it (1e-9 relative
+    // slack absorbs float re-association between the two computations).
+    if (inst.presolve)
+      EEND_CHECK_MSG(
+          inst.presolve->lower_bound(ho.eval) <=
+              out.designs[hi].score.total() * (1.0 + 1e-9),
+          "certified lower bound exceeds heuristic \""
+              << name << "\" score (n=" << n << ", seed=" << seed << ")");
     // The portfolio's start 0 is Klein-Ravi + descent under the same
     // objective, so it can never cost more than the baseline; enforce the
     // invariant at the point results become user-visible.
@@ -358,6 +374,8 @@ void ExperimentEngine::run_design(const Experiment& e) {
   struct Sample {
     double total = 0.0, data = 0.0, idle = 0.0, gap = 0.0, relays = 0.0,
            wall = 0.0;
+    // Presolve-only columns (e.presolve gates the metrics that read them).
+    double lb = 0.0, cert_gap = 0.0, rnodes = 0.0, redges = 0.0;
   };
   std::vector<std::vector<Sample>> samples(cells.size());
 
@@ -369,10 +387,12 @@ void ExperimentEngine::run_design(const Experiment& e) {
     spec.node_count = cell.n;
     spec.demand_count = e.demands;
     spec.seed = base_seed + cell.run;
+    spec.presolve = e.presolve;
+    spec.field_scale = e.field_scale;
     const opt::DesignInstance inst = opt::make_design_instance(spec);
 
-    const CellSearchResult sr = search_design_cell(
-        inst.problem, e.heuristics, ho, spec.seed, cell.n);
+    const CellSearchResult sr =
+        search_design_cell(inst, e.heuristics, ho, spec.seed, cell.n);
     samples[ci].resize(e.heuristics.size());
     for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
       const opt::CandidateDesign& cand = sr.designs[hi];
@@ -384,6 +404,12 @@ void ExperimentEngine::run_design(const Experiment& e) {
               sr.baseline.cost();
       s.relays = static_cast<double>(cand.score.relay_nodes);
       s.wall = sr.walls[hi];
+      if (inst.presolve) {
+        s.lb = inst.presolve->lower_bound(ho.eval);
+        s.cert_gap = 100.0 * (cand.score.total() - s.lb) / s.lb;
+        s.rnodes = static_cast<double>(inst.presolve->reduced_nodes);
+        s.redges = static_cast<double>(inst.presolve->reduced_edges);
+      }
     }
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
@@ -416,7 +442,18 @@ void ExperimentEngine::run_design(const Experiment& e) {
           else if (name == "gap_vs_klein_ravi") xs.push_back(s.gap);
           else if (name == "relay_nodes") xs.push_back(s.relays);
           else if (name == "wall_time_s") xs.push_back(s.wall);
-          else
+          else if (name == "lb" || name == "certified_gap_pct" ||
+                   name == "reduced_nodes" || name == "reduced_edges") {
+            // parse_metrics already rejects these without presolve; guard
+            // against programmatic Experiment structs skipping validation.
+            EEND_REQUIRE_MSG(e.presolve, "design metric \""
+                                             << name
+                                             << "\" requires presolve=true");
+            if (name == "lb") xs.push_back(s.lb);
+            else if (name == "certified_gap_pct") xs.push_back(s.cert_gap);
+            else if (name == "reduced_nodes") xs.push_back(s.rnodes);
+            else xs.push_back(s.redges);
+          } else
             EEND_REQUIRE_MSG(false,
                              "unknown design metric \"" << name << "\"");
         }
@@ -482,6 +519,8 @@ void ExperimentEngine::run_replay(const Experiment& e) {
     st.spec.demand_count = e.demands;
     st.spec.seed = base_seed + cell.run;
     st.spec.demand_weights = e.demand_weights;
+    st.spec.presolve = e.presolve;
+    st.spec.field_scale = e.field_scale;
     st.instance = opt::make_design_instance(st.spec);
 
     opt::HeuristicOptions ho;
@@ -490,7 +529,7 @@ void ExperimentEngine::run_replay(const Experiment& e) {
     ho.anneal_iterations = e.anneal_iters;
     ho.jobs = cells.size() > 1 ? 1 : opts_.jobs;
     ho.battery_budget_j = e.battery_j;
-    st.designs = search_design_cell(st.instance.problem, e.heuristics, ho,
+    st.designs = search_design_cell(st.instance, e.heuristics, ho,
                                     st.spec.seed, cell.n)
                      .designs;
     if (opts_.progress) {

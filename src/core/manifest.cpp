@@ -183,6 +183,12 @@ constexpr MetricInfo kDesignMetricInfo[] = {
     // Wall time is real elapsed time and therefore NOT covered by the
     // determinism contract — keep it out of golden-pinned manifests.
     {"wall_time_s", "wall time (s)"},
+    // The next four require `presolve: true` on the experiment (validated
+    // after parsing); they surface the certified bound and instance shrink.
+    {"lb", "certified Eq. 5 lower bound"},
+    {"certified_gap_pct", "certified gap vs lower bound (%)"},
+    {"reduced_nodes", "presolve-removed nodes"},
+    {"reduced_edges", "presolve-removed edges"},
 };
 constexpr MetricInfo kReplayMetricInfo[] = {
     {"analytic_eq5_j", "Eq. 5 analytic energy (J)"},
@@ -544,6 +550,16 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
       if (n > 1000000) fail(ctx + " anneal_iters must be <= 1e6");
       e.anneal_iters = static_cast<std::size_t>(n);
     }
+    if (const auto* p = r.optional("presolve")) {
+      if (!p->is_bool()) fail(ctx + " presolve must be a boolean");
+      e.presolve = p->as_bool();
+    }
+    if (const auto* p = r.optional("field_scale")) {
+      e.field_scale = as_finite(*p, ctx + " field_scale");
+      if (!(e.field_scale > 0.0) || e.field_scale > 10.0)
+        fail(ctx + " field_scale must be in (0, 10] "
+                   "(multiplier on the density-law field side)");
+    }
     // Cross-check: every instance must be able to host the demand count,
     // or make_design_instance would abort mid-run after earlier
     // experiments already burned their wall time.
@@ -561,6 +577,10 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     r.forbid("demands", "is only valid for kinds \"design\" and \"replay\"");
     r.forbid("starts", "is only valid for kinds \"design\" and \"replay\"");
     r.forbid("anneal_iters",
+             "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("presolve",
+             "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("field_scale",
              "is only valid for kinds \"design\" and \"replay\"");
   }
 
@@ -686,6 +706,14 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
   else
     e.metrics = default_metrics(e.kind);
 
+  // The certified-bound metrics only exist when the presolve pass ran.
+  if (e.kind == ExperimentKind::Design && !e.presolve)
+    for (const auto& m : e.metrics)
+      if (m.name == "lb" || m.name == "certified_gap_pct" ||
+          m.name == "reduced_nodes" || m.name == "reduced_edges")
+        fail(ctx + " metric \"" + m.name +
+             "\" requires \"presolve\": true on the experiment");
+
   if (e.kind != ExperimentKind::Mopt) {
     if (const auto* p = r.optional("quick"))
       e.quick = parse_quick(*p, e.kind, ctx + " quick");
@@ -738,6 +766,8 @@ json::Object experiment_to_json(const Experiment& e) {
     o.emplace_back("demands", static_cast<double>(e.demands));
     o.emplace_back("starts", static_cast<double>(e.starts));
     o.emplace_back("anneal_iters", static_cast<double>(e.anneal_iters));
+    o.emplace_back("presolve", e.presolve);
+    o.emplace_back("field_scale", e.field_scale);
   }
   if (e.kind == ExperimentKind::Replay) {
     o.emplace_back("stack", e.replay_stack);

@@ -109,6 +109,14 @@ struct Experiment {
   std::size_t demands = 8;       ///< demands sampled per instance
   std::size_t starts = 8;        ///< portfolio multi-start count
   std::size_t anneal_iters = 300;///< annealing iterations per (re)start
+  /// Run presolve::presolve_design per instance: searches use the reduced
+  /// twins (bit-identical results) and the lb / certified_gap_pct /
+  /// reduced_* metrics become available.
+  bool presolve = false;
+  /// Multiplier on the §5.2.2 density-law field side ("field_scale" key).
+  /// Values > 1 make sparser instances at every node count — the regime
+  /// where the presolve reductions actually fire.
+  double field_scale = 1.0;
 
   // replay kind: realization and simulation knobs.
   std::string replay_stack = "dsr_active";  ///< stack preset ("stack" key)

@@ -59,27 +59,40 @@ SteinerTree assemble(const Graph& g, std::span<const NodeId> terminals,
   return t;
 }
 
-/// Remove non-terminal leaves repeatedly (final KMB step).
+}  // namespace
+
+/// Remove non-terminal leaves repeatedly (final KMB step). The leaf-removal
+/// fixed point is unique whatever the removal order, so a worklist over
+/// incremental degree counts visits each edge O(1) times instead of
+/// rebuilding the full incident map every sweep.
 void prune_leaves(const Graph& g, std::span<const NodeId> terminals,
                   std::set<EdgeId>& edges) {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    std::map<NodeId, std::vector<EdgeId>> incident;
-    for (EdgeId e : edges) {
-      incident[g.edge(e).u].push_back(e);
-      incident[g.edge(e).v].push_back(e);
-    }
-    for (const auto& [v, inc] : incident) {
-      if (inc.size() == 1 && !is_terminal(terminals, v)) {
-        edges.erase(inc[0]);
-        changed = true;
-      }
+  std::map<NodeId, std::vector<EdgeId>> incident;
+  for (EdgeId e : edges) {
+    incident[g.edge(e).u].push_back(e);
+    incident[g.edge(e).v].push_back(e);
+  }
+  std::map<NodeId, std::size_t> degree;
+  std::vector<NodeId> work;
+  for (const auto& [v, inc] : incident) {
+    degree[v] = inc.size();
+    if (inc.size() == 1 && !is_terminal(terminals, v)) work.push_back(v);
+  }
+  while (!work.empty()) {
+    const NodeId v = work.back();
+    work.pop_back();
+    if (degree[v] != 1) continue;  // re-queued stale entry or already pruned
+    for (EdgeId e : incident[v]) {
+      if (!edges.erase(e)) continue;  // edge already pruned from the far side
+      const Edge& ed = g.edge(e);
+      const NodeId other = ed.u == v ? ed.v : ed.u;
+      --degree[v];
+      if (--degree[other] == 1 && !is_terminal(terminals, other))
+        work.push_back(other);
+      break;  // degree was 1: exactly one live incident edge existed
     }
   }
 }
-
-}  // namespace
 
 SteinerTree kmb_steiner_tree(const Graph& g,
                              std::span<const NodeId> terminals) {
@@ -217,10 +230,10 @@ SteinerTree klein_ravi_steiner(const Graph& g,
     double best_ratio = kInfCost;
     NodeId best_center = kInvalidNode;
     std::vector<NodeId> best_targets;  // one representative node per comp
-    std::vector<NodeId> best_parent;
 
     for (NodeId center = 0; center < g.node_count(); ++center) {
       auto [dist, par] = spider_paths(center);
+      (void)par;  // only the winning center's parents are needed (below)
       // Cheapest touch-point per component.
       std::map<NodeId, std::pair<double, NodeId>> comp_best;
       for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -251,7 +264,6 @@ SteinerTree klein_ravi_steiner(const Graph& g,
           best_targets.clear();
           for (std::size_t j = 0; j <= i; ++j)
             best_targets.push_back(legs[j].second);
-          best_parent = par;
         }
       }
     }
@@ -260,6 +272,12 @@ SteinerTree klein_ravi_steiner(const Graph& g,
       // Cannot merge further — terminals are disconnected.
       break;
     }
+
+    // Re-derive the winning spider's parent links with one extra Dijkstra
+    // (`selected` is unchanged since the argmin scan, so the run is
+    // identical) instead of copying the N-sized parent vector on every
+    // ratio improvement inside the O(centers × merges) loop.
+    const std::vector<NodeId> best_parent = spider_paths(best_center).second;
 
     // Apply the spider: select center and all path nodes; merge components.
     const NodeId merged = comp[best_targets[0]];
@@ -345,7 +363,11 @@ SteinerTree exact_node_weighted_steiner(const Graph& g,
         back.push_back(e);
       }
     }
-    const MstResult mst = prim_mst(sub, 0);
+    // Root Prim at terminals[0]'s remapped id: rooting at remapped id 0
+    // (the lowest active id) spans the wrong component — and silently
+    // rejects a feasible candidate — whenever the mask activates an
+    // optional node below terminals[0] that is disconnected from them.
+    const MstResult mst = prim_mst(sub, remap.at(terminals[0]));
     std::set<EdgeId> edges;
     for (EdgeId se : mst.edges) edges.insert(back[se]);
     prune_leaves(g, terminals, edges);

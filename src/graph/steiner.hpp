@@ -13,6 +13,8 @@
 //                            for the *node-weighted* Steiner tree.
 #pragma once
 
+#include <set>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -46,5 +48,12 @@ SteinerTree klein_ravi_steiner(const Graph& g,
 /// optional nodes). Used as a test oracle for the approximations.
 SteinerTree exact_node_weighted_steiner(const Graph& g,
                                         std::span<const NodeId> terminals);
+
+/// Remove non-terminal leaves from `edges` until none remain (the final
+/// KMB cleanup step). The fixed point is unique whatever the removal
+/// order. Exposed for tests pinning the worklist implementation against
+/// the reference sweep.
+void prune_leaves(const Graph& g, std::span<const NodeId> terminals,
+                  std::set<EdgeId>& edges);
 
 }  // namespace eend::graph

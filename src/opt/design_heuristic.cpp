@@ -6,6 +6,7 @@
 #include "opt/annealing.hpp"
 #include "opt/local_search.hpp"
 #include "opt/portfolio.hpp"
+#include "presolve/presolve.hpp"
 #include "util/check.hpp"
 
 namespace eend::opt {
@@ -88,10 +89,12 @@ CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
 namespace {
 
 /// The shared Klein-Ravi seed: the caller-provided tree when present,
-/// otherwise solved fresh.
+/// otherwise solved fresh — on the dead-end-masked twin when presolve ran
+/// (bit-identical to the full instance; see presolve/presolve.hpp).
 graph::SteinerTree klein_ravi_tree(const core::NetworkDesignProblem& p,
                                    const HeuristicOptions& o) {
-  return o.klein_ravi_tree ? *o.klein_ravi_tree : p.solve_node_weighted();
+  if (o.klein_ravi_tree) return *o.klein_ravi_tree;
+  return (o.presolve ? o.presolve->node_reduced : p).solve_node_weighted();
 }
 
 /// The objective a heuristic scores under: plain Eq. 5 for the base
@@ -136,7 +139,9 @@ class MpcHeuristic final : public DesignHeuristic {
   CandidateDesign run(const core::NetworkDesignProblem& p,
                       const HeuristicOptions& o,
                       std::uint64_t) const override {
-    return design_from_tree(p, p.solve_mpc_reduction(), o.eval);
+    return design_from_tree(
+        p, (o.presolve ? o.presolve->node_reduced : p).solve_mpc_reduction(),
+        o.eval);
   }
 };
 
@@ -149,7 +154,9 @@ class KmbHeuristic final : public DesignHeuristic {
   CandidateDesign run(const core::NetworkDesignProblem& p,
                       const HeuristicOptions& o,
                       std::uint64_t) const override {
-    return design_from_tree(p, p.solve_edge_weighted(), o.eval);
+    return design_from_tree(
+        p, (o.presolve ? o.presolve->edge_reduced : p).solve_edge_weighted(),
+        o.eval);
   }
 };
 
@@ -214,6 +221,7 @@ class PortfolioHeuristic final : public DesignHeuristic {
     po.anneal.iterations = o.anneal_iterations;
     po.seed = seed;
     po.klein_ravi_tree = o.klein_ravi_tree;
+    po.presolve = o.presolve;
     return design_portfolio(p, po).best;
   }
 

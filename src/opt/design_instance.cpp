@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/scenario.hpp"
+#include "presolve/presolve.hpp"
 #include "util/rng.hpp"
 
 namespace eend::opt {
@@ -22,10 +23,14 @@ DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
     EEND_REQUIRE_MSG(w > 0.0 && std::isfinite(w),
                      "demand weights must be positive and finite, got " << w);
 
+  EEND_REQUIRE_MSG(spec.field_scale > 0.0 && std::isfinite(spec.field_scale),
+                   "field scale must be positive and finite, got "
+                       << spec.field_scale);
   const double side =
       spec.field_side > 0.0
           ? spec.field_side
-          : 1300.0 * std::sqrt(static_cast<double>(spec.node_count) / 200.0);
+          : spec.field_scale * 1300.0 *
+                std::sqrt(static_cast<double>(spec.node_count) / 200.0);
 
   // Reuse the simulator's deterministic placement (retried with salted
   // seeds until connected at max power), so every instance is routable.
@@ -37,7 +42,7 @@ DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
   sc.flow_count = 0;  // flows are irrelevant; demands are sampled below
 
   DesignInstance out{
-      core::NetworkDesignProblem(graph::Graph{}), {}, side};
+      core::NetworkDesignProblem(graph::Graph{}), {}, side, nullptr};
   out.positions = net::place_nodes(sc);
   out.problem =
       core::NetworkDesignProblem::from_positions(out.positions, spec.card);
@@ -57,6 +62,9 @@ DesignInstance make_design_instance(const DesignInstanceSpec& spec) {
             : spec.demand_weights[j % spec.demand_weights.size()];
     out.problem.add_demand({s, d, spec.demand_rate * weight});
   }
+  if (spec.presolve)
+    out.presolve = std::make_shared<const presolve::PresolveResult>(
+        presolve::presolve_design(out.problem));
   return out;
 }
 

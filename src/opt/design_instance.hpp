@@ -12,11 +12,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/design_problem.hpp"
 #include "energy/radio_card.hpp"
 #include "phy/position.hpp"
+
+namespace eend::presolve {
+struct PresolveResult;
+}
 
 namespace eend::opt {
 
@@ -34,6 +39,14 @@ struct DesignInstanceSpec {
   energy::RadioCard card;      ///< defaults to Cabletron
   /// Field side in meters; 0 = the §5.2.2 density law (1300·sqrt(N/200)).
   double field_side = 0.0;
+  /// Multiplier on the density-law side when field_side == 0. Values > 1
+  /// make instances sparser at every node count — the regime where the
+  /// presolve reductions (dead ends, long edges, chains) actually fire.
+  double field_scale = 1.0;
+  /// Run presolve::presolve_design on the built problem: heuristics then
+  /// search the reduced twins (bit-identical results, less work) and every
+  /// design row carries a certified lower bound / gap.
+  bool presolve = false;
 
   DesignInstanceSpec();
 };
@@ -42,6 +55,9 @@ struct DesignInstance {
   core::NetworkDesignProblem problem;
   std::vector<phy::Position> positions;
   double field_side = 0.0;
+  /// Non-null iff the spec asked for presolve (shared so cells can copy
+  /// instances cheaply; the result is immutable after construction).
+  std::shared_ptr<const presolve::PresolveResult> presolve;
 };
 
 /// Deterministic in every spec field. Throws CheckError on degenerate specs

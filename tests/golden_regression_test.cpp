@@ -45,9 +45,7 @@ struct EngineOutput {
   std::string csv;
 };
 
-EngineOutput run_quick(const std::string& manifest_file, std::size_t jobs) {
-  const Manifest m =
-      Manifest::load(std::string(EEND_MANIFEST_DIR) + "/" + manifest_file);
+EngineOutput run_quick_manifest(const Manifest& m, std::size_t jobs) {
   std::ostringstream jsonl, csv;
   EngineOptions opts;
   opts.jobs = jobs;
@@ -59,6 +57,12 @@ EngineOutput run_quick(const std::string& manifest_file, std::size_t jobs) {
   engine.add_sink(csv_sink);
   engine.run(m);
   return {jsonl.str(), csv.str()};
+}
+
+EngineOutput run_quick(const std::string& manifest_file, std::size_t jobs) {
+  return run_quick_manifest(
+      Manifest::load(std::string(EEND_MANIFEST_DIR) + "/" + manifest_file),
+      jobs);
 }
 
 std::vector<std::string> split_lines(const std::string& text) {
@@ -243,6 +247,38 @@ TEST(GoldenRegression, ReplayLifetimeOutlivesUnconstrainedPortfolio) {
   }
   EXPECT_TRUE(strictly_later_somewhere)
       << "portfolio_lifetime never outlived the unconstrained portfolio";
+}
+
+// Presolve family: design search with reductions enabled plus the
+// certified-bound columns (lb, certified_gap_pct, reduced counts). Pins the
+// presolve/ subsystem end-to-end through the manifest engine.
+TEST(GoldenRegression, DesignPresolve) {
+  check_against_golden("design_presolve_quick", "design_presolve.json");
+}
+
+// Presolve soundness at the engine level: flipping `presolve` on must not
+// change a single byte of the existing design/replay golden families' output
+// — the reduced twins replay the searches exactly (the certified-bound
+// columns only appear when a manifest *requests* those metrics).
+TEST(GoldenRegression, PresolveFlipKeepsDesignOutputsByteIdentical) {
+  for (const char* file : {"design_portfolio.json", "design_replay.json"}) {
+    Manifest m =
+        Manifest::load(std::string(EEND_MANIFEST_DIR) + "/" + file);
+    const EngineOutput plain = run_quick_manifest(m, 1);
+    for (auto& e : m.experiments) e.presolve = true;
+    const EngineOutput reduced = run_quick_manifest(m, 1);
+    EXPECT_EQ(plain.jsonl, reduced.jsonl) << file;
+    EXPECT_EQ(plain.csv, reduced.csv) << file;
+    ASSERT_FALSE(plain.jsonl.empty());
+  }
+}
+
+TEST(GoldenRegression, PresolveKindByteIdenticalAcrossJobs) {
+  const EngineOutput serial = run_quick("design_presolve.json", 1);
+  const EngineOutput parallel = run_quick("design_presolve.json", 8);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_FALSE(serial.jsonl.empty());
 }
 
 // Determinism contract: the machine-readable streams must be byte-identical

@@ -662,5 +662,100 @@ TEST(Engine, MoptExperimentStreamsDeterministicRows) {
   EXPECT_EQ(count, 4u);
 }
 
+// ------------------------------------------------------------- presolve ---
+
+TEST(Manifest, PresolveKeyParsesOnDesignAndReplay) {
+  const auto m = Manifest::parse(R"({
+    "name": "p",
+    "experiments": [
+      {"id": "d", "kind": "design", "node_counts": [50],
+       "heuristics": ["klein_ravi"], "presolve": true,
+       "metrics": ["eq5_total", "lb", "certified_gap_pct",
+                   "reduced_nodes", "reduced_edges"]},
+      {"id": "r", "kind": "replay", "node_counts": [50],
+       "heuristics": ["klein_ravi"], "presolve": true},
+      {"id": "off", "kind": "design", "node_counts": [50],
+       "heuristics": ["klein_ravi"]}
+    ]
+  })");
+  ASSERT_EQ(m.experiments.size(), 3u);
+  EXPECT_TRUE(m.experiments[0].presolve);
+  EXPECT_TRUE(m.experiments[1].presolve);
+  EXPECT_FALSE(m.experiments[2].presolve);  // defaults off
+  EXPECT_EQ(m.experiments[0].metrics.size(), 5u);
+}
+
+TEST(Manifest, PresolveKeyRejectsBadInputsActionably) {
+  // Must be a boolean, not a truthy number.
+  expect_rejected(
+      [] {
+        Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+          "kind":"design","node_counts":[50],
+          "heuristics":["klein_ravi"],"presolve":1}]})");
+      },
+      "presolve must be a boolean");
+  // Only meaningful where instances are searched.
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("presolve", "true")); },
+      "only valid for kinds \"design\" and \"replay\"");
+  // The certified-bound metrics need the pass that computes them.
+  for (const std::string metric :
+       {"lb", "certified_gap_pct", "reduced_nodes", "reduced_edges"})
+    expect_rejected(
+        [&] {
+          Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+            "kind":"design","node_counts":[50],
+            "heuristics":["klein_ravi"],
+            "metrics":[")" + metric + R"("]}]})");
+        },
+        "requires \"presolve\": true");
+}
+
+TEST(Manifest, FieldScaleParsesAndRejectsOutOfRange) {
+  const Manifest m = Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+    "kind":"design","node_counts":[50],
+    "heuristics":["klein_ravi"],"field_scale":2.0}]})");
+  EXPECT_DOUBLE_EQ(m.experiments[0].field_scale, 2.0);
+  // Defaults to the plain density law.
+  const Manifest d = Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+    "kind":"design","node_counts":[50],"heuristics":["klein_ravi"]}]})");
+  EXPECT_DOUBLE_EQ(d.experiments[0].field_scale, 1.0);
+
+  for (const std::string bad : {"0", "-1", "10.5"})
+    expect_rejected(
+        [&] {
+          Manifest::parse(R"({"name":"t","experiments":[{"id":"d",
+            "kind":"design","node_counts":[50],
+            "heuristics":["klein_ravi"],"field_scale":)" + bad + "}]}");
+        },
+        "field_scale must be in (0, 10]");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("field_scale", "2.0")); },
+      "only valid for kinds \"design\" and \"replay\"");
+}
+
+TEST(Manifest, PresolveKeySerializeRoundTripIsAFixedPoint) {
+  for (const std::string& text : std::vector<std::string>{
+           R"({"name":"s","experiments":[{"id":"ds","kind":"design",
+               "node_counts":[50],"heuristics":["klein_ravi"],
+               "presolve":true,
+               "metrics":["eq5_total","lb","certified_gap_pct"]}]})",
+           R"({"name":"r","experiments":[{"id":"rp","kind":"replay",
+               "node_counts":[50],"heuristics":["klein_ravi"],
+               "presolve":true,"stack":"dsr_active"}]})",
+       }) {
+    const Manifest m1 = Manifest::parse(text);
+    EXPECT_TRUE(m1.experiments[0].presolve);
+    const std::string canon = m1.serialize();
+    // The flag must survive the canonical form (always emitted for the
+    // design/replay kinds so the default is explicit).
+    EXPECT_NE(canon.find("\"presolve\""), std::string::npos);
+    const Manifest m2 = Manifest::parse(canon);
+    EXPECT_TRUE(m2.experiments[0].presolve);
+    EXPECT_EQ(canon, m2.serialize()) << "for manifest: " << text;
+    EXPECT_TRUE(m1.to_json() == m2.to_json()) << "for manifest: " << text;
+  }
+}
+
 }  // namespace
 }  // namespace eend::core

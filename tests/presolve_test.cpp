@@ -1,0 +1,482 @@
+// Unit + soundness tests for the presolve subsystem: per-reduction hand
+// graphs (dead ends, chains, long edges, terminal-free components,
+// degenerates), trace un-mapping, reduced-twin bit-identity for every
+// constructive solver, compact-optimum preservation against the exact
+// oracle, and the certified lower bound against an exhaustive design
+// oracle on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+#include "graph/steiner.hpp"
+#include "opt/design_heuristic.hpp"
+#include "opt/design_instance.hpp"
+#include "opt/portfolio.hpp"
+#include "presolve/presolve.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eend::presolve {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+core::NetworkDesignProblem problem_of(Graph g,
+                                      std::vector<graph::Demand> demands) {
+  core::NetworkDesignProblem p(std::move(g));
+  for (const auto& d : demands) p.add_demand(d);
+  return p;
+}
+
+/// Exhaustive design oracle: minimum Eq. 5 total over every active-node
+/// superset of the terminals. Exponential — tiny instances only.
+double oracle_min_total(const core::NetworkDesignProblem& p,
+                        const analytical::Eq5Params& eval) {
+  const std::vector<NodeId> terminals = p.terminals();
+  std::vector<NodeId> optional;
+  for (NodeId v = 0; v < p.graph().node_count(); ++v)
+    if (std::find(terminals.begin(), terminals.end(), v) == terminals.end())
+      optional.push_back(v);
+  EEND_REQUIRE(optional.size() <= 12);
+  double best = graph::kInfCost;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << optional.size());
+       ++mask) {
+    std::vector<NodeId> nodes(terminals.begin(), terminals.end());
+    for (std::size_t i = 0; i < optional.size(); ++i)
+      if (mask & (std::size_t{1} << i)) nodes.push_back(optional[i]);
+    const opt::CandidateDesign cand =
+        opt::evaluate_design(p, nodes, opt::DesignObjective(eval));
+    if (cand.feasible) best = std::min(best, cand.score.total());
+  }
+  return best;
+}
+
+// ------------------------------------------------------- hand instances ---
+
+TEST(Presolve, DeadEndChainsAreMaskedNotSearched) {
+  // Square 0-1-2-3 with a pendant tail 2-4-5; demand 0 -> 2.
+  Graph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.set_node_weight(v, 1.0 + v);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  g.add_edge(2, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  const auto pr = presolve_design(problem_of(g, {{0, 2, 1.0}}));
+
+  EXPECT_EQ(pr.trace.count(ReductionKind::kDeadEndNode), 2u);  // 5 then 4
+  // node_reduced keeps the original id space, minus the two tail edges.
+  EXPECT_EQ(pr.node_reduced.graph().node_count(), 6u);
+  EXPECT_EQ(pr.node_reduced.graph().edge_count(), 4u);
+  // compact additionally contracts the two parallel 0-x-2 chains.
+  EXPECT_EQ(pr.trace.count(ReductionKind::kChainContraction), 2u);
+  EXPECT_EQ(pr.compact.graph().node_count(), 4u);
+  EXPECT_EQ(pr.reduced_nodes, 2u);
+  // Two parallel routes: nothing is forced.
+  EXPECT_TRUE(pr.forced_nodes.empty());
+}
+
+TEST(Presolve, ChainContractionFoldsInteriorWeights) {
+  // Path 0-1-2-3, demand 0 -> 3: interior {1, 2} folds into one synthetic
+  // node carrying both weights, and that node is forced (articulation).
+  Graph g(4);
+  g.set_node_weight(0, 1.0);
+  g.set_node_weight(1, 2.0);
+  g.set_node_weight(2, 3.0);
+  g.set_node_weight(3, 1.0);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(2, 3, 3.5);
+  const auto pr = presolve_design(problem_of(g, {{0, 3, 2.0}}));
+
+  ASSERT_EQ(pr.compact.graph().node_count(), 3u);
+  ASSERT_EQ(pr.compact.graph().edge_count(), 2u);
+  const NodeId syn = pr.trace.compact_of[1];
+  EXPECT_EQ(pr.trace.compact_of[2], syn);
+  EXPECT_DOUBLE_EQ(pr.compact.graph().node_weight(syn), 5.0);
+  EXPECT_EQ(pr.trace.unmap_nodes(std::vector<NodeId>{syn}),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(pr.forced_nodes, (std::vector<NodeId>{1, 2}));
+
+  // Both bound terms are exact here: the idle bound is the forced interior
+  // weight, the routing bound the rate-weighted path length.
+  EXPECT_DOUBLE_EQ(pr.idle_lb_raw, 5.0);
+  EXPECT_DOUBLE_EQ(pr.data_lb_raw, 2.0 * (1.5 + 2.5 + 3.5));
+  analytical::Eq5Params eval;
+  eval.t_idle = 2.0;
+  eval.t_data_per_packet = 0.5;
+  EXPECT_DOUBLE_EQ(pr.lower_bound(eval),
+                   2.0 * 5.0 + 0.5 * 2.0 * 7.5);
+  // On a path instance the bound is tight: it equals the only design.
+  EXPECT_DOUBLE_EQ(pr.lower_bound(eval), oracle_min_total(pr.compact, eval));
+}
+
+TEST(Presolve, LongEdgeEliminatedOnlyFromEdgeReducedView) {
+  // Terminal triangle: the heavy 0-2 edge is strictly beaten by the
+  // 0-1-2 witness through a terminal interior.
+  Graph g(3);
+  for (NodeId v = 0; v < 3; ++v) g.set_node_weight(v, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const EdgeId heavy = g.add_edge(0, 2, 3.0);
+  const auto pr =
+      presolve_design(problem_of(g, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}}));
+
+  EXPECT_EQ(pr.trace.count(ReductionKind::kLongEdge), 1u);
+  EXPECT_EQ(pr.edge_reduced.graph().edge_count(), 2u);
+  bool recorded = false;
+  for (const ReductionStep& s : pr.trace.steps)
+    if (s.kind == ReductionKind::kLongEdge) recorded = (s.edge == heavy);
+  EXPECT_TRUE(recorded);
+  // The node-weighted views keep the edge: the elimination argument is
+  // edge-weighted only.
+  EXPECT_EQ(pr.node_reduced.graph().edge_count(), 3u);
+  EXPECT_EQ(pr.compact.graph().edge_count(), 3u);
+  // Distances must survive the elimination exactly.
+  const auto before = graph::dijkstra(g, 0);
+  const auto after = graph::dijkstra(pr.edge_reduced.graph(), 0);
+  for (NodeId v = 0; v < 3; ++v)
+    EXPECT_EQ(before.distance[v], after.distance[v]);
+}
+
+TEST(Presolve, EqualWitnessDoesNotEliminate) {
+  // Witness equal to the edge weight must NOT fire (strict test with
+  // margin): removing it could change tie-broken search results.
+  Graph g(3);
+  for (NodeId v = 0; v < 3; ++v) g.set_node_weight(v, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 2.0);
+  const auto pr =
+      presolve_design(problem_of(g, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}}));
+  EXPECT_EQ(pr.trace.count(ReductionKind::kLongEdge), 0u);
+  EXPECT_EQ(pr.edge_reduced.graph().edge_count(), 3u);
+}
+
+TEST(Presolve, TerminalFreeComponentDroppedFromCompact) {
+  // Demand square plus a disjoint non-terminal triangle (cycle, so dead-end
+  // elimination cannot touch it).
+  Graph g(7);
+  for (NodeId v = 0; v < 7; ++v) g.set_node_weight(v, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 6, 1.0);
+  g.add_edge(6, 4, 1.0);
+  const auto pr = presolve_design(problem_of(g, {{0, 2, 1.0}}));
+  EXPECT_EQ(pr.trace.count(ReductionKind::kTerminalFreeComponent), 3u);
+  EXPECT_EQ(pr.compact.graph().node_count(), 4u);  // 0, 2 + two chain nodes
+  EXPECT_EQ(pr.trace.compact_of[4], graph::kInvalidNode);
+  // node_reduced masks edges only, so the triangle still exists there —
+  // harmless: no solver ever reaches it from the terminals.
+  EXPECT_EQ(pr.node_reduced.graph().edge_count(), 7u);
+}
+
+TEST(Presolve, NoOpInstanceIsUntouched) {
+  // Complete terminal square with uniform weights: nothing is reducible.
+  Graph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.set_node_weight(v, 1.0);
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v, 1.0);
+  const auto pr = presolve_design(
+      problem_of(g, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}}));
+  EXPECT_TRUE(pr.trace.steps.empty());
+  EXPECT_EQ(pr.reduced_nodes, 0u);
+  EXPECT_EQ(pr.reduced_edges, 0u);
+  EXPECT_EQ(pr.compact.graph().node_count(), 4u);
+  EXPECT_EQ(pr.compact.graph().edge_count(), 6u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(pr.trace.compact_of[v], v);
+}
+
+TEST(Presolve, FullyReducibleInstanceCollapsesToTerminals) {
+  // Direct demand edge plus a pendant tree: everything else vanishes.
+  Graph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.set_node_weight(v, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);  // pendant fan off the source
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(2, 4, 1.0);
+  g.add_edge(1, 5, 1.0);  // pendant leaf off the destination
+  const auto pr = presolve_design(problem_of(g, {{0, 1, 1.0}}));
+  EXPECT_EQ(pr.trace.count(ReductionKind::kDeadEndNode), 4u);
+  EXPECT_EQ(pr.compact.graph().node_count(), 2u);
+  EXPECT_EQ(pr.compact.graph().edge_count(), 1u);
+  EXPECT_EQ(pr.reduced_nodes, 4u);
+  EXPECT_EQ(pr.reduced_edges, 4u);
+  EXPECT_DOUBLE_EQ(pr.idle_lb_raw, 0.0);   // endpoints carry no idle bound
+  EXPECT_DOUBLE_EQ(pr.data_lb_raw, 1.0);
+}
+
+TEST(Presolve, PendantCycleInteriorIsDropped) {
+  // A cycle hanging off one anchor: the walk returns to its own anchor, so
+  // the interior can never help any connection and is dropped outright.
+  Graph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.set_node_weight(v, 1.0);
+  g.add_edge(0, 1, 1.0);  // demand edge
+  g.add_edge(0, 2, 1.0);  // cycle 0-2-3-4-0
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 0, 1.0);
+  const auto pr = presolve_design(problem_of(g, {{0, 1, 1.0}}));
+  EXPECT_EQ(pr.trace.count(ReductionKind::kChainContraction), 3u);
+  EXPECT_EQ(pr.compact.graph().node_count(), 2u);
+  EXPECT_EQ(pr.compact.graph().edge_count(), 1u);
+}
+
+TEST(Presolve, ForcedNodeAtTerminalSeparatingArticulation) {
+  // Two triangles sharing the cut node 2: every 0 -> 1 route crosses it.
+  Graph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.set_node_weight(v, 1.0 + v);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 4, 1.0);
+  g.add_edge(4, 1, 1.0);
+  g.add_edge(2, 1, 1.0);
+  const auto pr = presolve_design(problem_of(g, {{0, 1, 1.0}}));
+  EXPECT_EQ(pr.forced_nodes, (std::vector<NodeId>{2}));
+  // The forced weight enters the idle bound on top of the dual ascent.
+  EXPECT_GE(pr.idle_lb_raw, g.node_weight(2));
+}
+
+TEST(Presolve, RequiresStrictlyPositiveWeightsAndDemands) {
+  Graph ok(2);
+  ok.set_node_weight(0, 1.0);
+  ok.set_node_weight(1, 1.0);
+  ok.add_edge(0, 1, 1.0);
+  EXPECT_THROW(presolve_design(problem_of(ok, {})), CheckError);
+
+  Graph zero_node = ok;
+  zero_node.set_node_weight(1, 0.0);
+  EXPECT_THROW(presolve_design(problem_of(zero_node, {{0, 1, 1.0}})),
+               CheckError);
+
+  Graph zero_edge(2);
+  zero_edge.set_node_weight(0, 1.0);
+  zero_edge.set_node_weight(1, 1.0);
+  zero_edge.add_edge(0, 1, 0.0);
+  EXPECT_THROW(presolve_design(problem_of(zero_edge, {{0, 1, 1.0}})),
+               CheckError);
+}
+
+// ---------------------------------------------- randomized invariance ---
+
+/// Random reducible instance: a ring core with chords, pendant chains
+/// hanging off it, one deliberately heavy chord between terminals (long-
+/// edge fodder) and a disjoint non-terminal triangle.
+core::NetworkDesignProblem random_reducible_problem(Rng& rng,
+                                                    std::size_t core_n) {
+  Graph g;
+  for (std::size_t v = 0; v < core_n; ++v)
+    g.add_node(rng.uniform(0.5, 3.0));
+  for (NodeId v = 0; v < core_n; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % core_n),
+               rng.uniform(1.0, 2.0));
+  for (int c = 0; c < 4; ++c) {
+    const auto a = static_cast<NodeId>(rng.next_below(core_n));
+    const auto b = static_cast<NodeId>(rng.next_below(core_n));
+    if (a != b) g.add_edge(a, b, rng.uniform(1.0, 2.0));
+  }
+  // Heavy terminal-terminal chord, strictly beaten by the ring arc.
+  g.add_edge(0, 1, 50.0);
+  // Pendant chains.
+  for (int chain = 0; chain < 3; ++chain) {
+    NodeId at = static_cast<NodeId>(rng.next_below(core_n));
+    const std::size_t len = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < len; ++i) {
+      const NodeId leaf = g.add_node(rng.uniform(0.5, 3.0));
+      g.add_edge(at, leaf, rng.uniform(1.0, 2.0));
+      at = leaf;
+    }
+  }
+  // Disjoint non-terminal triangle.
+  const NodeId t0 = g.add_node(1.0), t1 = g.add_node(1.0),
+               t2 = g.add_node(1.0);
+  g.add_edge(t0, t1, 1.0);
+  g.add_edge(t1, t2, 1.0);
+  g.add_edge(t2, t0, 1.0);
+
+  return problem_of(std::move(g),
+                    {{0, 1, 1.0},
+                     {static_cast<NodeId>(2), static_cast<NodeId>(core_n / 2),
+                      rng.uniform(0.5, 2.0)}});
+}
+
+void expect_same_tree(const graph::SteinerTree& a, const graph::SteinerTree& b,
+                      const char* what, int trial) {
+  EXPECT_EQ(a.feasible, b.feasible) << what << " trial " << trial;
+  EXPECT_EQ(a.nodes, b.nodes) << what << " trial " << trial;
+  // Bit-identical, not merely close: the twins must replay the exact same
+  // arithmetic.
+  EXPECT_EQ(a.node_cost, b.node_cost) << what << " trial " << trial;
+  EXPECT_EQ(a.edge_cost, b.edge_cost) << what << " trial " << trial;
+}
+
+TEST(Presolve, ReducedTwinsAreBitIdenticalForEverySolver) {
+  Rng rng(777);
+  std::size_t total_dead_ends = 0, total_long_edges = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto p = random_reducible_problem(rng, 10);
+    const auto pr = presolve_design(p);
+    total_dead_ends += pr.trace.count(ReductionKind::kDeadEndNode);
+    total_long_edges += pr.trace.count(ReductionKind::kLongEdge);
+
+    expect_same_tree(p.solve_node_weighted(),
+                     pr.node_reduced.solve_node_weighted(), "klein_ravi",
+                     trial);
+    expect_same_tree(p.solve_mpc_reduction(),
+                     pr.node_reduced.solve_mpc_reduction(), "mpc", trial);
+    expect_same_tree(p.solve_edge_weighted(),
+                     pr.edge_reduced.solve_edge_weighted(), "kmb", trial);
+
+    // Shortest-path distances survive the edge-reduced view exactly.
+    for (const graph::Demand& d : p.demands()) {
+      const auto full = graph::dijkstra(p.graph(), d.source);
+      const auto reduced =
+          graph::dijkstra(pr.edge_reduced.graph(), d.source);
+      EXPECT_EQ(full.distance[d.destination],
+                reduced.distance[d.destination])
+          << "trial " << trial;
+    }
+  }
+  // The family must actually exercise the reductions, or the equalities
+  // above are vacuous.
+  EXPECT_GT(total_dead_ends, 0u);
+  EXPECT_GT(total_long_edges, 0u);
+}
+
+TEST(Presolve, PortfolioSearchIsBitIdenticalWithPresolve) {
+  // End-to-end over the GRASP portfolio: reduced constructive seeds (and
+  // the random_klein_ravi jitter stream on node_reduced) must reproduce
+  // the unreduced search byte for byte.
+  Rng rng(31337);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto p = random_reducible_problem(rng, 10);
+    const auto pr = presolve_design(p);
+
+    opt::PortfolioOptions po;
+    po.starts = 6;  // covers klein_ravi, mpc, kmb + both random kinds
+    po.anneal.iterations = 40;
+    po.seed = 17 + trial;
+    const auto plain = opt::design_portfolio(p, po);
+    po.presolve = &pr;
+    const auto reduced = opt::design_portfolio(p, po);
+
+    EXPECT_EQ(plain.best_start, reduced.best_start) << "trial " << trial;
+    EXPECT_EQ(plain.best.nodes, reduced.best.nodes) << "trial " << trial;
+    EXPECT_EQ(plain.best.score.total(), reduced.best.score.total())
+        << "trial " << trial;
+    ASSERT_EQ(plain.starts.size(), reduced.starts.size());
+    for (std::size_t i = 0; i < plain.starts.size(); ++i) {
+      EXPECT_EQ(plain.starts[i].seed_kind, reduced.starts[i].seed_kind);
+      EXPECT_EQ(plain.starts[i].seeded.nodes, reduced.starts[i].seeded.nodes)
+          << "start " << i << " trial " << trial;
+      EXPECT_EQ(plain.starts[i].improved.nodes,
+                reduced.starts[i].improved.nodes)
+          << "start " << i << " trial " << trial;
+    }
+  }
+}
+
+// --------------------------------------------------- certified bounds ---
+
+TEST(Presolve, CompactOptimumEqualsOriginalOptimum) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto p = random_reducible_problem(rng, 8);
+    const auto pr = presolve_design(p);
+    const auto exact_full =
+        graph::exact_node_weighted_steiner(p.graph(), p.terminals());
+    const auto exact_compact = graph::exact_node_weighted_steiner(
+        pr.compact.graph(), pr.compact.terminals());
+    ASSERT_EQ(exact_full.feasible, exact_compact.feasible)
+        << "trial " << trial;
+    if (!exact_full.feasible) continue;
+    // Chain contraction re-associates weight sums; allow float slack only.
+    EXPECT_NEAR(exact_compact.node_cost, exact_full.node_cost,
+                1e-9 * (1.0 + exact_full.node_cost))
+        << "trial " << trial;
+    // Un-mapping the compact optimum lands on original ids.
+    for (const NodeId v :
+         pr.trace.unmap_nodes(std::vector<NodeId>(
+             exact_compact.nodes.begin(), exact_compact.nodes.end())))
+      EXPECT_LT(v, p.graph().node_count());
+  }
+}
+
+TEST(Presolve, LowerBoundNeverExceedsExhaustiveOracle) {
+  analytical::Eq5Params plain;
+  analytical::Eq5Params endpoint_idle;
+  endpoint_idle.t_idle = 3.0;
+  endpoint_idle.t_data_per_packet = 0.25;
+  endpoint_idle.include_endpoint_idle = true;
+
+  Rng rng(9001);
+  int checked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    // <= 10 nodes total so the exhaustive oracle stays instant.
+    const std::size_t core_n = 5 + rng.next_below(3);
+    Graph g;
+    for (std::size_t v = 0; v < core_n; ++v)
+      g.add_node(rng.uniform(0.5, 4.0));
+    for (NodeId v = 0; v < core_n; ++v)
+      g.add_edge(v, static_cast<NodeId>((v + 1) % core_n),
+                 rng.uniform(0.5, 3.0));
+    for (int c = 0; c < 3; ++c) {
+      const auto a = static_cast<NodeId>(rng.next_below(core_n));
+      const auto b = static_cast<NodeId>(rng.next_below(core_n));
+      if (a != b) g.add_edge(a, b, rng.uniform(0.5, 3.0));
+    }
+    const NodeId leaf = g.add_node(rng.uniform(0.5, 4.0));
+    g.add_edge(static_cast<NodeId>(rng.next_below(core_n)), leaf, 1.0);
+
+    const auto p = problem_of(
+        std::move(g),
+        {{0, static_cast<NodeId>(core_n / 2), 1.0},
+         {1, static_cast<NodeId>(core_n - 1), rng.uniform(0.5, 2.0)}});
+    if (p.terminals().size() < 3) continue;
+    const auto pr = presolve_design(p);
+
+    for (const auto& eval : {plain, endpoint_idle}) {
+      const double opt = oracle_min_total(p, eval);
+      ASSERT_LT(opt, graph::kInfCost);
+      EXPECT_LE(pr.lower_bound(eval), opt * (1.0 + 1e-9))
+          << "trial " << trial;
+      EXPECT_GT(pr.lower_bound(eval), 0.0);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 16);
+}
+
+TEST(Presolve, InstanceSpecPresolveFlagPopulatesTheInstance) {
+  opt::DesignInstanceSpec spec;
+  spec.node_count = 60;
+  spec.demand_count = 4;
+  spec.seed = 5;
+  const auto plain = opt::make_design_instance(spec);
+  EXPECT_EQ(plain.presolve, nullptr);
+
+  spec.presolve = true;
+  const auto reduced = opt::make_design_instance(spec);
+  ASSERT_NE(reduced.presolve, nullptr);
+  EXPECT_GT(reduced.presolve->lower_bound(analytical::Eq5Params{}), 0.0);
+  // The reduced twins share the instance's id space and demand list.
+  EXPECT_EQ(reduced.presolve->node_reduced.graph().node_count(),
+            reduced.problem.graph().node_count());
+  EXPECT_EQ(reduced.presolve->node_reduced.demands().size(),
+            reduced.problem.demands().size());
+  // compact_of covers every node.
+  EXPECT_EQ(reduced.presolve->trace.compact_of.size(),
+            reduced.problem.graph().node_count());
+}
+
+}  // namespace
+}  // namespace eend::presolve

@@ -2,11 +2,42 @@
 // node-weighted) against hand-built instances and the exact oracle.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "graph/steiner.hpp"
 #include "util/rng.hpp"
 
 namespace eend::graph {
 namespace {
+
+/// Reference leaf pruning: the original fixed-point sweep that rebuilds the
+/// full incident map per pass. Kept here verbatim as the oracle for the
+/// worklist implementation in steiner.cpp — same unique fixed point, O(E²)
+/// instead of O(E).
+void prune_leaves_reference(const Graph& g,
+                            std::span<const NodeId> terminals,
+                            std::set<EdgeId>& edges) {
+  const auto is_term = [&](NodeId v) {
+    return std::find(terminals.begin(), terminals.end(), v) !=
+           terminals.end();
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<NodeId, std::vector<EdgeId>> incident;
+    for (EdgeId e : edges) {
+      incident[g.edge(e).u].push_back(e);
+      incident[g.edge(e).v].push_back(e);
+    }
+    for (const auto& [v, inc] : incident) {
+      if (inc.size() == 1 && !is_term(v)) {
+        edges.erase(inc[0]);
+        changed = true;
+      }
+    }
+  }
+}
 
 TEST(Kmb, TwoTerminalsIsShortestPath) {
   Graph g(4);
@@ -164,6 +195,67 @@ TEST(Kmb, TreeHasNoNonTerminalLeaves) {
       }
     }
   }
+}
+
+TEST(PruneLeaves, MatchesReferenceSweepBitIdentically) {
+  // Randomized trees-with-hair plus general subgraphs: the worklist
+  // implementation must reach exactly the reference fixed point (satellite
+  // of the O(E²)-per-sweep fix).
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 20;
+    Graph g(n);
+    // Random spanning-tree-ish skeleton + chords, then a random subset of
+    // edges as the working set (the shape KMB hands prune_leaves).
+    for (NodeId v = 1; v < n; ++v)
+      g.add_edge(v, static_cast<NodeId>(rng.next_below(v)),
+                 rng.uniform(1.0, 4.0));
+    for (int c = 0; c < 10; ++c) {
+      const auto a = static_cast<NodeId>(rng.next_below(n));
+      const auto b = static_cast<NodeId>(rng.next_below(n));
+      if (a != b) g.add_edge(a, b, rng.uniform(1.0, 4.0));
+    }
+    std::set<EdgeId> subset;
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+      if (rng.next_below(4) != 0) subset.insert(e);
+    const std::vector<NodeId> terms{0, static_cast<NodeId>(n / 2)};
+
+    std::set<EdgeId> got = subset, want = subset;
+    prune_leaves(g, terms, got);
+    prune_leaves_reference(g, terms, want);
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(PruneLeaves, DeepChainPrunesToEmpty) {
+  // A bare path with only one terminal endpoint collapses entirely; the
+  // worklist must chase the retreating leaf the whole way down.
+  const std::size_t n = 64;
+  Graph g(n);
+  std::set<EdgeId> edges;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.insert(g.add_edge(v, v + 1, 1.0));
+  const std::vector<NodeId> terms{0};
+  prune_leaves(g, terms, edges);
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(ExactOracle, IsolatedCheapOptionalNodeBelowFirstTerminal) {
+  // Regression for the prim_mst(sub, 0) rooting bug: node 0 is a cheap
+  // optional node disconnected from the terminals {1, 2}. Any mask that
+  // activates it makes it the lowest remapped id; rooting the MST there
+  // spanned the wrong component and silently rejected the candidate. The
+  // optimum (bridge relay 3) must come back feasible and junk-free.
+  Graph g(4);
+  g.set_node_weight(0, 0.01);
+  g.set_node_weight(3, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(3, 2, 1.0);
+  const std::vector<NodeId> terms{1, 2};
+  const auto t = exact_node_weighted_steiner(g, terms);
+  ASSERT_TRUE(t.feasible);
+  EXPECT_DOUBLE_EQ(t.node_cost, 1.0);
+  EXPECT_EQ(t.nodes, (std::vector<NodeId>{1, 2, 3}));
 }
 
 }  // namespace
