@@ -28,6 +28,10 @@ sanitizer_gate() {
   echo "== [$kind] eend_run --quick --jobs=8 smoke =="
   "$dir/tools/eend_run" --manifest examples/manifests/small_field.json \
     --quick --quiet --jobs=8 > /dev/null
+  # The churn kind runs the warm-start serving loop with portfolio fan-out
+  # inside each cell — the racy-by-construction path TSan must clear.
+  "$dir/tools/eend_run" --manifest examples/manifests/design_churn.json \
+    --quick --quiet --jobs=8 > /dev/null
   echo "== [$kind] gate passed =="
 }
 
@@ -109,6 +113,30 @@ cmp /tmp/eend_dr_j1.out /tmp/eend_dr_j8.out
 cmp /tmp/eend_dr_j1.csv /tmp/eend_dr_j8.csv
 cmp /tmp/eend_dr_j1.jsonl /tmp/eend_dr_j8.jsonl
 echo "OK: replay kind byte-identical for jobs=1 and jobs=8"
+
+echo "== design churn: warm-start serving-loop bench (JSON artifact) =="
+# Self-asserting floors: the warm repair must beat the from-scratch
+# portfolio by >= 3x summed over perturbed epochs (measured 4-8x in
+# --quick mode), stay within 5% of its score at every epoch, and presolve
+# on/off must produce identical designs (asserted inside the bench).
+./build/bench/bench_design_churn --quick --quiet \
+  --assert-min-warm-speedup=3.0 --assert-max-gap-pct=5.0 \
+  --json=BENCH_design_churn.json > /dev/null
+test -s BENCH_design_churn.json
+echo "OK: wrote BENCH_design_churn.json (warm speedup/gap floors held)"
+
+echo "== design churn: quick design_churn cell, jobs=1 vs jobs=8 =="
+./build/tools/eend_run --manifest examples/manifests/design_churn.json \
+  --list | grep -q "churn_serving  \[churn\]"
+for j in 1 8; do
+  ./build/tools/eend_run --manifest examples/manifests/design_churn.json \
+    --quick --quiet --csv="/tmp/eend_dc_j$j.csv" \
+    --jsonl="/tmp/eend_dc_j$j.jsonl" --jobs="$j" > "/tmp/eend_dc_j$j.out"
+done
+cmp /tmp/eend_dc_j1.out /tmp/eend_dc_j8.out
+cmp /tmp/eend_dc_j1.csv /tmp/eend_dc_j8.csv
+cmp /tmp/eend_dc_j1.jsonl /tmp/eend_dc_j8.jsonl
+echo "OK: churn kind byte-identical for jobs=1 and jobs=8"
 
 echo "== event core: ladder-queue vs baseline-heap bench (JSON artifact) =="
 # Self-asserting floors: conservative bounds (measured ~4.8x / ~59M ops/s

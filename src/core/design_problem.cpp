@@ -111,6 +111,65 @@ NetworkDesignProblem::try_route_in_subgraph(
   return routes;
 }
 
+std::optional<std::vector<analytical::RoutedDemand>>
+NetworkDesignProblem::try_route_in_subgraph_cached(
+    const std::vector<graph::NodeId>& allowed_nodes,
+    const std::vector<graph::NodeId>& cached_allowed,
+    const std::vector<analytical::RoutedDemand>& cached_routes,
+    std::size_t* failed_demand) const {
+  // Subset precondition: every node allowed now must have been allowed when
+  // the cache was built (an empty list means "all nodes"). Otherwise the
+  // cache could hide a newly-created shorter path — fall back to the full
+  // routine rather than risk a stale reuse.
+  const bool usable = [&] {
+    if (cached_routes.size() != demands_.size()) return false;
+    if (cached_allowed.empty()) return true;
+    if (allowed_nodes.empty()) return false;
+    std::vector<bool> in_cache(graph_.node_count(), false);
+    for (graph::NodeId v : cached_allowed) in_cache[v] = true;
+    for (graph::NodeId v : allowed_nodes)
+      if (!in_cache[v]) return false;
+    return true;
+  }();
+  if (!usable) return try_route_in_subgraph(allowed_nodes, failed_demand);
+
+  std::vector<bool> allowed(graph_.node_count(), allowed_nodes.empty());
+  for (graph::NodeId v : allowed_nodes) allowed[v] = true;
+  const auto node_cost = [&](graph::NodeId v) {
+    return allowed[v] ? 0.0 : graph::kInfCost;
+  };
+
+  std::vector<analytical::RoutedDemand> routes;
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    const auto& d = demands_[i];
+    if (!allowed[d.source] || !allowed[d.destination]) {
+      if (failed_demand) *failed_demand = i;
+      return std::nullopt;
+    }
+    const analytical::RoutedDemand& c = cached_routes[i];
+    const bool reuse =
+        c.demand.source == d.source &&
+        c.demand.destination == d.destination && !c.path.empty() &&
+        std::all_of(c.path.begin(), c.path.end(),
+                    [&](graph::NodeId v) { return bool(allowed[v]); });
+    analytical::RoutedDemand rd;
+    rd.demand = d;
+    rd.packets = d.rate;
+    if (reuse) {
+      rd.path = c.path;
+    } else {
+      const auto spt = graph::dijkstra(graph_, d.source, node_cost);
+      rd.path = spt.path_to(d.destination);
+      if (rd.path.empty()) {
+        if (failed_demand) *failed_demand = i;
+        return std::nullopt;
+      }
+    }
+    routes.push_back(std::move(rd));
+  }
+  return routes;
+}
+
 std::vector<analytical::RoutedDemand>
 NetworkDesignProblem::route_in_subgraph(
     const std::vector<graph::NodeId>& allowed_nodes) const {

@@ -46,6 +46,9 @@ class NetworkDesignProblem {
   graph::Graph& graph() { return graph_; }
 
   void add_demand(graph::Demand d) { demands_.push_back(d); }
+  /// Replace the whole demand set (the churn/ subsystem evolves demands
+  /// across epochs over a fixed node id space).
+  void set_demands(std::vector<graph::Demand> d) { demands_ = std::move(d); }
   const std::vector<graph::Demand>& demands() const { return demands_; }
 
   /// Terminals = all demand endpoints (deduplicated, sorted).
@@ -79,6 +82,27 @@ class NetworkDesignProblem {
   /// receives the index of the first unroutable demand.
   std::optional<std::vector<analytical::RoutedDemand>> try_route_in_subgraph(
       const std::vector<graph::NodeId>& allowed_nodes,
+      std::size_t* failed_demand = nullptr) const;
+
+  /// Cached twin of try_route_in_subgraph for incremental re-evaluation:
+  /// `cached_routes` must be the routes this problem produced for
+  /// `cached_allowed` (same graph, same demand endpoints; rates may have
+  /// changed — paths are rate-independent). When `allowed_nodes` is a
+  /// subset of `cached_allowed`, a cached path that avoids every removed
+  /// node is still a shortest path (removing options can only lengthen
+  /// paths) and is reused verbatim; only demands whose cached path touches
+  /// a removed node — or whose endpoints changed — re-run Dijkstra. Falls
+  /// back to the uncached routine whenever the subset precondition fails
+  /// (e.g. nodes were *added*, which can create shorter paths). Caveat:
+  /// bit-equality with the uncached twin additionally needs unique shortest
+  /// paths; exact float ties could re-break differently, but the random
+  /// geometric weights every instance family draws make ties measure-zero
+  /// (design_heuristic_test pins the equality on those families).
+  std::optional<std::vector<analytical::RoutedDemand>>
+  try_route_in_subgraph_cached(
+      const std::vector<graph::NodeId>& allowed_nodes,
+      const std::vector<graph::NodeId>& cached_allowed,
+      const std::vector<analytical::RoutedDemand>& cached_routes,
       std::size_t* failed_demand = nullptr) const;
 
  private:

@@ -7,13 +7,17 @@
 #include <chrono>
 
 #include "analytical/route_energy.hpp"
+#include "churn/trace.hpp"
 #include "core/experiment.hpp"
 #include "core/grid_study.hpp"
 #include "core/parallel_runner.hpp"
 #include "energy/radio_card.hpp"
 #include "opt/design_heuristic.hpp"
 #include "opt/design_instance.hpp"
+#include "opt/portfolio.hpp"
+#include "opt/warm_start.hpp"
 #include "presolve/presolve.hpp"
+#include "replay/realization.hpp"
 #include "replay/replay.hpp"
 #include "util/table.hpp"
 
@@ -172,6 +176,7 @@ void ExperimentEngine::run(const Experiment& e) {
     case ExperimentKind::Mopt: run_mopt(e); break;
     case ExperimentKind::Design: run_design(e); break;
     case ExperimentKind::Replay: run_replay(e); break;
+    case ExperimentKind::Churn: run_churn(e); break;
   }
   for (ResultSink* s : sinks_) s->end_experiment(e);
 }
@@ -596,6 +601,245 @@ void ExperimentEngine::run_replay(const Experiment& e) {
         mv.mean = st2.mean;
         mv.ci95 = st2.ci95_half_width;
         mv.n = st2.n;
+        return mv;
+      };
+      for (const MetricSpec& m : e.metrics)
+        row.metrics.push_back(metric_of(m.name));
+      emit(row);
+    }
+  }
+}
+
+void ExperimentEngine::run_churn(const Experiment& e) {
+  const std::vector<std::size_t>& nodes =
+      (opts_.quick && e.quick.node_counts) ? *e.quick.node_counts
+                                           : e.node_counts;
+  const std::size_t epochs =
+      (opts_.quick && e.quick.epochs) ? *e.quick.epochs : e.epochs;
+  const std::size_t runs = effective_runs(e);
+  const std::uint64_t base_seed = effective_seed(e);
+
+  replay::ReplaySettings settings;
+  if (e.replay_every > 0) {
+    settings.stack = net::stack_preset(e.replay_stack);
+    settings.duration_s = e.replay_duration_s;
+    if (opts_.quick)
+      settings.duration_s = std::min(settings.duration_s, kQuickDurationS);
+    settings.rate_pps = e.replay_rate_pps;
+  }
+
+  // (node count x trace) cells are independent; each cell plays its whole
+  // serving loop serially (epoch k+1 needs epoch k's design), so the fan
+  // is across cells. Pre-sized per-epoch slots + a single emission pass
+  // after the pool keep output bytes independent of --jobs.
+  struct Cell {
+    std::size_t n = 0;
+    std::size_t run = 0;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t n : nodes)
+    for (std::size_t run = 0; run < runs; ++run) cells.push_back({n, run});
+  const std::size_t inner_jobs = cells.size() > 1 ? 1 : opts_.jobs;
+
+  struct Sample {
+    double warm = 0.0, cold = 0.0, gap = 0.0, events = 0.0,
+           rerouted = 0.0, fellback = 0.0, active = 0.0, live = 0.0,
+           warm_wall = 0.0, cold_wall = 0.0, replay_gap = 0.0;
+  };
+  // samples[cell][epoch]
+  std::vector<std::vector<Sample>> samples(cells.size());
+
+  std::mutex io_m;
+  ParallelRunner pool(opts_.jobs);
+  pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const Cell& cell = cells[ci];
+    opt::DesignInstanceSpec spec;
+    spec.node_count = cell.n;
+    spec.demand_count = e.demands;
+    spec.seed = base_seed + cell.run;
+    spec.demand_weights = e.demand_weights;
+    spec.presolve = e.presolve;
+    spec.field_scale = e.field_scale;
+    const opt::DesignInstance inst = opt::make_design_instance(spec);
+
+    churn::TraceSpec trace;
+    trace.epochs = epochs;
+    trace.arrivals_per_epoch = e.arrivals_per_epoch;
+    trace.departures_per_epoch = e.departures_per_epoch;
+    trace.swings_per_epoch = e.swings_per_epoch;
+    trace.failures_per_epoch = e.failures_per_epoch;
+    trace.rate_swing = e.rate_swing;
+    trace.move_fraction = e.move_fraction;
+    trace.move_sigma_m = e.move_sigma_m;
+    trace.seed = spec.seed;
+    trace.schedule = e.churn_schedule;
+
+    churn::ChurnState state(inst, spec);
+    const opt::DesignObjective objective;  // plain Eq. 5, like run_design
+
+    // From-scratch portfolio on an arbitrary (possibly perturbed) problem:
+    // the per-epoch baseline the warm repair is scored and raced against.
+    const auto cold_solve = [&](const core::NetworkDesignProblem& problem,
+                                const presolve::PresolveResult* pre)
+        -> std::pair<opt::CandidateDesign, double> {
+      const auto t0 = std::chrono::steady_clock::now();
+      const graph::SteinerTree kr =
+          (pre ? pre->node_reduced : problem).solve_node_weighted();
+      opt::PortfolioOptions po;
+      po.objective = objective;
+      po.starts = e.starts;
+      po.jobs = inner_jobs;
+      po.anneal.iterations = e.anneal_iters;
+      po.seed = spec.seed;
+      po.klein_ravi_tree = &kr;
+      po.presolve = pre;
+      opt::PortfolioResult pr = opt::design_portfolio(problem, po);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      return {std::move(pr.best), wall};
+    };
+
+    samples[ci].resize(epochs);
+
+    // ---- epoch 0: the cold design IS the serving design.
+    auto [serving, wall0] = cold_solve(inst.problem, inst.presolve.get());
+    EEND_CHECK_MSG(serving.feasible,
+                   "cold portfolio infeasible on a connected instance (n="
+                       << cell.n << ", seed=" << spec.seed << ")");
+    opt::RouteCache serving_routes;
+    serving = opt::evaluate_design(inst.problem, serving.nodes, objective,
+                                   nullptr, &serving_routes);
+    {
+      Sample& s = samples[ci][0];
+      s.warm = s.cold = serving.cost();
+      s.rerouted = static_cast<double>(serving_routes.routes.size());
+      s.active = static_cast<double>(serving.nodes.size());
+      s.live = static_cast<double>(inst.problem.demands().size());
+      s.warm_wall = s.cold_wall = wall0;
+    }
+
+    // ---- epochs 1..: perturb, repair, race against from-scratch.
+    for (std::size_t epoch = 1; epoch < epochs; ++epoch) {
+      const churn::EpochDelta delta = state.advance(trace, epoch);
+      const core::NetworkDesignProblem& problem = state.problem();
+
+      // Failed nodes can no longer serve; drop them from the previous
+      // design before the repair (the warm-start contract).
+      const std::vector<graph::NodeId> failed = state.failed_nodes();
+      if (!failed.empty()) {
+        std::vector<graph::NodeId> alive;
+        alive.reserve(serving.nodes.size());
+        for (const graph::NodeId v : serving.nodes)
+          if (!std::binary_search(failed.begin(), failed.end(), v))
+            alive.push_back(v);
+        serving.nodes = std::move(alive);
+      }
+      // Route caches are only valid over an unchanged graph.
+      if (delta.topology_changed) serving_routes.clear();
+
+      std::optional<presolve::PresolveResult> pre;
+      if (e.presolve) pre = presolve::presolve_design(problem);
+      const presolve::PresolveResult* pre_ptr = pre ? &*pre : nullptr;
+
+      const auto t_warm = std::chrono::steady_clock::now();
+      opt::WarmStartOptions wo;
+      wo.objective = objective;
+      wo.starts = e.starts;
+      wo.anneal_iterations = e.anneal_iters;
+      wo.jobs = inner_jobs;
+      wo.fallback_pct = e.fallback_pct;
+      wo.presolve = pre_ptr;
+      opt::RouteCache next_routes;
+      const opt::WarmStartResult wr = opt::warm_start_search(
+          problem, serving, delta.touched_nodes, wo, spec.seed,
+          serving_routes.empty() ? nullptr : &serving_routes, &next_routes);
+      const double warm_wall = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t_warm)
+                                   .count();
+
+      const auto [cold, cold_wall] = cold_solve(problem, pre_ptr);
+
+      Sample& s = samples[ci][epoch];
+      s.warm = wr.design.cost();
+      s.cold = cold.cost();
+      s.gap = 100.0 * (s.warm - s.cold) / s.cold;
+      s.events = static_cast<double>(delta.applied.size());
+      s.rerouted = static_cast<double>(wr.rerouted_demands);
+      s.fellback = wr.fell_back ? 1.0 : 0.0;
+      s.active = static_cast<double>(wr.design.nodes.size());
+      s.live = static_cast<double>(problem.demands().size());
+      s.warm_wall = warm_wall;
+      s.cold_wall = cold_wall;
+
+      // Periodic replay validation: the warm design realized over the
+      // *current* (moved/failed) topology and re-run through the packet
+      // simulator — the serving loop's end-to-end ground truth.
+      if (e.replay_every > 0 && epoch % e.replay_every == 0) {
+        const replay::DesignRealization real = replay::realize_design_at(
+            state.positions(), state.field_side(), spec.card, spec.seed,
+            problem, wr.design, settings);
+        const replay::ReplayReport rep =
+            replay::run_realization(real, settings);
+        s.replay_gap = rep.gap_pct;
+      }
+
+      serving = wr.design;
+      serving_routes = std::move(next_routes);
+    }
+
+    if (opts_.progress) {
+      std::lock_guard<std::mutex> lk(io_m);
+      note("  [" + e.title + "] n=" + std::to_string(cell.n) + " trace " +
+           std::to_string(cell.run + 1) + "/" + std::to_string(runs) +
+           " served (" + std::to_string(epochs) + " epochs)");
+    }
+  });
+
+  // Aggregate per (n, epoch) across traces; emission is n-major,
+  // epoch-minor, independent of scheduling.
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+      ResultRow row;
+      row.experiment = e.id;
+      row.kind = kind_name(e.kind);
+      row.series = "n=" + std::to_string(nodes[ni]);
+      row.x_name = "epoch";
+      row.x = static_cast<double>(epoch);
+      row.runs = runs;
+      row.seed = base_seed;
+      const auto metric_of = [&](const std::string& name) {
+        std::vector<double> xs;
+        xs.reserve(runs);
+        for (std::size_t run = 0; run < runs; ++run) {
+          const Sample& s = samples[ni * runs + run][epoch];
+          if (name == "warm_score") xs.push_back(s.warm);
+          else if (name == "cold_score") xs.push_back(s.cold);
+          else if (name == "gap_vs_cold_pct") xs.push_back(s.gap);
+          else if (name == "events_applied") xs.push_back(s.events);
+          else if (name == "rerouted_demands") xs.push_back(s.rerouted);
+          else if (name == "fallbacks") xs.push_back(s.fellback);
+          else if (name == "active_nodes") xs.push_back(s.active);
+          else if (name == "live_demands") xs.push_back(s.live);
+          else if (name == "warm_wall_s") xs.push_back(s.warm_wall);
+          else if (name == "cold_wall_s") xs.push_back(s.cold_wall);
+          else if (name == "replay_gap_pct") {
+            // parse_metrics already rejects this without replay epochs;
+            // guard programmatic Experiment structs skipping validation.
+            EEND_REQUIRE_MSG(e.replay_every > 0,
+                             "churn metric \"replay_gap_pct\" requires "
+                             "replay_every > 0");
+            xs.push_back(s.replay_gap);
+          } else
+            EEND_REQUIRE_MSG(false,
+                             "unknown churn metric \"" << name << "\"");
+        }
+        const SampleStats st = summarize(xs);
+        MetricValue mv;
+        mv.name = name;
+        mv.mean = st.mean;
+        mv.ci95 = st.ci95_half_width;
+        mv.n = st.n;
         return mv;
       };
       for (const MetricSpec& m : e.metrics)

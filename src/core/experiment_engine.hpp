@@ -51,6 +51,7 @@ class ExperimentEngine {
   void run_mopt(const Experiment& e);
   void run_design(const Experiment& e);
   void run_replay(const Experiment& e);
+  void run_churn(const Experiment& e);
 
   void emit(const ResultRow& r);
   /// Resolve the experiment's scenario; density cells pass their node

@@ -35,7 +35,7 @@ void fp(std::ostringstream& os, const std::string& v) {
 // points here. (Sizes are libstdc++/x86-64-specific — the layout CI pins —
 // so the guard is scoped to that ABI.)
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(net::ScenarioConfig) == 432 &&
+static_assert(sizeof(net::ScenarioConfig) == 456 &&
                   sizeof(net::StackSpec) == 128 &&
                   sizeof(energy::RadioCard) == 112,
               "ScenarioConfig/StackSpec/RadioCard changed — update "
@@ -53,6 +53,11 @@ std::string freeze_key(const net::ScenarioConfig& sc,
   fp(os, static_cast<std::uint64_t>(sc.placement));
   fp(os, static_cast<std::uint64_t>(sc.grid_cols));
   fp(os, static_cast<std::uint64_t>(sc.grid_rows));
+  fp(os, static_cast<std::uint64_t>(sc.explicit_positions.size()));
+  for (const phy::Position& p : sc.explicit_positions) {
+    fp(os, p.x);
+    fp(os, p.y);
+  }
   // scenario: card
   fp(os, sc.card.name);
   fp(os, sc.card.p_idle);

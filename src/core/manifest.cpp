@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "energy/radio_card.hpp"
 #include "opt/design_heuristic.hpp"
@@ -190,6 +193,23 @@ constexpr MetricInfo kDesignMetricInfo[] = {
     {"reduced_nodes", "presolve-removed nodes"},
     {"reduced_edges", "presolve-removed edges"},
 };
+constexpr MetricInfo kChurnMetricInfo[] = {
+    {"warm_score", "warm-start Eq. 5 score"},
+    {"cold_score", "from-scratch Eq. 5 score"},
+    {"gap_vs_cold_pct", "warm vs from-scratch gap (%)"},
+    {"events_applied", "churn events applied"},
+    {"rerouted_demands", "demands re-routed"},
+    {"fallbacks", "portfolio fallbacks"},
+    {"active_nodes", "active nodes (warm design)"},
+    {"live_demands", "live demands"},
+    // Wall times are real elapsed time and therefore NOT covered by the
+    // determinism contract — keep them out of golden-pinned manifests.
+    {"warm_wall_s", "warm re-design latency (s)"},
+    {"cold_wall_s", "from-scratch latency (s)"},
+    // Requires `replay_every` > 0 on the experiment (validated after
+    // parsing); zero on epochs that skip the replay validation.
+    {"replay_gap_pct", "replayed sim vs Eq. 5 gap (%)"},
+};
 constexpr MetricInfo kReplayMetricInfo[] = {
     {"analytic_eq5_j", "Eq. 5 analytic energy (J)"},
     {"sim_energy_j", "simulated energy (J)"},
@@ -215,6 +235,7 @@ const std::vector<std::string> kGridMetrics = names_of(kGridMetricInfo);
 const std::vector<std::string> kMoptMetrics = names_of(kMoptMetricInfo);
 const std::vector<std::string> kDesignMetrics = names_of(kDesignMetricInfo);
 const std::vector<std::string> kReplayMetrics = names_of(kReplayMetricInfo);
+const std::vector<std::string> kChurnMetrics = names_of(kChurnMetricInfo);
 
 std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
   switch (kind) {
@@ -231,6 +252,10 @@ std::vector<MetricSpec> default_metrics(ExperimentKind kind) {
               {"analytic_gap_pct", 1},
               {"delivery_ratio", 3},
               {"first_death_s", 1}};
+    case ExperimentKind::Churn:
+      return {{"warm_score", 1},
+              {"gap_vs_cold_pct", 2},
+              {"events_applied", 1}};
   }
   return {};
 }
@@ -390,11 +415,15 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
   ObjectReader r(v, ctx);
   // Design experiments have no simulated duration, so a quick
   // "duration_s" there would be silently ignored — reject it like the
-  // kind-mismatched top-level keys. (Replay experiments DO simulate.)
-  if (kind == ExperimentKind::Design) {
+  // kind-mismatched top-level keys. (Replay experiments DO simulate; churn
+  // replay-validation epochs clamp their own quick duration.)
+  if (kind == ExperimentKind::Design || kind == ExperimentKind::Churn) {
     r.forbid("duration_s",
-             "is only valid for simulation kinds (design instances are "
-             "solved, not simulated)");
+             kind == ExperimentKind::Design
+                 ? "is only valid for simulation kinds (design instances "
+                   "are solved, not simulated)"
+                 : "is not valid for kind \"churn\" (quick mode clamps the "
+                   "replay-validation horizon itself)");
   } else if (const auto* p = r.optional("duration_s")) {
     q.duration_s = as_finite(*p, ctx + " duration_s");
     if (!(*q.duration_s > 0.0)) fail(ctx + " duration_s must be positive");
@@ -402,7 +431,8 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
   // Grid experiments have no replication count, so a quick "runs" there
   // would be silently ignored — reject it like the top-level key.
   if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Density ||
-      kind == ExperimentKind::Design || kind == ExperimentKind::Replay) {
+      kind == ExperimentKind::Design || kind == ExperimentKind::Replay ||
+      kind == ExperimentKind::Churn) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0) fail(ctx + " runs must be >= 1");
@@ -410,20 +440,175 @@ QuickSpec parse_quick(const json::Value& v, ExperimentKind kind,
     }
   } else {
     r.forbid("runs",
-             "is only valid for kinds \"sweep\", \"density\", \"design\" "
-             "and \"replay\"");
+             "is only valid for kinds \"sweep\", \"density\", \"design\", "
+             "\"replay\" and \"churn\"");
   }
   if (kind == ExperimentKind::Sweep || kind == ExperimentKind::Grid) {
     if (const auto* p = r.optional("rates_pps"))
       q.rates_pps = as_rate_list(*p, ctx + " rates_pps");
   }
   if (kind == ExperimentKind::Density || kind == ExperimentKind::Design ||
-      kind == ExperimentKind::Replay) {
+      kind == ExperimentKind::Replay || kind == ExperimentKind::Churn) {
     if (const auto* p = r.optional("node_counts"))
       q.node_counts = as_node_list(*p, ctx + " node_counts");
   }
+  if (kind == ExperimentKind::Churn) {
+    if (const auto* p = r.optional("epochs")) {
+      const auto n = as_uint(*p, ctx + " epochs");
+      if (n < 2) fail(ctx + " epochs must be >= 2 (epoch 0 is the cold "
+                            "design; churn needs at least one more)");
+      q.epochs = static_cast<std::size_t>(n);
+    }
+  } else {
+    r.forbid("epochs", "is only valid for kind \"churn\"");
+  }
   r.finish();
   return q;
+}
+
+// ------------------------------------------------------------------- churn ---
+
+churn::Event parse_churn_event(const json::Value& v, const std::string& ctx) {
+  ObjectReader r(v, ctx);
+  churn::Event ev;
+  const std::string op = as_string(r.required("op"), ctx + " op");
+  if (op != "arrive" && op != "depart" && op != "rate" && op != "fail" &&
+      op != "move")
+    fail(ctx + " op \"" + op +
+         "\" is unknown (valid: arrive, depart, rate, fail, move)");
+  ev.op = churn::event_op_from_name(op);
+  switch (ev.op) {
+    case churn::EventOp::Arrive:
+      ev.source = static_cast<graph::NodeId>(
+          as_uint(r.required("source"), ctx + " source"));
+      ev.destination = static_cast<graph::NodeId>(
+          as_uint(r.required("destination"), ctx + " destination"));
+      if (ev.source == ev.destination)
+        fail(ctx + " arrive demand (" + std::to_string(ev.source) + ", " +
+             std::to_string(ev.destination) + ") is a self-loop");
+      if (const auto* p = r.optional("weight")) {
+        ev.weight = as_finite(*p, ctx + " weight");
+        if (!(ev.weight > 0.0) || ev.weight > 1e3)
+          fail(ctx + " weight must be in (0, 1e3]");
+      }
+      break;
+    case churn::EventOp::Depart:
+      ev.demand = static_cast<std::size_t>(
+          as_uint(r.required("demand"), ctx + " demand"));
+      break;
+    case churn::EventOp::RateSwing:
+      ev.demand = static_cast<std::size_t>(
+          as_uint(r.required("demand"), ctx + " demand"));
+      ev.factor = as_finite(r.required("factor"), ctx + " factor");
+      if (!(ev.factor > 0.0) || ev.factor > 1e3)
+        fail(ctx + " factor must be in (0, 1e3]");
+      break;
+    case churn::EventOp::Fail:
+      ev.node = static_cast<graph::NodeId>(
+          as_uint(r.required("node"), ctx + " node"));
+      break;
+    case churn::EventOp::Move:
+      ev.node = static_cast<graph::NodeId>(
+          as_uint(r.required("node"), ctx + " node"));
+      ev.x = as_finite(r.required("x"), ctx + " x");
+      ev.y = as_finite(r.required("y"), ctx + " y");
+      if (!(ev.x >= 0.0) || ev.x > 1e6 || !(ev.y >= 0.0) || ev.y > 1e6)
+        fail(ctx + " move target must be in [0, 1e6] meters per axis");
+      break;
+  }
+  r.finish();
+  return ev;
+}
+
+/// Parse + statically validate an explicit churn schedule. The validator
+/// replays the live demand list as the events would mutate it: the
+/// instance's initial demands have instance-dependent endpoints (unknown
+/// here — nullopt), arrivals are fully known. That catches out-of-range
+/// indices, departures below one demand, duplicate failures and failures
+/// of a known flow endpoint at parse time; graph-dependent breakage (a
+/// failure stranding an *initial* demand, an unroutable arrival) is caught
+/// at run time by ChurnState::apply.
+std::vector<churn::EpochEvents> parse_churn_schedule(
+    const json::Value& v, std::size_t epochs, std::size_t initial_demands,
+    const std::string& ctx) {
+  if (!v.is_array() || v.as_array().empty())
+    fail(ctx + " schedule must be a non-empty array of epoch entries");
+  using MaybePair = std::optional<std::pair<graph::NodeId, graph::NodeId>>;
+  std::vector<MaybePair> live(initial_demands);
+  std::set<graph::NodeId> failed;
+  std::vector<churn::EpochEvents> out;
+  std::size_t prev_at = 0;
+  for (const auto& entry : v.as_array()) {
+    ObjectReader er(entry, ctx + " schedule entry");
+    churn::EpochEvents ee;
+    ee.at = static_cast<std::size_t>(
+        as_uint(er.required("at"), ctx + " schedule at"));
+    if (ee.at < 1 || ee.at >= epochs)
+      fail(ctx + " schedule entry at=" + std::to_string(ee.at) +
+           " outside [1, " + std::to_string(epochs) +
+           ") — epoch 0 is the untouched instance");
+    if (ee.at <= prev_at)
+      fail(ctx + " schedule entries must be strictly increasing in \"at\" "
+           "(saw " + std::to_string(ee.at) + " after " +
+           std::to_string(prev_at) + ")");
+    prev_at = ee.at;
+    const json::Value& evs = er.required("events");
+    if (!evs.is_array() || evs.as_array().empty())
+      fail(ctx + " schedule entry at=" + std::to_string(ee.at) +
+           " must list at least one event");
+    for (const auto& evv : evs.as_array()) {
+      const std::string ectx =
+          ctx + " schedule (at=" + std::to_string(ee.at) + ") event";
+      churn::Event ev = parse_churn_event(evv, ectx);
+      switch (ev.op) {
+        case churn::EventOp::Arrive: {
+          for (const MaybePair& p : live)
+            if (p && p->first == ev.source && p->second == ev.destination)
+              fail(ectx + ": demand (" + std::to_string(ev.source) + ", " +
+                   std::to_string(ev.destination) + ") is already live");
+          if (failed.count(ev.source) || failed.count(ev.destination))
+            fail(ectx + ": arrive endpoint is a failed node");
+          live.emplace_back(std::in_place, ev.source, ev.destination);
+          break;
+        }
+        case churn::EventOp::Depart:
+          if (ev.demand >= live.size())
+            fail(ectx + ": depart index " + std::to_string(ev.demand) +
+                 " out of range (" + std::to_string(live.size()) +
+                 " demands live at that point)");
+          if (live.size() <= 1)
+            fail(ectx + ": cannot depart the last live demand");
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(ev.demand));
+          break;
+        case churn::EventOp::RateSwing:
+          if (ev.demand >= live.size())
+            fail(ectx + ": rate index " + std::to_string(ev.demand) +
+                 " out of range (" + std::to_string(live.size()) +
+                 " demands live at that point)");
+          break;
+        case churn::EventOp::Fail: {
+          if (failed.count(ev.node))
+            fail(ectx + ": node " + std::to_string(ev.node) +
+                 " is already failed");
+          for (const MaybePair& p : live)
+            if (p && (p->first == ev.node || p->second == ev.node))
+              fail(ectx + ": node " + std::to_string(ev.node) +
+                   " is a live flow endpoint — failing it would strand "
+                   "the demand");
+          failed.insert(ev.node);
+          break;
+        }
+        case churn::EventOp::Move:
+          if (failed.count(ev.node))
+            fail(ectx + ": cannot move failed node " +
+                 std::to_string(ev.node));
+          break;
+      }
+      ee.events.push_back(ev);
+    }
+    out.push_back(std::move(ee));
+  }
+  return out;
 }
 
 Experiment parse_experiment(const json::Value& v, std::size_t index) {
@@ -449,7 +634,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
 
   const bool sim = e.kind != ExperimentKind::Mopt &&
                    e.kind != ExperimentKind::Design &&
-                   e.kind != ExperimentKind::Replay;
+                   e.kind != ExperimentKind::Replay &&
+                   e.kind != ExperimentKind::Churn;
   if (sim) {
     if (const auto* p = r.optional("scenario"))
       e.scenario = parse_scenario(*p, ctx + " scenario");
@@ -473,7 +659,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     if (const auto* p = r.optional("seed"))
       e.seed = as_uint(*p, ctx + " seed");
   } else if (e.kind == ExperimentKind::Design ||
-             e.kind == ExperimentKind::Replay) {
+             e.kind == ExperimentKind::Replay ||
+             e.kind == ExperimentKind::Churn) {
     const std::string kname = kind_name(e.kind);
     r.forbid("scenario",
              "is not valid for kind \"" + kname +
@@ -482,9 +669,14 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     r.forbid("stacks",
              e.kind == ExperimentKind::Design
                  ? "is not valid for kind \"design\" (use \"heuristics\")"
-                 : "is not valid for kind \"replay\" (use \"heuristics\" "
+             : e.kind == ExperimentKind::Replay
+                 ? "is not valid for kind \"replay\" (use \"heuristics\" "
                    "for the series and the singular \"stack\" for the "
-                   "simulated protocol stack)");
+                   "simulated protocol stack)"
+                 : "is not valid for kind \"churn\" (the serving loop runs "
+                   "the fixed warm-start vs portfolio pipeline; the "
+                   "singular \"stack\" selects the replay-validation "
+                   "protocol stack)");
     if (const auto* p = r.optional("seed"))
       e.seed = as_uint(*p, ctx + " seed");
   } else {
@@ -498,18 +690,20 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     case ExperimentKind::Grid:
       e.rates_pps = as_rate_list(r.required("rates_pps"), ctx + " rates_pps");
       r.forbid("node_counts",
-               "is only valid for kinds \"density\", \"design\" and "
-               "\"replay\"");
+               "is only valid for kinds \"density\", \"design\", "
+               "\"replay\" and \"churn\"");
       break;
     case ExperimentKind::Density:
     case ExperimentKind::Design:
     case ExperimentKind::Replay:
+    case ExperimentKind::Churn:
       e.node_counts =
           as_node_list(r.required("node_counts"), ctx + " node_counts");
       r.forbid("rates_pps",
                "is only valid for kinds \"sweep\" and \"grid\" (set the "
                "density rate via scenario.rate_pps" +
-                   std::string(e.kind == ExperimentKind::Replay
+                   std::string(e.kind == ExperimentKind::Replay ||
+                                       e.kind == ExperimentKind::Churn
                                    ? ", the replay rate via \"rate_pps\""
                                    : "") +
                    ")");
@@ -535,6 +729,15 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
              " — each heuristic defines one series");
       e.heuristics.push_back(name);
     }
+  } else if (e.kind == ExperimentKind::Churn) {
+    r.forbid("heuristics",
+             "is not valid for kind \"churn\" (the serving loop always "
+             "compares warm-start repair against the from-scratch "
+             "portfolio; series are node counts)");
+  }
+
+  if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay ||
+      e.kind == ExperimentKind::Churn) {
     if (const auto* p = r.optional("demands")) {
       const auto n = as_uint(*p, ctx + " demands");
       if (n == 0 || n > 1000) fail(ctx + " demands must be in [1, 1000]");
@@ -574,17 +777,89 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
   } else {
     r.forbid("heuristics",
              "is only valid for kinds \"design\" and \"replay\"");
-    r.forbid("demands", "is only valid for kinds \"design\" and \"replay\"");
-    r.forbid("starts", "is only valid for kinds \"design\" and \"replay\"");
+    r.forbid("demands",
+             "is only valid for kinds \"design\", \"replay\" and \"churn\"");
+    r.forbid("starts",
+             "is only valid for kinds \"design\", \"replay\" and \"churn\"");
     r.forbid("anneal_iters",
-             "is only valid for kinds \"design\" and \"replay\"");
+             "is only valid for kinds \"design\", \"replay\" and \"churn\"");
     r.forbid("presolve",
-             "is only valid for kinds \"design\" and \"replay\"");
+             "is only valid for kinds \"design\", \"replay\" and \"churn\"");
     r.forbid("field_scale",
-             "is only valid for kinds \"design\" and \"replay\"");
+             "is only valid for kinds \"design\", \"replay\" and \"churn\"");
   }
 
-  if (e.kind == ExperimentKind::Replay) {
+  if (e.kind == ExperimentKind::Churn) {
+    if (const auto* p = r.optional("epochs")) {
+      const auto n = as_uint(*p, ctx + " epochs");
+      if (n < 2 || n > 10000)
+        fail(ctx + " epochs must be in [2, 10000] (epoch 0 is the cold "
+             "design; churn needs at least one more)");
+      e.epochs = static_cast<std::size_t>(n);
+    }
+    if (const auto* p = r.optional("fallback_pct")) {
+      e.fallback_pct = as_finite(*p, ctx + " fallback_pct");
+      if (!(e.fallback_pct > 0.0) || e.fallback_pct > 100.0)
+        fail(ctx + " fallback_pct must be in (0, 100]");
+    }
+    if (const auto* p = r.optional("replay_every")) {
+      const auto n = as_uint(*p, ctx + " replay_every");
+      if (n > 10000) fail(ctx + " replay_every must be <= 10000");
+      e.replay_every = static_cast<std::size_t>(n);
+    }
+    if (const auto* sched = r.optional("schedule")) {
+      // An explicit schedule replaces the generator wholesale; a generator
+      // knob alongside it would be silently inert — reject the mix.
+      for (const char* k :
+           {"arrivals_per_epoch", "departures_per_epoch", "swings_per_epoch",
+            "failures_per_epoch", "rate_swing", "move_fraction",
+            "move_sigma_m"})
+        r.forbid(k, "is not valid alongside an explicit \"schedule\" (the "
+                    "schedule replaces the trace generator)");
+      e.churn_schedule =
+          parse_churn_schedule(*sched, e.epochs, e.demands, ctx);
+    } else {
+      const auto uint_knob = [&](const char* key, std::size_t& dst) {
+        if (const auto* p = r.optional(key)) {
+          const auto n = as_uint(*p, ctx + " " + key);
+          if (n > 100) fail(ctx + " " + std::string(key) +
+                            " must be <= 100");
+          dst = static_cast<std::size_t>(n);
+        }
+      };
+      uint_knob("arrivals_per_epoch", e.arrivals_per_epoch);
+      uint_knob("departures_per_epoch", e.departures_per_epoch);
+      uint_knob("swings_per_epoch", e.swings_per_epoch);
+      uint_knob("failures_per_epoch", e.failures_per_epoch);
+      if (const auto* p = r.optional("rate_swing")) {
+        e.rate_swing = as_finite(*p, ctx + " rate_swing");
+        if (e.rate_swing < 0.0 || e.rate_swing > 0.9)
+          fail(ctx + " rate_swing must be in [0, 0.9] (a factor of zero "
+               "would silence the demand)");
+      }
+      if (const auto* p = r.optional("move_fraction")) {
+        e.move_fraction = as_finite(*p, ctx + " move_fraction");
+        if (e.move_fraction < 0.0 || e.move_fraction > 1.0)
+          fail(ctx + " move_fraction must be in [0, 1]");
+      }
+      if (const auto* p = r.optional("move_sigma_m")) {
+        e.move_sigma_m = as_finite(*p, ctx + " move_sigma_m");
+        if (!(e.move_sigma_m > 0.0) || e.move_sigma_m > 1e4)
+          fail(ctx + " move_sigma_m must be in (0, 1e4] meters");
+      }
+    }
+  } else {
+    for (const char* k :
+         {"epochs", "arrivals_per_epoch", "departures_per_epoch",
+          "swings_per_epoch", "failures_per_epoch", "rate_swing",
+          "move_fraction", "move_sigma_m", "fallback_pct", "replay_every",
+          "schedule"})
+      r.forbid(k, "is only valid for kind \"churn\"");
+  }
+
+  const bool churn_replays =
+      e.kind == ExperimentKind::Churn && e.replay_every > 0;
+  if (e.kind == ExperimentKind::Replay || churn_replays) {
     if (const auto* p = r.optional("stack")) {
       e.replay_stack = as_string(*p, ctx + " stack");
       net::stack_preset(e.replay_stack);  // throws listing valid presets
@@ -599,11 +874,42 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
       if (!(e.replay_rate_pps > 0.0) || e.replay_rate_pps > 1e6)
         fail(ctx + " rate_pps must be in (0, 1e6]");
     }
+  }
+  if (e.kind == ExperimentKind::Replay) {
     if (const auto* p = r.optional("battery_j")) {
       e.battery_j = as_finite(*p, ctx + " battery_j");
       if (e.battery_j < 0.0 || e.battery_j > 1e9)
         fail(ctx + " battery_j must be in [0, 1e9] joules (0 = infinite)");
     }
+    // A lifetime heuristic without a battery would silently degenerate to
+    // its base variant and mislabel the series — demand the budget.
+    for (const auto& name : e.heuristics)
+      if (opt::heuristic_uses_battery_budget(name) && !(e.battery_j > 0.0))
+        fail(ctx + " lists heuristic \"" + name +
+             "\" but battery_j is 0 — lifetime-constrained search needs a "
+             "positive per-node battery budget");
+  } else if (e.kind == ExperimentKind::Churn) {
+    if (!churn_replays) {
+      r.forbid("stack", "requires \"replay_every\" > 0 (no replay-"
+                        "validation epochs to run a stack on)");
+      r.forbid("rate_pps", "requires \"replay_every\" > 0");
+      r.forbid("duration_s", "requires \"replay_every\" > 0");
+    }
+    r.forbid("battery_j",
+             "is not valid for kind \"churn\" (replay-validation epochs "
+             "run with infinite batteries)");
+  } else {
+    r.forbid("stack",
+             "is only valid for kind \"replay\" (simulation kinds take a "
+             "\"stacks\" array)");
+    r.forbid("rate_pps", "is only valid for kind \"replay\"");
+    r.forbid("battery_j", "is only valid for kind \"replay\"");
+    if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Mopt)
+      r.forbid("duration_s",
+               "is only valid for kinds with a simulated horizon (the "
+               "\"replay\" kind, or scenario.duration_s on sim kinds)");
+  }
+  if (e.kind == ExperimentKind::Replay || e.kind == ExperimentKind::Churn) {
     if (const auto* p = r.optional("demand_weights")) {
       if (!p->is_array() || p->as_array().empty())
         fail(ctx + " demand_weights must be a non-empty array");
@@ -615,28 +921,14 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
         e.demand_weights.push_back(m);
       }
     }
-    // A lifetime heuristic without a battery would silently degenerate to
-    // its base variant and mislabel the series — demand the budget.
-    for (const auto& name : e.heuristics)
-      if (opt::heuristic_uses_battery_budget(name) && !(e.battery_j > 0.0))
-        fail(ctx + " lists heuristic \"" + name +
-             "\" but battery_j is 0 — lifetime-constrained search needs a "
-             "positive per-node battery budget");
   } else {
-    r.forbid("stack",
-             "is only valid for kind \"replay\" (simulation kinds take a "
-             "\"stacks\" array)");
-    r.forbid("rate_pps", "is only valid for kind \"replay\"");
-    r.forbid("battery_j", "is only valid for kind \"replay\"");
-    r.forbid("demand_weights", "is only valid for kind \"replay\"");
-    if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Mopt)
-      r.forbid("duration_s",
-               "is only valid for kinds with a simulated horizon (the "
-               "\"replay\" kind, or scenario.duration_s on sim kinds)");
+    r.forbid("demand_weights",
+             "is only valid for kinds \"replay\" and \"churn\"");
   }
 
   if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
-      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay) {
+      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay ||
+      e.kind == ExperimentKind::Churn) {
     if (const auto* p = r.optional("runs")) {
       const auto n = as_uint(*p, ctx + " runs");
       if (n == 0 || n > 10000) fail(ctx + " runs must be in [1, 10000]");
@@ -644,8 +936,8 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
     }
   } else {
     r.forbid("runs",
-             "is only valid for kinds \"sweep\", \"density\", \"design\" "
-             "and \"replay\"");
+             "is only valid for kinds \"sweep\", \"density\", \"design\", "
+             "\"replay\" and \"churn\"");
   }
 
   if (e.kind == ExperimentKind::Grid) {
@@ -714,11 +1006,19 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
         fail(ctx + " metric \"" + m.name +
              "\" requires \"presolve\": true on the experiment");
 
+  // The replay-validation metric only exists when replay epochs run.
+  if (e.kind == ExperimentKind::Churn && e.replay_every == 0)
+    for (const auto& m : e.metrics)
+      if (m.name == "replay_gap_pct")
+        fail(ctx + " metric \"replay_gap_pct\" requires \"replay_every\" "
+             "> 0 on the experiment");
+
   if (e.kind != ExperimentKind::Mopt) {
     if (const auto* p = r.optional("quick"))
       e.quick = parse_quick(*p, e.kind, ctx + " quick");
     if ((e.kind == ExperimentKind::Design ||
-         e.kind == ExperimentKind::Replay) &&
+         e.kind == ExperimentKind::Replay ||
+         e.kind == ExperimentKind::Churn) &&
         e.quick.node_counts)
       for (const std::size_t n : *e.quick.node_counts)
         if (e.demands > n * (n - 1))
@@ -726,6 +1026,46 @@ Experiment parse_experiment(const json::Value& v, std::size_t index) {
                " cannot host " + std::to_string(e.demands) + " demands");
   } else {
     r.forbid("quick", "is not valid for kind \"mopt\" (already instant)");
+  }
+
+  // Every explicit-schedule node reference must exist in every cell's
+  // instance — quick node counts included, or --quick would abort mid-run.
+  if (!e.churn_schedule.empty()) {
+    std::size_t min_n = *std::min_element(e.node_counts.begin(),
+                                          e.node_counts.end());
+    if (e.quick.node_counts)
+      for (const std::size_t n : *e.quick.node_counts)
+        min_n = std::min(min_n, n);
+    const std::size_t min_epochs =
+        e.quick.epochs ? std::min(e.epochs, *e.quick.epochs) : e.epochs;
+    for (const churn::EpochEvents& ee : e.churn_schedule) {
+      if (ee.at >= min_epochs)
+        fail(ctx + " schedule entry at=" + std::to_string(ee.at) +
+             " is unreachable under quick epochs " +
+             std::to_string(min_epochs));
+      for (const churn::Event& ev : ee.events) {
+        const auto check_node = [&](graph::NodeId v2) {
+          if (static_cast<std::size_t>(v2) >= min_n)
+            fail(ctx + " schedule (at=" + std::to_string(ee.at) +
+                 ") references node " + std::to_string(v2) +
+                 " but the smallest instance (full or quick) has only " +
+                 std::to_string(min_n) + " nodes");
+        };
+        switch (ev.op) {
+          case churn::EventOp::Arrive:
+            check_node(ev.source);
+            check_node(ev.destination);
+            break;
+          case churn::EventOp::Fail:
+          case churn::EventOp::Move:
+            check_node(ev.node);
+            break;
+          case churn::EventOp::Depart:
+          case churn::EventOp::RateSwing:
+            break;
+        }
+      }
+    }
   }
 
   r.finish();
@@ -740,7 +1080,8 @@ json::Object experiment_to_json(const Experiment& e) {
 
   const bool sim = e.kind != ExperimentKind::Mopt &&
                    e.kind != ExperimentKind::Design &&
-                   e.kind != ExperimentKind::Replay;
+                   e.kind != ExperimentKind::Replay &&
+                   e.kind != ExperimentKind::Churn;
   if (sim) {
     o.emplace_back("scenario", scenario_to_json(e.scenario));
     json::Array stacks;
@@ -753,32 +1094,94 @@ json::Object experiment_to_json(const Experiment& e) {
     o.emplace_back("rates_pps", std::move(rates));
   }
   if (e.kind == ExperimentKind::Density || e.kind == ExperimentKind::Design ||
-      e.kind == ExperimentKind::Replay) {
+      e.kind == ExperimentKind::Replay || e.kind == ExperimentKind::Churn) {
     json::Array nodes;
     for (std::size_t n : e.node_counts)
       nodes.emplace_back(static_cast<double>(n));
     o.emplace_back("node_counts", std::move(nodes));
   }
-  if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay) {
-    json::Array heur;
-    for (const auto& h : e.heuristics) heur.emplace_back(h);
-    o.emplace_back("heuristics", std::move(heur));
+  if (e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay ||
+      e.kind == ExperimentKind::Churn) {
+    if (e.kind != ExperimentKind::Churn) {
+      json::Array heur;
+      for (const auto& h : e.heuristics) heur.emplace_back(h);
+      o.emplace_back("heuristics", std::move(heur));
+    }
     o.emplace_back("demands", static_cast<double>(e.demands));
     o.emplace_back("starts", static_cast<double>(e.starts));
     o.emplace_back("anneal_iters", static_cast<double>(e.anneal_iters));
     o.emplace_back("presolve", e.presolve);
     o.emplace_back("field_scale", e.field_scale);
   }
-  if (e.kind == ExperimentKind::Replay) {
+  if (e.kind == ExperimentKind::Churn) {
+    o.emplace_back("epochs", static_cast<double>(e.epochs));
+    o.emplace_back("fallback_pct", e.fallback_pct);
+    o.emplace_back("replay_every", static_cast<double>(e.replay_every));
+    if (e.churn_schedule.empty()) {
+      o.emplace_back("arrivals_per_epoch",
+                     static_cast<double>(e.arrivals_per_epoch));
+      o.emplace_back("departures_per_epoch",
+                     static_cast<double>(e.departures_per_epoch));
+      o.emplace_back("swings_per_epoch",
+                     static_cast<double>(e.swings_per_epoch));
+      o.emplace_back("failures_per_epoch",
+                     static_cast<double>(e.failures_per_epoch));
+      o.emplace_back("rate_swing", e.rate_swing);
+      o.emplace_back("move_fraction", e.move_fraction);
+      o.emplace_back("move_sigma_m", e.move_sigma_m);
+    } else {
+      json::Array sched;
+      for (const churn::EpochEvents& ee : e.churn_schedule) {
+        json::Array evs;
+        for (const churn::Event& ev : ee.events) {
+          json::Object eo;
+          eo.emplace_back("op", std::string(churn::event_op_name(ev.op)));
+          switch (ev.op) {
+            case churn::EventOp::Arrive:
+              eo.emplace_back("source", static_cast<double>(ev.source));
+              eo.emplace_back("destination",
+                              static_cast<double>(ev.destination));
+              eo.emplace_back("weight", ev.weight);
+              break;
+            case churn::EventOp::Depart:
+              eo.emplace_back("demand", static_cast<double>(ev.demand));
+              break;
+            case churn::EventOp::RateSwing:
+              eo.emplace_back("demand", static_cast<double>(ev.demand));
+              eo.emplace_back("factor", ev.factor);
+              break;
+            case churn::EventOp::Fail:
+              eo.emplace_back("node", static_cast<double>(ev.node));
+              break;
+            case churn::EventOp::Move:
+              eo.emplace_back("node", static_cast<double>(ev.node));
+              eo.emplace_back("x", ev.x);
+              eo.emplace_back("y", ev.y);
+              break;
+          }
+          evs.push_back(std::move(eo));
+        }
+        sched.push_back(
+            json::Object{{"at", json::Value(static_cast<double>(ee.at))},
+                         {"events", json::Value(std::move(evs))}});
+      }
+      o.emplace_back("schedule", std::move(sched));
+    }
+  }
+  if (e.kind == ExperimentKind::Replay ||
+      (e.kind == ExperimentKind::Churn && e.replay_every > 0)) {
     o.emplace_back("stack", e.replay_stack);
     o.emplace_back("duration_s", e.replay_duration_s);
     o.emplace_back("rate_pps", e.replay_rate_pps);
+  }
+  if (e.kind == ExperimentKind::Replay)
     o.emplace_back("battery_j", e.battery_j);
-    if (!e.demand_weights.empty()) {
-      json::Array weights;
-      for (double w : e.demand_weights) weights.emplace_back(w);
-      o.emplace_back("demand_weights", std::move(weights));
-    }
+  if ((e.kind == ExperimentKind::Replay ||
+       e.kind == ExperimentKind::Churn) &&
+      !e.demand_weights.empty()) {
+    json::Array weights;
+    for (double w : e.demand_weights) weights.emplace_back(w);
+    o.emplace_back("demand_weights", std::move(weights));
   }
   if (e.kind == ExperimentKind::Mopt) {
     json::Array cards;
@@ -791,7 +1194,8 @@ json::Object experiment_to_json(const Experiment& e) {
     o.emplace_back("rb", std::move(rb));
   }
   if (e.kind == ExperimentKind::Sweep || e.kind == ExperimentKind::Density ||
-      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay)
+      e.kind == ExperimentKind::Design || e.kind == ExperimentKind::Replay ||
+      e.kind == ExperimentKind::Churn)
     o.emplace_back("runs", static_cast<double>(e.runs));
   if (e.kind != ExperimentKind::Mopt)
     o.emplace_back("seed", static_cast<double>(e.seed));
@@ -821,6 +1225,8 @@ json::Object experiment_to_json(const Experiment& e) {
       nodes.emplace_back(static_cast<double>(n));
     quick.emplace_back("node_counts", std::move(nodes));
   }
+  if (e.quick.epochs)
+    quick.emplace_back("epochs", static_cast<double>(*e.quick.epochs));
   if (!quick.empty()) o.emplace_back("quick", std::move(quick));
   return o;
 }
@@ -837,6 +1243,7 @@ const char* kind_name(ExperimentKind k) {
     case ExperimentKind::Mopt: return "mopt";
     case ExperimentKind::Design: return "design";
     case ExperimentKind::Replay: return "replay";
+    case ExperimentKind::Churn: return "churn";
   }
   return "?";
 }
@@ -848,8 +1255,9 @@ ExperimentKind kind_from_name(const std::string& name) {
   if (name == "mopt") return ExperimentKind::Mopt;
   if (name == "design") return ExperimentKind::Design;
   if (name == "replay") return ExperimentKind::Replay;
+  if (name == "churn") return ExperimentKind::Churn;
   fail("unknown experiment kind \"" + name +
-       "\" (valid: sweep, density, grid, mopt, design, replay)");
+       "\" (valid: sweep, density, grid, mopt, design, replay, churn)");
 }
 
 const std::vector<std::string>& metric_names(ExperimentKind kind) {
@@ -860,6 +1268,7 @@ const std::vector<std::string>& metric_names(ExperimentKind kind) {
     case ExperimentKind::Mopt: return kMoptMetrics;
     case ExperimentKind::Design: return kDesignMetrics;
     case ExperimentKind::Replay: return kReplayMetrics;
+    case ExperimentKind::Churn: return kChurnMetrics;
   }
   return kSimMetrics;
 }
@@ -874,6 +1283,8 @@ std::string metric_display_name(const std::string& name) {
   for (const MetricInfo& m : kDesignMetricInfo)
     if (name == m.name) return m.display;
   for (const MetricInfo& m : kReplayMetricInfo)
+    if (name == m.name) return m.display;
+  for (const MetricInfo& m : kChurnMetricInfo)
     if (name == m.name) return m.display;
   fail("no display name for metric \"" + name + "\"");
 }
@@ -997,6 +1408,10 @@ std::vector<std::string> Manifest::experiment_summaries() const {
       case ExperimentKind::Replay:
         series = e.heuristics.size();
         xs = e.node_counts.size();
+        break;
+      case ExperimentKind::Churn:
+        series = e.node_counts.size();
+        xs = e.epochs;
         break;
     }
     out.push_back(e.id + "  [" + kind_name(e.kind) + "]  " +

@@ -17,6 +17,10 @@
 //   replay   (heuristic × instance size) searched designs realized as
 //            scenarios and re-run through net::Network — the simulated-vs-
 //            analytic cross-check, with battery caps and demand weights
+//   churn    (instance size × epoch) time-varying serving loop: a
+//            deterministic churn trace perturbs the instance each epoch and
+//            the incremental designer repairs the previous design, scored
+//            against a from-scratch portfolio per epoch
 //
 // Parsing is strict: unknown keys, duplicate experiment ids, duplicate
 // cells (repeated stacks / rates / node counts), and out-of-range values
@@ -29,13 +33,14 @@
 #include <string>
 #include <vector>
 
+#include "churn/trace.hpp"
 #include "net/scenario.hpp"
 #include "net/stack.hpp"
 #include "util/json.hpp"
 
 namespace eend::core {
 
-enum class ExperimentKind { Sweep, Density, Grid, Mopt, Design, Replay };
+enum class ExperimentKind { Sweep, Density, Grid, Mopt, Design, Replay, Churn };
 
 const char* kind_name(ExperimentKind k);
 ExperimentKind kind_from_name(const std::string& name);
@@ -79,6 +84,7 @@ struct QuickSpec {
   std::optional<std::size_t> runs;
   std::optional<std::vector<double>> rates_pps;
   std::optional<std::vector<std::size_t>> node_counts;
+  std::optional<std::size_t> epochs;  ///< churn: shortened trace length
 };
 
 struct Experiment {
@@ -129,6 +135,25 @@ struct Experiment {
   /// (mixed_rate-style); they drive Eq. 5 and the CBR generators from one
   /// source of truth. Empty = homogeneous.
   std::vector<double> demand_weights;
+
+  // churn kind: trace generator and serving-loop knobs. A non-empty
+  // `churn_schedule` (the "schedule" key) replaces the generator; the
+  // parser rejects manifests mixing the two.
+  std::size_t epochs = 8;               ///< trace length incl. epoch 0
+  std::size_t arrivals_per_epoch = 1;
+  std::size_t departures_per_epoch = 1;
+  std::size_t swings_per_epoch = 1;
+  std::size_t failures_per_epoch = 0;
+  double rate_swing = 0.5;              ///< swing factor in [1−s, 1+s]
+  double move_fraction = 0.0;           ///< fraction of nodes moved/epoch
+  double move_sigma_m = 50.0;           ///< waypoint Gaussian step (m)
+  /// Warm-start fallback threshold: the repair must land within this
+  /// percentage of the Klein-Ravi reference or the full portfolio reruns.
+  double fallback_pct = 5.0;
+  /// Replay-validate the warm design every N epochs through src/replay/
+  /// (0 = off). When > 0 the replay knobs stack/duration_s/rate_pps apply.
+  std::size_t replay_every = 0;
+  std::vector<churn::EpochEvents> churn_schedule;  ///< explicit trace
 
   std::vector<MetricSpec> metrics;  ///< defaulted per kind when empty
   QuickSpec quick;

@@ -108,6 +108,7 @@ void TableSink::end_experiment(const Experiment& e) {
       case ExperimentKind::Density:
       case ExperimentKind::Design:
       case ExperimentKind::Replay: return "# of nodes";
+      case ExperimentKind::Churn: return "epoch";
       case ExperimentKind::Mopt: return "R/B";
     }
     return "x";
@@ -117,6 +118,7 @@ void TableSink::end_experiment(const Experiment& e) {
       case ExperimentKind::Density:
       case ExperimentKind::Design:
       case ExperimentKind::Replay:
+      case ExperimentKind::Churn:
         return std::to_string(static_cast<long long>(x));
       case ExperimentKind::Mopt: return Table::num(x, 2);
       default: return Table::num(x, 1);
@@ -126,7 +128,8 @@ void TableSink::end_experiment(const Experiment& e) {
   const bool with_ci = e.kind == ExperimentKind::Sweep ||
                        e.kind == ExperimentKind::Density ||
                        e.kind == ExperimentKind::Design ||
-                       e.kind == ExperimentKind::Replay;
+                       e.kind == ExperimentKind::Replay ||
+                       e.kind == ExperimentKind::Churn;
 
   for (const MetricSpec& metric : e.metrics) {
     std::vector<std::string> header{x_header};

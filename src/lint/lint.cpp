@@ -24,7 +24,7 @@ constexpr std::array<RuleInfo, 5> kRules{{
      "implementation-defined)"},
     {Rule::NondetSource, "nondet-source",
      "banned nondeterminism source (rand/random_device/system_clock/"
-     "time(nullptr))"},
+     "high_resolution_clock/time(nullptr))"},
     {Rule::PtrKey, "ptr-key",
      "ordered container keyed by a pointer (address order is "
      "nondeterministic)"},
@@ -460,7 +460,7 @@ void rule_nondet_source(const Context& ctx) {
     std::string_view why;
     bool needs_call;  // must be followed by '('
   };
-  static constexpr std::array<Banned, 5> kBanned{{
+  static constexpr std::array<Banned, 6> kBanned{{
       {"rand", "seedless PRNG; use the scenario's util::Rng", true},
       {"srand", "global PRNG reseed; use the scenario's util::Rng", true},
       {"random_device",
@@ -468,6 +468,12 @@ void rule_nondet_source(const Context& ctx) {
        false},
       {"system_clock",
        "wall-clock time; use steady_clock for timing, never in results",
+       false},
+      // Despite the name, high_resolution_clock is an alias for
+      // system_clock on libstdc++ — same wall-clock hazard.
+      {"high_resolution_clock",
+       "wall-clock-aliased timer; use steady_clock for timing, never in "
+       "results",
        false},
       {"gettimeofday",
        "wall-clock time; use steady_clock for timing, never in results",

@@ -12,6 +12,8 @@
 //                   leaks into tie-breaks and emitted tables.
 //   nondet-source   banned nondeterminism sources: std::rand/srand,
 //                   std::random_device, std::chrono::system_clock,
+//                   std::chrono::high_resolution_clock (an alias for
+//                   system_clock on the pinned libstdc++ toolchain),
 //                   time(nullptr), gettimeofday. Seeded util::Rng and
 //                   steady_clock are the sanctioned alternatives.
 //   ptr-key         std::map/set/multimap/multiset keyed by a pointer:

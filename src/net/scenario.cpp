@@ -24,6 +24,17 @@ void ScenarioConfig::validate() const {
   EEND_REQUIRE_MSG(card.max_range_m > 0.0, "card range must be positive");
   EEND_REQUIRE_MSG(card.bandwidth_bps > 0.0, "bandwidth must be positive");
   EEND_REQUIRE_MSG(battery_capacity_j >= 0.0, "battery cannot be negative");
+  if (!explicit_positions.empty()) {
+    EEND_REQUIRE_MSG(explicit_positions.size() == node_count,
+                     "explicit_positions has " << explicit_positions.size()
+                     << " entries for node_count " << node_count);
+    EEND_REQUIRE_MSG(placement != Placement::Grid,
+                     "explicit_positions and grid placement are exclusive");
+    for (const phy::Position& p : explicit_positions)
+      EEND_REQUIRE_MSG(std::isfinite(p.x) && std::isfinite(p.y),
+                       "explicit_positions must be finite, got (" << p.x
+                       << ", " << p.y << ")");
+  }
   for (const double m : rate_multipliers)
     EEND_REQUIRE_MSG(m > 0.0 && std::isfinite(m),
                      "rate_multipliers must be positive and finite, got "
@@ -186,6 +197,10 @@ bool connected_at_max_range(const std::vector<phy::Position>& pos,
 
 std::vector<phy::Position> place_nodes(const ScenarioConfig& cfg) {
   EEND_REQUIRE(cfg.node_count > 0);
+  if (!cfg.explicit_positions.empty()) {
+    EEND_REQUIRE(cfg.explicit_positions.size() == cfg.node_count);
+    return cfg.explicit_positions;
+  }
   if (cfg.placement == Placement::Grid) {
     EEND_REQUIRE(cfg.grid_cols * cfg.grid_rows == cfg.node_count);
     std::vector<phy::Position> pos;

@@ -59,6 +59,13 @@ struct ScenarioConfig {
   std::vector<std::pair<std::size_t, std::size_t>> flow_endpoints;
 
   // topology, continued
+  /// Authoritative node positions (the churn/ subsystem maps a perturbed —
+  /// possibly moved — topology here): when non-empty, place_nodes returns
+  /// them verbatim instead of drawing from the seed, so a scenario can
+  /// replay a field whose positions no seeded draw reproduces. Size must
+  /// equal node_count; connectivity is the caller's responsibility (churn
+  /// traces only emit routable topologies).
+  std::vector<phy::Position> explicit_positions;
   /// Nodes powered off for the whole run (the replay/ subsystem maps a
   /// design's inactive node set here): their radios are failed before t=0,
   /// they are excluded from energy metering entirely (a powered-off

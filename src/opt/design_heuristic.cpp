@@ -40,9 +40,20 @@ std::vector<double> node_energy_loads(
 CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
                                 const std::vector<graph::NodeId>& nodes,
                                 const DesignObjective& objective) {
+  return evaluate_design(problem, nodes, objective, nullptr, nullptr);
+}
+
+CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
+                                const std::vector<graph::NodeId>& nodes,
+                                const DesignObjective& objective,
+                                const RouteCache* reuse, RouteCache* fill) {
   EEND_REQUIRE_MSG(!nodes.empty(), "a design needs at least one node");
   CandidateDesign out;
-  const auto routes = problem.try_route_in_subgraph(nodes);
+  const auto routes =
+      reuse && !reuse->empty()
+          ? problem.try_route_in_subgraph_cached(nodes, reuse->nodes,
+                                                 reuse->routes)
+          : problem.try_route_in_subgraph(nodes);
   if (!routes) {
     out.nodes = nodes;
     std::sort(out.nodes.begin(), out.nodes.end());
@@ -71,6 +82,14 @@ CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
   for (const auto& r : *routes) used.insert(r.path.begin(), r.path.end());
   out.nodes.assign(used.begin(), used.end());
   out.feasible = true;
+  if (fill) {
+    // Memoize against the *allowed* set (pre-normalization): the subset
+    // test in the cached routing twin compares allowed sets, not the
+    // route-used subset the CandidateDesign keeps.
+    fill->nodes = nodes;
+    std::sort(fill->nodes.begin(), fill->nodes.end());
+    fill->routes = *routes;
+  }
   return out;
 }
 

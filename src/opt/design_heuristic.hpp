@@ -94,6 +94,34 @@ CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
                                 const std::vector<graph::NodeId>& nodes,
                                 const DesignObjective& objective);
 
+/// Route memo for incremental re-evaluation (the churn/ warm-start loop):
+/// the allowed node set an evaluation routed within, plus the routes it
+/// produced — valid only for the graph and demand endpoints it was filled
+/// against (rates may change; paths are rate-independent).
+struct RouteCache {
+  std::vector<graph::NodeId> nodes;  ///< allowed set at fill time
+  std::vector<analytical::RoutedDemand> routes;
+
+  bool empty() const { return routes.empty(); }
+  void clear() {
+    nodes.clear();
+    routes.clear();
+  }
+};
+
+/// Path-reuse twin of evaluate_design: when `reuse` holds routes for a
+/// superset allowed set on the same graph, demands whose cached path is
+/// untouched by the shrink skip Dijkstra entirely (see
+/// NetworkDesignProblem::try_route_in_subgraph_cached for the exact validity
+/// rule — the result is bit-identical to the uncached evaluation). When
+/// `fill` is non-null it receives this evaluation's allowed set and routes
+/// (only on feasible results) for the next round. Either pointer may be
+/// null; (nullptr, nullptr) is exactly the plain overload.
+CandidateDesign evaluate_design(const core::NetworkDesignProblem& problem,
+                                const std::vector<graph::NodeId>& nodes,
+                                const DesignObjective& objective,
+                                const RouteCache* reuse, RouteCache* fill);
+
 /// Evaluate a constructive solver's tree as a design seed.
 CandidateDesign design_from_tree(const core::NetworkDesignProblem& problem,
                                  const graph::SteinerTree& tree,

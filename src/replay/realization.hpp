@@ -79,4 +79,21 @@ DesignRealization realize_design(const opt::DesignInstanceSpec& spec,
                                  const opt::CandidateDesign& design,
                                  const ReplaySettings& settings);
 
+/// Positions-authoritative twin for perturbed topologies (the churn/
+/// subsystem's replay-validation epochs): `positions` land in the scenario
+/// verbatim (ScenarioConfig::explicit_positions) instead of being
+/// regenerated from a seed — no seeded draw reproduces a moved field — and
+/// `problem` supplies the current graph and live demand list. Nodes outside
+/// the design's active set (failed nodes included: a normalized design
+/// never contains one) are powered off; flow start times still draw from
+/// `seed`. Same checks as realize_design minus the placement comparison,
+/// which explicit positions make tautological.
+DesignRealization realize_design_at(const std::vector<phy::Position>& positions,
+                                    double field_side,
+                                    const energy::RadioCard& card,
+                                    std::uint64_t seed,
+                                    const core::NetworkDesignProblem& problem,
+                                    const opt::CandidateDesign& design,
+                                    const ReplaySettings& settings);
+
 }  // namespace eend::replay

@@ -281,6 +281,42 @@ TEST(GoldenRegression, PresolveKindByteIdenticalAcrossJobs) {
   ASSERT_FALSE(serial.jsonl.empty());
 }
 
+// Churn family: pins the serving loop end-to-end — trace generation,
+// per-epoch warm-start repair vs from-scratch portfolio, and the periodic
+// replay-validation epochs. Any drift in the trace RNG stream, the repair
+// region, or the realization path shows up here as a metric diff.
+TEST(GoldenRegression, DesignChurn) {
+  check_against_golden("design_churn_quick", "design_churn.json");
+}
+
+TEST(GoldenRegression, ChurnByteIdenticalAcrossJobs) {
+  // The churn kind fans (node count × run) serving loops across the pool;
+  // each loop is serial inside, results land in pre-sized slots, so every
+  // sink must be byte-stable for any --jobs.
+  const EngineOutput serial = run_quick("design_churn.json", 1);
+  const EngineOutput parallel = run_quick("design_churn.json", 8);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_FALSE(serial.jsonl.empty());
+}
+
+// The serving loop's acceptance bar, asserted on the same rows the golden
+// pins: at every epoch the warm-start design's Eq. 5 score stays within 5%
+// of the from-scratch portfolio's (ISSUE 9's per-epoch quality gap bound).
+TEST(GoldenRegression, ChurnWarmGapWithinBound) {
+  const auto lines = split_lines(run_quick("design_churn.json", 1).jsonl);
+  ASSERT_FALSE(lines.empty());
+  for (const auto& l : lines) {
+    const auto row = json::parse(l);
+    const double gap = row.find("metrics")
+                           ->find("gap_vs_cold_pct")
+                           ->find("mean")
+                           ->as_number();
+    EXPECT_LE(gap, 5.0) << "series " << row.find("series")->as_string()
+                        << " epoch " << row.find("x")->as_number();
+  }
+}
+
 // Determinism contract: the machine-readable streams must be byte-identical
 // for any --jobs value, not merely numerically close.
 

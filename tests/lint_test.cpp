@@ -180,6 +180,8 @@ TEST(LintNondetSource, EachBannedSourceFires) {
       {"int f() { std::random_device rd; return rd(); }", "random_device"},
       {"auto f() { return std::chrono::system_clock::now(); }",
        "system_clock"},
+      {"auto f() { return std::chrono::high_resolution_clock::now(); }",
+       "high_resolution_clock"},
       {"long f() { return time(nullptr); }", "time(nullptr)"},
       {"long f() { return time(NULL); }", "time(NULL)"},
   };
@@ -196,6 +198,11 @@ TEST(LintNondetSource, AllowedTwinIsSuppressed) {
       "// eend-lint: allow(nondet-source) — timestamping a report header\n"
       "auto stamp() { return std::chrono::system_clock::now(); }\n";
   EXPECT_TRUE(run(src).empty());
+  // The same sanctioned-sources carve-out covers high_resolution_clock.
+  const std::string hrc =
+      "// eend-lint: allow(nondet-source) — profiling scratch, not results\n"
+      "auto t0() { return std::chrono::high_resolution_clock::now(); }\n";
+  EXPECT_TRUE(run(hrc).empty());
 }
 
 TEST(LintNondetSource, SanctionedSourcesDoNotFire) {

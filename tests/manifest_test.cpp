@@ -439,14 +439,15 @@ TEST(Manifest, RejectsUnknownKeysWithAllowedList) {
 TEST(Manifest, RejectsKindMismatchedKeys) {
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("node_counts", "[300]")); },
-      "only valid for kinds \"density\", \"design\" and \"replay\"");
+      "only valid for kinds \"density\", \"design\", \"replay\" and "
+      "\"churn\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("heuristics",
                                                "[\"portfolio\"]")); },
       "only valid for kinds \"design\" and \"replay\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("starts", "4")); },
-      "only valid for kinds \"design\" and \"replay\"");
+      "only valid for kinds \"design\", \"replay\" and \"churn\"");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("cards", "[]")); },
       "only valid for kind \"mopt\"");
@@ -697,7 +698,7 @@ TEST(Manifest, PresolveKeyRejectsBadInputsActionably) {
   // Only meaningful where instances are searched.
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("presolve", "true")); },
-      "only valid for kinds \"design\" and \"replay\"");
+      "only valid for kinds \"design\", \"replay\" and \"churn\"");
   // The certified-bound metrics need the pass that computes them.
   for (const std::string metric :
        {"lb", "certified_gap_pct", "reduced_nodes", "reduced_edges"})
@@ -731,7 +732,7 @@ TEST(Manifest, FieldScaleParsesAndRejectsOutOfRange) {
         "field_scale must be in (0, 10]");
   expect_rejected(
       [] { Manifest::parse(sweep_manifest_json("field_scale", "2.0")); },
-      "only valid for kinds \"design\" and \"replay\"");
+      "only valid for kinds \"design\", \"replay\" and \"churn\"");
 }
 
 TEST(Manifest, PresolveKeySerializeRoundTripIsAFixedPoint) {
@@ -752,6 +753,188 @@ TEST(Manifest, PresolveKeySerializeRoundTripIsAFixedPoint) {
     EXPECT_NE(canon.find("\"presolve\""), std::string::npos);
     const Manifest m2 = Manifest::parse(canon);
     EXPECT_TRUE(m2.experiments[0].presolve);
+    EXPECT_EQ(canon, m2.serialize()) << "for manifest: " << text;
+    EXPECT_TRUE(m1.to_json() == m2.to_json()) << "for manifest: " << text;
+  }
+}
+
+// ----------------------------------------------------------------- churn ---
+
+std::string churn_manifest_json(const std::string& body) {
+  return R"({"name":"c","experiments":[{"id":"ch","kind":"churn",)" + body +
+         "}]}";
+}
+
+TEST(Manifest, ChurnParsesWithDefaultsAndSummaries) {
+  const Manifest m = Manifest::parse(churn_manifest_json(
+      R"("node_counts":[40,80],"epochs":6,"demands":5,"runs":2,
+         "fallback_pct":4.5,"quick":{"node_counts":[40],"runs":1,
+         "epochs":3})"));
+  const Experiment& e = m.experiments[0];
+  EXPECT_EQ(e.kind, ExperimentKind::Churn);
+  EXPECT_EQ(e.epochs, 6u);
+  EXPECT_EQ(e.demands, 5u);
+  EXPECT_DOUBLE_EQ(e.fallback_pct, 4.5);
+  EXPECT_EQ(e.replay_every, 0u);
+  ASSERT_TRUE(e.quick.epochs.has_value());
+  EXPECT_EQ(*e.quick.epochs, 3u);
+  // Generator defaults hold when no knob is set.
+  EXPECT_EQ(e.arrivals_per_epoch, 1u);
+  EXPECT_EQ(e.failures_per_epoch, 0u);
+
+  const auto lines = m.experiment_summaries();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[churn]"), std::string::npos);
+  EXPECT_NE(lines[0].find("2 series x 6 x-values"), std::string::npos);
+}
+
+TEST(Manifest, ChurnRejectsBadSchedules) {
+  const auto sched = [](const std::string& entries) {
+    return churn_manifest_json(R"("node_counts":[40],"epochs":6,
+        "schedule":[)" + entries + "]");
+  };
+  // Non-monotone epoch times.
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(
+            R"({"at":3,"events":[{"op":"fail","node":1}]},
+               {"at":2,"events":[{"op":"fail","node":2}]})"));
+      },
+      "strictly increasing");
+  // Epoch outside [1, epochs).
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(R"({"at":6,"events":[{"op":"fail","node":1}]})"));
+      },
+      "outside [1, 6)");
+  // Out-of-range rate factor.
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(
+            R"({"at":1,"events":[{"op":"rate","demand":0,"factor":0}]})"));
+      },
+      "factor must be in (0, 1e3]");
+  // Failing an arrived demand's endpoint.
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(
+            R"({"at":1,"events":[
+                 {"op":"arrive","source":3,"destination":9}]},
+               {"at":2,"events":[{"op":"fail","node":9}]})"));
+      },
+      "is a live flow endpoint");
+  // Unknown event keys.
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(
+            R"({"at":1,"events":[{"op":"fail","node":1,"bogus":2}]})"));
+      },
+      "unknown key \"bogus\"");
+  // Depart index past the live list.
+  expect_rejected(
+      [&] {
+        Manifest::parse(sched(
+            R"({"at":1,"events":[{"op":"depart","demand":99}]})"));
+      },
+      "out of range");
+  // Generator knobs alongside an explicit schedule are inert — rejected.
+  expect_rejected(
+      [&] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"epochs":6,"failures_per_epoch":1,
+               "schedule":[{"at":1,"events":[{"op":"fail","node":1}]}])"));
+      },
+      "not valid alongside an explicit \"schedule\"");
+}
+
+TEST(Manifest, ChurnScheduleChecksNodeRangeAndQuickEpochs) {
+  // A scheduled node reference must fit the smallest instance, including
+  // the quick override's.
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"epochs":6,
+               "schedule":[{"at":1,"events":[{"op":"fail","node":40}]}])"));
+      },
+      "references node 40");
+  // A schedule entry past the quick epoch count would silently never fire.
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"epochs":8,
+               "schedule":[{"at":5,"events":[{"op":"fail","node":1}]}],
+               "quick":{"epochs":3})"));
+      },
+      "unreachable under quick epochs");
+}
+
+TEST(Manifest, ChurnRejectsKindMismatchedAndGatedKeys) {
+  // Churn's own keys are invalid elsewhere.
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("epochs", "4")); },
+      "only valid for kind \"churn\"");
+  expect_rejected(
+      [] { Manifest::parse(sweep_manifest_json("fallback_pct", "5")); },
+      "only valid for kind \"churn\"");
+  // Heuristics are fixed by the serving loop.
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"heuristics":["portfolio"])"));
+      },
+      "not valid for kind \"churn\"");
+  // Replay knobs need replay-validation epochs.
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"stack":"dsr_active")"));
+      },
+      "requires \"replay_every\" > 0");
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"battery_j":100)"));
+      },
+      "not valid for kind \"churn\"");
+  expect_rejected(
+      [] {
+        Manifest::parse(churn_manifest_json(
+            R"("node_counts":[40],"metrics":["replay_gap_pct"])"));
+      },
+      "requires \"replay_every\"");
+  // With replay_every set, the replay knobs parse.
+  const Manifest m = Manifest::parse(churn_manifest_json(
+      R"("node_counts":[40],"replay_every":2,"stack":"dsr_active",
+         "duration_s":120,"rate_pps":8,
+         "metrics":["warm_score","replay_gap_pct"])"));
+  EXPECT_EQ(m.experiments[0].replay_every, 2u);
+  EXPECT_EQ(m.experiments[0].replay_stack, "dsr_active");
+}
+
+TEST(Manifest, ChurnSerializeRoundTripIsAFixedPoint) {
+  for (const std::string& text : std::vector<std::string>{
+           churn_manifest_json(
+               R"("node_counts":[40,80],"epochs":6,"demands":5,
+                  "arrivals_per_epoch":2,"failures_per_epoch":1,
+                  "rate_swing":0.4,"move_fraction":0.1,"move_sigma_m":60,
+                  "fallback_pct":5,"runs":2,"demand_weights":[0.5,1,3],
+                  "quick":{"node_counts":[40],"runs":1,"epochs":3})"),
+           churn_manifest_json(
+               R"("node_counts":[40],"epochs":6,"replay_every":2,
+                  "stack":"dsr_active","duration_s":120,"rate_pps":8,
+                  "schedule":[
+                    {"at":1,"events":[
+                      {"op":"arrive","source":3,"destination":9,
+                       "weight":2.5},
+                      {"op":"rate","demand":0,"factor":0.5}]},
+                    {"at":3,"events":[
+                      {"op":"fail","node":12},
+                      {"op":"move","node":5,"x":100.5,"y":200},
+                      {"op":"depart","demand":1}]}])"),
+       }) {
+    const Manifest m1 = Manifest::parse(text);
+    const std::string canon = m1.serialize();
+    const Manifest m2 = Manifest::parse(canon);
     EXPECT_EQ(canon, m2.serialize()) << "for manifest: " << text;
     EXPECT_TRUE(m1.to_json() == m2.to_json()) << "for manifest: " << text;
   }

@@ -219,10 +219,12 @@ int main(int argc, char** argv) {
       applies |= e.kind == core::ExperimentKind::Sweep ||
                  e.kind == core::ExperimentKind::Density ||
                  e.kind == core::ExperimentKind::Design ||
-                 e.kind == core::ExperimentKind::Replay;
+                 e.kind == core::ExperimentKind::Replay ||
+                 e.kind == core::ExperimentKind::Churn;
     if (!applies) {
       std::cerr << "eend_run: --runs has no effect — none of the selected "
-                   "experiments are sweep, density, design or replay kind\n";
+                   "experiments are sweep, density, design, replay or "
+                   "churn kind\n";
       return 2;
     }
     opts.runs_override = static_cast<std::size_t>(runs);
