@@ -39,6 +39,7 @@
 #include "net/network.hpp"
 #include "net/scenario.hpp"
 #include "net/stack.hpp"
+#include "obs/obs.hpp"
 #include "sim/baseline_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "util/flags.hpp"
@@ -278,6 +279,9 @@ int main(int argc, char** argv) {
     top.emplace_back("bench", std::string("simcore"));
     top.emplace_back("seed", static_cast<double>(seed));
     top.emplace_back("reps", static_cast<double>(reps));
+    // Whether telemetry was compiled in, so the CI on/off trajectories
+    // (BENCH_simcore.json vs BENCH_simcore_noobs.json) are self-labeling.
+    top.emplace_back("obs_enabled", obs::kEnabled);
     top.emplace_back("results", std::move(arr));
     std::ofstream out(json_path, std::ios::binary);
     EEND_REQUIRE_MSG(out, "cannot write " << json_path);

@@ -126,17 +126,32 @@ test -s BENCH_design_churn.json
 echo "OK: wrote BENCH_design_churn.json (warm speedup/gap floors held)"
 
 echo "== design churn: quick design_churn cell, jobs=1 vs jobs=8 =="
+# The churn leg also exercises the telemetry layer: --counters must be
+# byte-identical across --jobs (the obs determinism contract) and --trace
+# must produce a non-empty Chrome trace; both ship as CI artifacts.
 ./build/tools/eend_run --manifest examples/manifests/design_churn.json \
   --list | grep -q "churn_serving  \[churn\]"
 for j in 1 8; do
   ./build/tools/eend_run --manifest examples/manifests/design_churn.json \
     --quick --quiet --csv="/tmp/eend_dc_j$j.csv" \
-    --jsonl="/tmp/eend_dc_j$j.jsonl" --jobs="$j" > "/tmp/eend_dc_j$j.out"
+    --jsonl="/tmp/eend_dc_j$j.jsonl" --jobs="$j" \
+    --counters="/tmp/eend_dc_j$j.counters.jsonl" \
+    --trace="/tmp/eend_dc_j$j.trace.json" > "/tmp/eend_dc_j$j.out"
 done
 cmp /tmp/eend_dc_j1.out /tmp/eend_dc_j8.out
 cmp /tmp/eend_dc_j1.csv /tmp/eend_dc_j8.csv
 cmp /tmp/eend_dc_j1.jsonl /tmp/eend_dc_j8.jsonl
-echo "OK: churn kind byte-identical for jobs=1 and jobs=8"
+cmp /tmp/eend_dc_j1.counters.jsonl /tmp/eend_dc_j8.counters.jsonl
+echo "OK: churn kind byte-identical for jobs=1 and jobs=8 (incl. --counters)"
+# The counter catalog must cover all three layers: sim core, design
+# search cache, and the churn engine.
+for name in sim.events_fired opt.cache.route_hits churn.events_applied; do
+  grep -q "\"counter\":\"$name\"" /tmp/eend_dc_j1.counters.jsonl
+done
+test -s /tmp/eend_dc_j1.trace.json
+cp /tmp/eend_dc_j1.counters.jsonl COUNTERS_design_churn.jsonl
+cp /tmp/eend_dc_j1.trace.json TRACE_design_churn.json
+echo "OK: counters cover sim/opt/churn, wrote COUNTERS_design_churn.jsonl + TRACE_design_churn.json"
 
 echo "== event core: ladder-queue vs baseline-heap bench (JSON artifact) =="
 # Self-asserting floors: conservative bounds (measured ~4.8x / ~59M ops/s
@@ -146,6 +161,23 @@ echo "== event core: ladder-queue vs baseline-heap bench (JSON artifact) =="
   --assert-churn-speedup=3.0 --assert-churn-events-per-s=10000000 > /dev/null
 test -s BENCH_simcore.json
 echo "OK: wrote BENCH_simcore.json (churn speedup/events-per-s floors held)"
+
+echo "== event core: same floors with telemetry compiled off (-DEEND_OBS=OFF) =="
+# The default build above ran the floors with telemetry ON; this leg pins
+# that the no-op path really compiles down to nothing (the floors must
+# hold identically) and that the tree builds cleanly with the gate off.
+cmake -B build-noobs -S . -DEEND_WERROR=ON -DEEND_OBS=OFF
+cmake --build build-noobs -j"$JOBS" --target bench_micro_simcore
+./build-noobs/bench/bench_micro_simcore --quick --quiet \
+  --json=BENCH_simcore_noobs.json \
+  --assert-churn-speedup=3.0 --assert-churn-events-per-s=10000000 > /dev/null
+test -s BENCH_simcore_noobs.json
+# Report the telemetry on/off delta on the churn workload (both JSONs
+# self-label via "obs_enabled"; the first ladder_ops_per_s is churn's).
+on=$(awk -F: '/"ladder_ops_per_s"/{gsub(/[ ,]/,"",$2); print $2; exit}' BENCH_simcore.json)
+off=$(awk -F: '/"ladder_ops_per_s"/{gsub(/[ ,]/,"",$2); print $2; exit}' BENCH_simcore_noobs.json)
+awk -v on="$on" -v off="$off" 'BEGIN{printf "OK: churn throughput, telemetry on/off: %.1fM / %.1fM ops/s (ratio %.3f)\n", on/1e6, off/1e6, on/off}'
+echo "OK: wrote BENCH_simcore_noobs.json (floors held with telemetry off)"
 
 echo "== spatial index: construction/query bench (JSON artifact) =="
 ./build/bench/bench_channel_build --quick --quiet \

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/counters.hpp"
 #include "spatial/grid_index.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -210,6 +211,7 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
                    << ") — epoch 0 is the untouched instance");
   EpochDelta delta;
   const std::size_t n = positions_.size();
+  std::uint64_t redrawn = 0;  // rejected candidate draws (generated traces)
 
   if (!trace.schedule.empty()) {
     for (const EpochEvents& ee : trace.schedule)
@@ -225,7 +227,10 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
     for (std::size_t k = 0; k < trace.failures_per_epoch; ++k) {
       for (int attempt = 0; attempt < 32; ++attempt) {
         const auto v = static_cast<graph::NodeId>(rng.next_below(n));
-        if (failed_[v] || is_endpoint(v)) continue;
+        if (failed_[v] || is_endpoint(v)) {
+          ++redrawn;
+          continue;
+        }
         failed_[v] = 1;
         rebuild_graph();
         if (routable()) {
@@ -238,6 +243,7 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
           break;
         }
         failed_[v] = 0;  // revert: this node is a cut vertex right now
+        ++redrawn;
         rebuild_graph();
       }
     }
@@ -254,7 +260,10 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
       for (std::size_t k = 0; k < moves; ++k) {
         for (int attempt = 0; attempt < 32; ++attempt) {
           const auto v = static_cast<graph::NodeId>(rng.next_below(n));
-          if (failed_[v] || seen.count(v)) continue;
+          if (failed_[v] || seen.count(v)) {
+            ++redrawn;
+            continue;
+          }
           seen.insert(v);
           Event ev;
           ev.op = EventOp::Move;
@@ -302,11 +311,17 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
       for (int attempt = 0; attempt < 64; ++attempt) {
         const auto s = static_cast<graph::NodeId>(rng.next_below(n));
         const auto d = static_cast<graph::NodeId>(rng.next_below(n));
-        if (s == d || failed_[s] || failed_[d]) continue;
+        if (s == d || failed_[s] || failed_[d]) {
+          ++redrawn;
+          continue;
+        }
         bool dup = false;
         for (const graph::Demand& live : problem_.demands())
           dup |= live.source == s && live.destination == d;
-        if (dup) continue;
+        if (dup) {
+          ++redrawn;
+          continue;
+        }
         const double weight =
             weight_cycle_.empty()
                 ? 1.0
@@ -318,6 +333,7 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
           std::vector<graph::Demand> undo = problem_.demands();
           undo.pop_back();
           problem_.set_demands(std::move(undo));
+          ++redrawn;
           continue;
         }
         base_weights_.push_back(weight);
@@ -352,6 +368,8 @@ EpochDelta ChurnState::advance(const TraceSpec& trace, std::size_t epoch) {
   delta.touched_nodes.erase(
       std::unique(delta.touched_nodes.begin(), delta.touched_nodes.end()),
       delta.touched_nodes.end());
+  obs::count("churn.events_applied", delta.applied.size());
+  obs::count("churn.events_redrawn", redrawn);
   return delta;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/shortest_path.hpp"
+#include "obs/counters.hpp"
 #include "spatial/grid_index.hpp"
 
 namespace eend::core {
@@ -156,8 +157,10 @@ NetworkDesignProblem::try_route_in_subgraph_cached(
     rd.demand = d;
     rd.packets = d.rate;
     if (reuse) {
+      obs::count("opt.cache.route_hits");
       rd.path = c.path;
     } else {
+      obs::count("opt.cache.route_misses");
       const auto spt = graph::dijkstra(graph_, d.source, node_cost);
       rd.path = spt.path_to(d.destination);
       if (rd.path.empty()) {

@@ -3,18 +3,30 @@
 #include <mutex>
 
 #include "core/parallel_runner.hpp"
+#include "obs/trace.hpp"
 
 namespace eend::core {
 namespace {
 
 // One replication: private Network (and thus private Simulator/Rng), seed
 // derived from the replication index — identical whichever worker runs it.
+// Telemetry counters land in a replication-private registry (snapshotted
+// into `counters`), so per-replication totals are scheduling-independent.
+// `lane` is the replication's stable logical trace lane across the batch.
 metrics::RunResult run_replication(const ExperimentConfig& cfg,
-                                   std::size_t rep) {
+                                   std::size_t rep, std::size_t lane,
+                                   obs::CounterSnapshot& counters) {
   net::ScenarioConfig sc = cfg.scenario;
   sc.seed = cfg.base_seed + rep;
   net::Network network(sc, cfg.stack);
-  return network.run();
+  obs::CounterRegistry reg;
+  const obs::ScopedRegistry scope(&reg);
+  if (obs::tracing())  // sampled sim-core spans: pid 1 = sim row
+    network.simulator().set_trace_sampling(
+        4096, 1, static_cast<std::uint32_t>(lane) + 1);
+  metrics::RunResult out = network.run();
+  counters = reg.snapshot();
+  return out;
 }
 
 ExperimentResult aggregate(const ExperimentConfig& cfg,
@@ -52,14 +64,16 @@ std::vector<ExperimentResult> run_cells(
   if (cells.empty()) return {};
   const std::size_t runs = cells.front().runs;
   std::vector<metrics::RunResult> raw(cells.size() * runs);
+  std::vector<obs::CounterSnapshot> snaps(raw.size());
 
   std::mutex progress_m;
   std::vector<std::size_t> remaining(cells.size(), runs);
 
   ParallelRunner pool(jobs);
+  pool.set_span_label("replication");
   pool.for_each_index(raw.size(), [&](std::size_t k) {
     const std::size_t cell = k / runs;
-    raw[k] = run_replication(cells[cell], k % runs);
+    raw[k] = run_replication(cells[cell], k % runs, k, snaps[k]);
     if (on_cell_done) {
       std::lock_guard<std::mutex> lk(progress_m);
       if (--remaining[cell] == 0) on_cell_done(cell);
@@ -73,6 +87,8 @@ std::vector<ExperimentResult> run_cells(
         std::make_move_iterator(raw.begin() + c * runs),
         std::make_move_iterator(raw.begin() + (c + 1) * runs));
     out.push_back(aggregate(cells[c], std::move(slice)));
+    for (std::size_t r = 0; r < runs; ++r)  // seed-order merge
+      out.back().counters.merge_from(snaps[c * runs + r]);
   }
   return out;
 }

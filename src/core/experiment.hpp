@@ -14,6 +14,7 @@
 
 #include "metrics/run_metrics.hpp"
 #include "net/network.hpp"
+#include "obs/counters.hpp"
 #include "util/stats.hpp"
 
 namespace eend::core {
@@ -42,6 +43,11 @@ struct ExperimentResult {
   SampleStats nodes_carrying_data;
 
   std::vector<metrics::RunResult> raw;  ///< per-run detail, in seed order
+
+  /// Telemetry: per-replication counter snapshots merged in seed order
+  /// (empty with EEND_OBS compiled off). Values derive only from simulated
+  /// work, so the merge is byte-identical for any --jobs.
+  obs::CounterSnapshot counters;
 };
 
 /// Run `cfg.runs` independent replications (seeds base_seed..base_seed+R-1).

@@ -4,14 +4,13 @@
 #include <mutex>
 #include <ostream>
 
-#include <chrono>
-
 #include "analytical/route_energy.hpp"
 #include "churn/trace.hpp"
 #include "core/experiment.hpp"
 #include "core/grid_study.hpp"
 #include "core/parallel_runner.hpp"
 #include "energy/radio_card.hpp"
+#include "obs/trace.hpp"
 #include "opt/design_heuristic.hpp"
 #include "opt/design_instance.hpp"
 #include "opt/portfolio.hpp"
@@ -58,6 +57,22 @@ MetricValue sim_metric(const ExperimentResult& r, const std::string& name) {
     from_raw([](const metrics::RunResult& x) {
       return static_cast<double>(x.mac_collisions);
     });
+  else if (name == "mac_cs_drops")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.mac_cs_drops);
+    });
+  else if (name == "mac_defers_exhausted")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.mac_defers_exhausted);
+    });
+  else if (name == "mac_stale_bcast_drops")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.mac_stale_bcast_drops);
+    });
+  else if (name == "mac_unicast_failures")
+    from_raw([](const metrics::RunResult& x) {
+      return static_cast<double>(x.mac_unicast_failures);
+    });
   else if (name == "average_delay_s")
     from_raw([](const metrics::RunResult& x) { return x.average_delay_s; });
   else
@@ -84,11 +99,11 @@ struct CellSearchResult {
 CellSearchResult search_design_cell(
     const opt::DesignInstance& inst,
     const std::vector<std::string>& heuristics, opt::HeuristicOptions ho,
-    std::uint64_t seed, std::size_t n) {
+    std::uint64_t seed, std::size_t n, std::uint32_t trace_tid = 0) {
   const core::NetworkDesignProblem& problem = inst.problem;
   ho.presolve = inst.presolve.get();
   CellSearchResult out;
-  const auto t_base = std::chrono::steady_clock::now();
+  obs::PhaseTimer t_base("search:klein_ravi(baseline)", obs::kPidCell, trace_tid);
   // The shared tree comes from the dead-end-masked twin when presolve ran —
   // bit-identical to the full solve (presolve/presolve.hpp), just cheaper.
   const graph::SteinerTree kr_tree =
@@ -96,10 +111,7 @@ CellSearchResult search_design_cell(
           .solve_node_weighted();
   ho.klein_ravi_tree = &kr_tree;
   out.baseline = opt::heuristic_by_name("klein_ravi").run(problem, ho, seed);
-  out.baseline_wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_base)
-          .count();
+  out.baseline_wall = t_base.stop();
   EEND_CHECK_MSG(out.baseline.feasible,
                  "Klein-Ravi baseline infeasible on a connected instance "
                  "(n=" << n << ", seed=" << seed << ")");
@@ -108,19 +120,14 @@ CellSearchResult search_design_cell(
   out.walls.resize(heuristics.size());
   for (std::size_t hi = 0; hi < heuristics.size(); ++hi) {
     const auto& name = heuristics[hi];
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::PhaseTimer t0("search:" + name, obs::kPidCell, trace_tid);
     out.designs[hi] =
         name == "klein_ravi"
             ? out.baseline
             : opt::heuristic_by_name(name).run(problem, ho, seed);
     // The baseline's wall time (tree solve included) is attributed to the
     // klein_ravi series when that series is requested.
-    out.walls[hi] =
-        name == "klein_ravi"
-            ? out.baseline_wall
-            : std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count();
+    out.walls[hi] = name == "klein_ravi" ? out.baseline_wall : t0.stop();
     EEND_CHECK_MSG(out.designs[hi].feasible,
                    "heuristic \"" << name
                    << "\" infeasible on a connected instance (n=" << n
@@ -168,6 +175,8 @@ void ExperimentEngine::run(const Manifest& m) {
 }
 
 void ExperimentEngine::run(const Experiment& e) {
+  obs::PhaseTimer exp_span("experiment:" + e.id, 0, 0);
+  exp_counters_.clear();
   for (ResultSink* s : sinks_) s->begin_experiment(e);
   switch (e.kind) {
     case ExperimentKind::Sweep: run_sweep(e); break;
@@ -178,7 +187,13 @@ void ExperimentEngine::run(const Experiment& e) {
     case ExperimentKind::Replay: run_replay(e); break;
     case ExperimentKind::Churn: run_churn(e); break;
   }
-  for (ResultSink* s : sinks_) s->end_experiment(e);
+  {
+    obs::PhaseTimer flush_span("sink.flush", 0, 0);
+    for (ResultSink* s : sinks_) s->end_experiment(e);
+  }
+  // Counter lines ride outside the sink stream: sinks stay byte-pinned by
+  // the goldens, and the counters file is its own deterministic artifact.
+  if (opts_.counters) exp_counters_.write_jsonl(*opts_.counters, e.id);
 }
 
 void ExperimentEngine::emit(const ResultRow& r) {
@@ -246,6 +261,11 @@ void ExperimentEngine::run_sweep(const Experiment& e) {
   // results[stack][rate]
   const auto results = sweep_grid(cfg, stacks, rates, progress);
 
+  // Cells already merged their replication snapshots in seed order; fold
+  // them into the experiment total in (stack, rate) cell order.
+  for (const auto& per_stack : results)
+    for (const auto& r : per_stack) exp_counters_.merge_from(r.counters);
+
   for (std::size_t ri = 0; ri < rates.size(); ++ri) {
     for (std::size_t si = 0; si < stacks.size(); ++si) {
       ResultRow row;
@@ -293,6 +313,8 @@ void ExperimentEngine::run_density(const Experiment& e) {
     };
   const auto results = run_experiment_cells(cells, opts_.jobs, on_cell_done);
 
+  for (const auto& r : results) exp_counters_.merge_from(r.counters);
+
   for (std::size_t i = 0; i < cells.size(); ++i) {
     ResultRow row;
     row.experiment = e.id;
@@ -320,16 +342,22 @@ void ExperimentEngine::run_grid(const Experiment& e) {
 
   // One base-rate simulation per stack; fan out, keep stack order.
   std::vector<GridSeries> series(stacks.size());
+  std::vector<obs::CounterSnapshot> snaps(stacks.size());
   std::mutex io_m;
   ParallelRunner pool(opts_.jobs);
+  pool.set_span_label("grid.series");
   pool.for_each_index(stacks.size(), [&](std::size_t i) {
+    obs::CounterRegistry reg;
+    const obs::ScopedRegistry scope(&reg);
     series[i] = grid_series(sc, stacks[i], rates);
+    snaps[i] = reg.snapshot();
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
       note("  [" + e.title + "] " + stacks[i].label + " done (" +
            std::to_string(series[i].active_nodes.size()) + " active nodes)");
     }
   });
+  for (const obs::CounterSnapshot& s : snaps) exp_counters_.merge_from(s);
 
   for (std::size_t ri = 0; ri < rates.size(); ++ri) {
     for (std::size_t si = 0; si < series.size(); ++si) {
@@ -383,10 +411,15 @@ void ExperimentEngine::run_design(const Experiment& e) {
     double lb = 0.0, cert_gap = 0.0, rnodes = 0.0, redges = 0.0;
   };
   std::vector<std::vector<Sample>> samples(cells.size());
+  std::vector<obs::CounterSnapshot> snaps(cells.size());
 
   std::mutex io_m;
   ParallelRunner pool(opts_.jobs);
+  pool.set_span_label("design.cell");
   pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const std::uint32_t tid = static_cast<std::uint32_t>(ci) + 1;
+    obs::CounterRegistry reg;
+    const obs::ScopedRegistry scope(&reg);
     const Cell& cell = cells[ci];
     opt::DesignInstanceSpec spec;
     spec.node_count = cell.n;
@@ -394,10 +427,12 @@ void ExperimentEngine::run_design(const Experiment& e) {
     spec.seed = base_seed + cell.run;
     spec.presolve = e.presolve;
     spec.field_scale = e.field_scale;
+    obs::PhaseTimer t_build("instance.build", obs::kPidCell, tid);
     const opt::DesignInstance inst = opt::make_design_instance(spec);
+    t_build.stop();
 
     const CellSearchResult sr =
-        search_design_cell(inst, e.heuristics, ho, spec.seed, cell.n);
+        search_design_cell(inst, e.heuristics, ho, spec.seed, cell.n, tid);
     samples[ci].resize(e.heuristics.size());
     for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
       const opt::CandidateDesign& cand = sr.designs[hi];
@@ -416,6 +451,7 @@ void ExperimentEngine::run_design(const Experiment& e) {
         s.redges = static_cast<double>(inst.presolve->reduced_edges);
       }
     }
+    snaps[ci] = reg.snapshot();
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
       note("  [" + e.title + "] n=" + std::to_string(cell.n) +
@@ -423,6 +459,7 @@ void ExperimentEngine::run_design(const Experiment& e) {
            std::to_string(runs) + " done");
     }
   });
+  for (const obs::CounterSnapshot& s : snaps) exp_counters_.merge_from(s);
 
   // Aggregate per (n, heuristic) across instances; emission is n-major,
   // heuristic-minor in manifest order, independent of scheduling.
@@ -514,10 +551,15 @@ void ExperimentEngine::run_replay(const Experiment& e) {
     std::vector<opt::CandidateDesign> designs;  // per heuristic
   };
   std::vector<CellState> state(cells.size());
+  std::vector<obs::CounterSnapshot> search_snaps(cells.size());
 
   std::mutex io_m;
   ParallelRunner pool(opts_.jobs);
+  pool.set_span_label("replay.search");
   pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const std::uint32_t tid = static_cast<std::uint32_t>(ci) + 1;
+    obs::CounterRegistry reg;
+    const obs::ScopedRegistry scope(&reg);
     const Cell& cell = cells[ci];
     CellState& st = state[ci];
     st.spec.node_count = cell.n;
@@ -526,7 +568,9 @@ void ExperimentEngine::run_replay(const Experiment& e) {
     st.spec.demand_weights = e.demand_weights;
     st.spec.presolve = e.presolve;
     st.spec.field_scale = e.field_scale;
+    obs::PhaseTimer t_build("instance.build", obs::kPidCell, tid);
     st.instance = opt::make_design_instance(st.spec);
+    t_build.stop();
 
     opt::HeuristicOptions ho;
     ho.eval = replay::replay_eq5_params(settings, st.spec.card);
@@ -535,8 +579,9 @@ void ExperimentEngine::run_replay(const Experiment& e) {
     ho.jobs = cells.size() > 1 ? 1 : opts_.jobs;
     ho.battery_budget_j = e.battery_j;
     st.designs = search_design_cell(st.instance, e.heuristics, ho,
-                                    st.spec.seed, cell.n)
+                                    st.spec.seed, cell.n, tid)
                      .designs;
+    search_snaps[ci] = reg.snapshot();
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
       note("  [" + e.title + "] n=" + std::to_string(cell.n) + " instance " +
@@ -548,12 +593,17 @@ void ExperimentEngine::run_replay(const Experiment& e) {
   // reports[cell * heuristics + heuristic]
   std::vector<replay::ReplayReport> reports(cells.size() *
                                             e.heuristics.size());
+  std::vector<obs::CounterSnapshot> replay_snaps(reports.size());
+  pool.set_span_label("replay.sim");
   pool.for_each_index(reports.size(), [&](std::size_t i) {
     const std::size_t ci = i / e.heuristics.size();
     const std::size_t hi = i % e.heuristics.size();
+    obs::CounterRegistry reg;
+    const obs::ScopedRegistry scope(&reg);
     const CellState& st = state[ci];
     reports[i] = replay::replay_design(st.spec, st.instance, st.designs[hi],
                                        settings);
+    replay_snaps[i] = reg.snapshot();
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
       note("  [" + e.title + "] n=" + std::to_string(cells[ci].n) + " " +
@@ -562,6 +612,10 @@ void ExperimentEngine::run_replay(const Experiment& e) {
            " replayed");
     }
   });
+  for (const obs::CounterSnapshot& s : search_snaps)
+    exp_counters_.merge_from(s);
+  for (const obs::CounterSnapshot& s : replay_snaps)
+    exp_counters_.merge_from(s);
 
   for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
     for (std::size_t hi = 0; hi < e.heuristics.size(); ++hi) {
@@ -648,10 +702,15 @@ void ExperimentEngine::run_churn(const Experiment& e) {
   };
   // samples[cell][epoch]
   std::vector<std::vector<Sample>> samples(cells.size());
+  std::vector<obs::CounterSnapshot> snaps(cells.size());
 
   std::mutex io_m;
   ParallelRunner pool(opts_.jobs);
+  pool.set_span_label("churn.cell");
   pool.for_each_index(cells.size(), [&](std::size_t ci) {
+    const std::uint32_t tid = static_cast<std::uint32_t>(ci) + 1;
+    obs::CounterRegistry reg;
+    const obs::ScopedRegistry scope(&reg);
     const Cell& cell = cells[ci];
     opt::DesignInstanceSpec spec;
     spec.node_count = cell.n;
@@ -660,7 +719,9 @@ void ExperimentEngine::run_churn(const Experiment& e) {
     spec.demand_weights = e.demand_weights;
     spec.presolve = e.presolve;
     spec.field_scale = e.field_scale;
+    obs::PhaseTimer t_build("instance.build", obs::kPidCell, tid);
     const opt::DesignInstance inst = opt::make_design_instance(spec);
+    t_build.stop();
 
     churn::TraceSpec trace;
     trace.epochs = epochs;
@@ -682,7 +743,7 @@ void ExperimentEngine::run_churn(const Experiment& e) {
     const auto cold_solve = [&](const core::NetworkDesignProblem& problem,
                                 const presolve::PresolveResult* pre)
         -> std::pair<opt::CandidateDesign, double> {
-      const auto t0 = std::chrono::steady_clock::now();
+      obs::PhaseTimer t0("churn.cold_solve", obs::kPidCell, tid);
       const graph::SteinerTree kr =
           (pre ? pre->node_reduced : problem).solve_node_weighted();
       opt::PortfolioOptions po;
@@ -694,10 +755,7 @@ void ExperimentEngine::run_churn(const Experiment& e) {
       po.klein_ravi_tree = &kr;
       po.presolve = pre;
       opt::PortfolioResult pr = opt::design_portfolio(problem, po);
-      const double wall = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-      return {std::move(pr.best), wall};
+      return {std::move(pr.best), t0.stop()};
     };
 
     samples[ci].resize(epochs);
@@ -739,10 +797,13 @@ void ExperimentEngine::run_churn(const Experiment& e) {
       if (delta.topology_changed) serving_routes.clear();
 
       std::optional<presolve::PresolveResult> pre;
-      if (e.presolve) pre = presolve::presolve_design(problem);
+      if (e.presolve) {
+        obs::PhaseTimer t_pre("presolve", obs::kPidCell, tid);
+        pre = presolve::presolve_design(problem);
+      }
       const presolve::PresolveResult* pre_ptr = pre ? &*pre : nullptr;
 
-      const auto t_warm = std::chrono::steady_clock::now();
+      obs::PhaseTimer t_warm("churn.warm_repair", obs::kPidCell, tid);
       opt::WarmStartOptions wo;
       wo.objective = objective;
       wo.starts = e.starts;
@@ -754,9 +815,7 @@ void ExperimentEngine::run_churn(const Experiment& e) {
       const opt::WarmStartResult wr = opt::warm_start_search(
           problem, serving, delta.touched_nodes, wo, spec.seed,
           serving_routes.empty() ? nullptr : &serving_routes, &next_routes);
-      const double warm_wall = std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - t_warm)
-                                   .count();
+      const double warm_wall = t_warm.stop();
 
       const auto [cold, cold_wall] = cold_solve(problem, pre_ptr);
 
@@ -776,11 +835,15 @@ void ExperimentEngine::run_churn(const Experiment& e) {
       // *current* (moved/failed) topology and re-run through the packet
       // simulator — the serving loop's end-to-end ground truth.
       if (e.replay_every > 0 && epoch % e.replay_every == 0) {
+        obs::PhaseTimer t_real("churn.realize", obs::kPidCell, tid);
         const replay::DesignRealization real = replay::realize_design_at(
             state.positions(), state.field_side(), spec.card, spec.seed,
             problem, wr.design, settings);
+        t_real.stop();
+        obs::PhaseTimer t_replay("churn.replay_sim", obs::kPidCell, tid);
         const replay::ReplayReport rep =
             replay::run_realization(real, settings);
+        t_replay.stop();
         s.replay_gap = rep.gap_pct;
       }
 
@@ -788,6 +851,7 @@ void ExperimentEngine::run_churn(const Experiment& e) {
       serving_routes = std::move(next_routes);
     }
 
+    snaps[ci] = reg.snapshot();
     if (opts_.progress) {
       std::lock_guard<std::mutex> lk(io_m);
       note("  [" + e.title + "] n=" + std::to_string(cell.n) + " trace " +
@@ -795,6 +859,7 @@ void ExperimentEngine::run_churn(const Experiment& e) {
            " served (" + std::to_string(epochs) + " epochs)");
     }
   });
+  for (const obs::CounterSnapshot& s : snaps) exp_counters_.merge_from(s);
 
   // Aggregate per (n, epoch) across traces; emission is n-major,
   // epoch-minor, independent of scheduling.

@@ -15,6 +15,7 @@
 
 #include "core/manifest.hpp"
 #include "core/result_sink.hpp"
+#include "obs/counters.hpp"
 
 namespace eend::core {
 
@@ -29,6 +30,10 @@ struct EngineOptions {
   std::optional<std::uint64_t> seed_override;
   /// Progress lines ("  [title] STACK done") go here; nullptr = silent.
   std::ostream* progress = nullptr;
+  /// Per-experiment telemetry counters as JSONL (one line per counter /
+  /// histogram, merged in seed order so the bytes are --jobs-invariant);
+  /// nullptr = counters are still collected but not written.
+  std::ostream* counters = nullptr;
 };
 
 class ExperimentEngine {
@@ -67,6 +72,9 @@ class ExperimentEngine {
 
   EngineOptions opts_;
   std::vector<ResultSink*> sinks_;
+  /// Counters accumulated by the experiment currently inside run(); each
+  /// run_* kind merges its per-cell snapshots here in cell order.
+  obs::CounterSnapshot exp_counters_;
 };
 
 }  // namespace eend::core

@@ -165,6 +165,10 @@ constexpr MetricInfo kSimMetricInfo[] = {
     {"nodes_carrying_data", "nodes carrying data"},
     {"rreq_transmissions", "RREQ transmissions"},
     {"mac_collisions", "MAC collisions"},
+    {"mac_cs_drops", "carrier-sense drops"},
+    {"mac_defers_exhausted", "MAC defers exhausted"},
+    {"mac_stale_bcast_drops", "stale broadcast drops"},
+    {"mac_unicast_failures", "unicast failures"},
     {"average_delay_s", "average delay (s)"},
 };
 constexpr MetricInfo kGridMetricInfo[] = {

@@ -1,8 +1,20 @@
 #include "core/parallel_runner.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace eend::core {
+
+namespace {
+/// Trace lane of the pool worker currently executing on this thread (0 on
+/// the calling thread and outside any pool). A nested serial
+/// for_each_index on a worker thread emits its spans on the worker's lane
+/// rather than colliding with every other worker on lane 0.
+thread_local std::uint32_t t_lane = 0;
+}  // namespace
 
 std::size_t default_jobs() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -13,7 +25,7 @@ ParallelRunner::ParallelRunner(std::size_t jobs)
     : jobs_(jobs == 0 ? default_jobs() : std::min(jobs, kMaxJobs)) {
   workers_.reserve(jobs_ - 1);
   for (std::size_t i = 0; i + 1 < jobs_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ParallelRunner::~ParallelRunner() {
@@ -25,24 +37,33 @@ ParallelRunner::~ParallelRunner() {
   for (auto& w : workers_) w.join();
 }
 
-void ParallelRunner::worker_loop() {
+void ParallelRunner::worker_loop(std::size_t lane) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
     cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
-    drain(lk);
+    drain(lk, static_cast<std::uint32_t>(lane));
   }
 }
 
-void ParallelRunner::drain(std::unique_lock<std::mutex>& lk) {
+void ParallelRunner::drain(std::unique_lock<std::mutex>& lk,
+                           std::uint32_t lane) {
   while (next_ < n_) {
     const std::size_t i = next_++;
     const auto* fn = fn_;
+    obs::CounterRegistry* const reg = batch_reg_;
+    const char* const label = span_label_;
     lk.unlock();
     std::exception_ptr caught;
     try {
+      // Route counts into the caller's registry; the span (if labeled and
+      // a collector is installed) shows this index on the worker's lane.
+      const obs::ScopedRegistry scope(reg);
+      t_lane = lane;
+      std::optional<obs::PhaseTimer> span;
+      if (label != nullptr && obs::tracing()) span.emplace(label, 0, lane);
       (*fn)(i);
     } catch (...) {
       caught = std::current_exception();
@@ -60,7 +81,14 @@ void ParallelRunner::for_each_index(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);  // serial fast path
+    // Serial fast path: the caller's registry is already this thread's
+    // current one; only the per-index spans need emitting.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<obs::PhaseTimer> span;
+      if (span_label_ != nullptr && obs::tracing())
+        span.emplace(span_label_, 0, t_lane);
+      fn(i);
+    }
     return;
   }
   std::unique_lock<std::mutex> lk(m_);
@@ -69,12 +97,14 @@ void ParallelRunner::for_each_index(
   next_ = 0;
   completed_ = 0;
   err_ = nullptr;
+  batch_reg_ = obs::current();
   ++generation_;
   cv_start_.notify_all();
-  drain(lk);  // the calling thread works too
+  drain(lk, 0);  // the calling thread works too
   cv_done_.wait(lk, [&] { return completed_ == n_; });
   n_ = 0;
   fn_ = nullptr;
+  batch_reg_ = nullptr;
   if (err_) {
     auto err = err_;
     err_ = nullptr;

@@ -18,6 +18,10 @@
 #include <thread>
 #include <vector>
 
+namespace eend::obs {
+class CounterRegistry;
+}  // namespace eend::obs
+
 namespace eend::core {
 
 /// Worker count used for jobs = 0 ("auto"): one per hardware thread, or 1
@@ -50,12 +54,24 @@ class ParallelRunner {
   std::size_t jobs() const { return jobs_; }
 
   /// Invoke fn(i) once for every i in [0, n); returns when all are done.
+  ///
+  /// Telemetry: the calling thread's current obs::CounterRegistry (if any)
+  /// is installed in every worker for the batch duration, so counts made
+  /// inside fn land in the caller's registry no matter which thread runs
+  /// which index — totals stay identical for any `jobs` because sums
+  /// commute. Closures that install their own ScopedRegistry (the
+  /// per-replication/per-cell pattern) override it naturally.
   void for_each_index(std::size_t n,
                       const std::function<void(std::size_t)>& fn);
 
+  /// Label for per-index trace spans (emitted on logical lane `pid 0,
+  /// tid = worker slot` while a TraceCollector is installed). Must point
+  /// at storage outliving the runner; nullptr (default) disables spans.
+  void set_span_label(const char* label) { span_label_ = label; }
+
  private:
-  void worker_loop();
-  void drain(std::unique_lock<std::mutex>& lk);
+  void worker_loop(std::size_t lane);
+  void drain(std::unique_lock<std::mutex>& lk, std::uint32_t lane);
 
   std::size_t jobs_;
   std::vector<std::thread> workers_;
@@ -74,6 +90,11 @@ class ParallelRunner {
   std::size_t completed_ = 0;
   std::size_t err_index_ = 0;
   std::exception_ptr err_;
+
+  // Telemetry: the batch's inherited counter registry (the caller's
+  // thread-local current() at for_each_index time) and the span label.
+  obs::CounterRegistry* batch_reg_ = nullptr;
+  const char* span_label_ = nullptr;
 };
 
 }  // namespace eend::core

@@ -18,7 +18,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-constexpr std::array<RuleInfo, 5> kRules{{
+constexpr std::array<RuleInfo, 6> kRules{{
     {Rule::UnorderedIter, "unordered-iter",
      "iteration over an unordered container (order is "
      "implementation-defined)"},
@@ -31,6 +31,9 @@ constexpr std::array<RuleInfo, 5> kRules{{
     {Rule::FloatAccum, "float-accum",
      "float accumulator (rounding drifts with summation order; use "
      "double)"},
+    {Rule::RawTiming, "raw-timing",
+     "raw steady_clock outside src/obs/ and bench/ (time through "
+     "obs::PhaseTimer)"},
     {Rule::BadAllow, "bad-allow",
      "malformed eend-lint annotation (unknown rule or missing reason)"},
 }};
@@ -632,6 +635,39 @@ void rule_float_accum(const Context& ctx) {
   }
 }
 
+bool path_has_segment(std::string_view path, std::string_view seg) {
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    std::size_t next = path.find('/', pos);
+    if (next == std::string_view::npos) next = path.size();
+    if (path.substr(pos, next - pos) == seg) return true;
+    pos = next + 1;
+  }
+  return false;
+}
+
+void rule_raw_timing(const Context& ctx) {
+  // src/obs owns the steady_clock wrappers (PhaseTimer, TraceCollector) and
+  // bench binaries time their own loops; everywhere else a raw clock read
+  // bypasses the telemetry layer — spans and wall metrics would disagree.
+  if (path_has_segment(ctx.file.path, "obs") ||
+      path_has_segment(ctx.file.path, "bench"))
+    return;
+  static constexpr std::string_view kToken = "steady_clock";
+  const std::string_view code = ctx.code;
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = code.find(kToken, from);
+    if (at == std::string_view::npos) break;
+    from = at + kToken.size();
+    if (!word_bounded(code, at, kToken.size())) continue;
+    ctx.flag(Rule::RawTiming, at,
+             "raw 'steady_clock' outside src/obs/ and bench/: time through "
+             "obs::PhaseTimer so wall metrics and trace spans stay "
+             "consistent");
+  }
+}
+
 // -------------------------------------------------------------- plumbing ---
 
 /// allow(rule) on line L covers L and the next line that carries code.
@@ -731,6 +767,7 @@ std::vector<Finding> lint_source(
   rule_nondet_source(ctx);
   rule_ptr_key(ctx);
   rule_float_accum(ctx);
+  rule_raw_timing(ctx);
 
   const auto covered = coverage(stripped.allows, stripped.code);
   std::vector<Finding> kept;

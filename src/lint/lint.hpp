@@ -22,6 +22,11 @@
 //                   and std::accumulate with a float literal init: float
 //                   rounding drifts with summation order — the PR 1 fig7
 //                   R/B crash class.
+//   raw-timing      std::chrono::steady_clock outside src/obs/ and bench/:
+//                   ad-hoc timers bypass the telemetry layer — time through
+//                   obs::PhaseTimer so wall metrics and trace spans stay
+//                   one mechanism. obs/ owns the sanctioned call sites and
+//                   bench binaries time themselves.
 //   bad-allow       a malformed eend-lint annotation (unknown rule id or
 //                   missing reason) — so the escape hatch cannot rot.
 //
@@ -53,6 +58,7 @@ enum class Rule {
   NondetSource,
   PtrKey,
   FloatAccum,
+  RawTiming,
   BadAllow,
 };
 

@@ -67,6 +67,12 @@ struct RunResult {
   std::uint64_t update_transmissions = 0;
   std::uint64_t mac_collisions = 0;
   std::uint64_t mac_queue_drops = 0;
+  // The remaining MacStats loss counters, summed over all nodes like
+  // queue_drops (previously dropped on the floor by Network::run).
+  std::uint64_t mac_cs_drops = 0;
+  std::uint64_t mac_defers_exhausted = 0;
+  std::uint64_t mac_stale_bcast_drops = 0;
+  std::uint64_t mac_unicast_failures = 0;
   std::uint64_t channel_transmissions = 0;
 
   /// Final source route per flow (reactive stacks only; grid study).

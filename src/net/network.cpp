@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "obs/counters.hpp"
 #include "routing/dsdv.hpp"
 #include "routing/reactive.hpp"
 
@@ -229,11 +230,30 @@ metrics::RunResult Network::run() {
         r->stats().rreq_sent + r->stats().rreq_forwarded;
     out.update_transmissions += r->stats().updates_sent;
   }
-  for (const auto& m : macs_) out.mac_queue_drops += m->stats().queue_drops;
+  for (const auto& m : macs_) {
+    const mac::MacStats& ms = m->stats();
+    out.mac_queue_drops += ms.queue_drops;
+    out.mac_cs_drops += ms.cs_drops;
+    out.mac_defers_exhausted += ms.defers_exhausted;
+    out.mac_stale_bcast_drops += ms.stale_bcast_drops;
+    out.mac_unicast_failures += ms.unicast_failures;
+  }
   out.channel_transmissions = channel_->transmissions();
   out.flow_routes = flow_routes_;
   out.first_death_s = first_death_s_;
   out.depleted_nodes = depleted_nodes_;
+
+  if (obs::CounterRegistry* reg = obs::current()) {
+    reg->add("mac.queue_drops", out.mac_queue_drops);
+    reg->add("mac.cs_drops", out.mac_cs_drops);
+    reg->add("mac.defers_exhausted", out.mac_defers_exhausted);
+    reg->add("mac.stale_bcast_drops", out.mac_stale_bcast_drops);
+    reg->add("mac.unicast_failures", out.mac_unicast_failures);
+    reg->add("mac.collisions", out.mac_collisions);
+    reg->add("net.channel_transmissions", out.channel_transmissions);
+    reg->add("energy.depleted_nodes", out.depleted_nodes);
+    sim_.publish_counters(*reg);
+  }
   return out;
 }
 

@@ -1,0 +1,122 @@
+#include "obs/counters.hpp"
+
+#include <bit>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace eend::obs {
+
+std::size_t hist_bucket(std::uint64_t value) {
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistBuckets ? width : kHistBuckets - 1;
+}
+
+void HistogramData::observe(std::uint64_t value) {
+  ++count;
+  sum += value;
+  ++buckets[hist_bucket(value)];
+}
+
+void HistogramData::merge_from(const HistogramData& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+void CounterSnapshot::clear() {
+  counters.clear();
+  histograms.clear();
+}
+
+void CounterSnapshot::merge_from(const CounterSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, hist] : other.histograms)
+    histograms[name].merge_from(hist);
+}
+
+void CounterSnapshot::write_jsonl(std::ostream& os,
+                                  std::string_view experiment) const {
+  const std::string exp = json::dump(json::Value(std::string(experiment)));
+  for (const auto& [name, value] : counters) {
+    os << "{\"experiment\":" << exp << ",\"counter\":"
+       << json::dump(json::Value(name)) << ",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    os << "{\"experiment\":" << exp << ",\"histogram\":"
+       << json::dump(json::Value(name)) << ",\"count\":" << hist.count
+       << ",\"sum\":" << hist.sum << ",\"buckets\":[";
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (i != 0) os << ',';
+      os << hist.buckets[i];
+    }
+    os << "]}\n";
+  }
+}
+
+#if EEND_OBS_ENABLED
+
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void CounterRegistry::observe(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    it->second.observe(value);
+  } else {
+    histograms_.emplace(std::string(name), HistogramData{}).first->second
+        .observe(value);
+  }
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CounterSnapshot snap;
+  for (const auto& [name, value] : counters_) snap.counters[name] = value;
+  for (const auto& [name, hist] : histograms_) snap.histograms[name] = hist;
+  return snap;
+}
+
+namespace {
+thread_local CounterRegistry* tls_current = nullptr;
+}  // namespace
+
+CounterRegistry* current() { return tls_current; }
+
+ScopedRegistry::ScopedRegistry(CounterRegistry* reg) : prev_(tls_current) {
+  tls_current = reg;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_current = prev_; }
+
+void count(std::string_view name, std::uint64_t delta) {
+  if (CounterRegistry* reg = tls_current) reg->add(name, delta);
+}
+
+void observe(std::string_view name, std::uint64_t value) {
+  if (CounterRegistry* reg = tls_current) reg->observe(name, value);
+}
+
+#else  // EEND_OBS_ENABLED == 0
+
+void CounterRegistry::add(std::string_view, std::uint64_t) {}
+void CounterRegistry::observe(std::string_view, std::uint64_t) {}
+CounterSnapshot CounterRegistry::snapshot() const { return {}; }
+
+CounterRegistry* current() { return nullptr; }
+ScopedRegistry::ScopedRegistry(CounterRegistry*) : prev_(nullptr) {}
+ScopedRegistry::~ScopedRegistry() = default;
+void count(std::string_view, std::uint64_t) {}
+void observe(std::string_view, std::uint64_t) {}
+
+#endif
+
+}  // namespace eend::obs

@@ -1,0 +1,75 @@
+// Telemetry compile gate and hot-path counter primitives.
+//
+// This header is intentionally dependency-free so the simulation core can
+// include it without pulling strings, maps, or mutexes into hot headers.
+// `EEND_OBS_ENABLED` (CMake option `EEND_OBS`, default ON) selects between
+// the real primitives and empty no-op twins: with the gate off, `HotCounter`
+// and `HotGauge` are empty types whose member functions compile to nothing,
+// so instrumented inner loops carry zero state and zero instructions.
+//
+// Two tiers of instrumentation share this gate:
+//   - Hot paths (event fire, pool allocate, ladder restructures) bump plain
+//     `HotCounter`/`HotGauge` members — no atomics, no TLS, no name lookup —
+//     and publish totals once per replication into a `CounterRegistry`
+//     (see counters.hpp).
+//   - Cool paths (search operators, churn epochs, MAC totals) call
+//     `obs::count()`/`obs::observe()` directly; one registry lookup per call.
+#pragma once
+
+#include <cstdint>
+
+#ifndef EEND_OBS_ENABLED
+#define EEND_OBS_ENABLED 1
+#endif
+
+namespace eend::obs {
+
+inline constexpr bool kEnabled = EEND_OBS_ENABLED != 0;
+
+#if EEND_OBS_ENABLED
+
+/// Monotonic counter for hot paths: a bare uint64, incremented inline.
+/// Single-threaded by construction — owned by one Simulator/pool/queue,
+/// which ParallelRunner never shares across replications.
+class HotCounter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// High-water-mark gauge for hot paths (e.g. ladder rung depth).
+class HotGauge {
+ public:
+  void observe_max(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+#else  // EEND_OBS_ENABLED == 0: empty twins, members compile out entirely.
+
+class HotCounter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+};
+
+class HotGauge {
+ public:
+  void observe_max(std::uint64_t) {}
+  std::uint64_t value() const { return 0; }
+};
+
+#endif
+
+static_assert(kEnabled ? sizeof(HotCounter) == sizeof(std::uint64_t)
+                       : sizeof(HotCounter) == 1,
+              "disabled telemetry must compile hot counters down to nothing");
+
+}  // namespace eend::obs

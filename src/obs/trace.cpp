@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+#include <tuple>
+
+#include "util/json.hpp"
+
+namespace eend::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_trace{nullptr};
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::add(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+double TraceCollector::now_us() const {
+  return to_us(std::chrono::steady_clock::now() - epoch_);
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.pid, a.tid, a.ts_us, a.name) <
+                     std::tie(b.pid, b.tid, b.ts_us, b.name);
+            });
+  return out;
+}
+
+void TraceCollector::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> sorted = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : sorted) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":" << json::dump(json::Value(e.name))
+       << ",\"ph\":\"X\",\"ts\":" << json::dump(json::Value(e.ts_us))
+       << ",\"dur\":" << json::dump(json::Value(e.dur_us))
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void set_trace(TraceCollector* collector) {
+  g_trace.store(collector, std::memory_order_release);
+}
+
+TraceCollector* trace() { return g_trace.load(std::memory_order_acquire); }
+
+bool tracing() { return kEnabled && trace() != nullptr; }
+
+void emit_span(const char* name, double ts_us, double dur_us,
+               std::uint32_t pid, std::uint32_t tid) {
+  if (!kEnabled) return;
+  if (TraceCollector* tc = trace()) {
+    TraceEvent e;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    tc->add(std::move(e));
+  }
+}
+
+double trace_now_us() {
+  if (!kEnabled) return 0.0;
+  TraceCollector* tc = trace();
+  return tc != nullptr ? tc->now_us() : 0.0;
+}
+
+PhaseTimer::PhaseTimer(std::string name, std::uint32_t pid, std::uint32_t tid)
+    : name_(std::move(name)),
+      pid_(pid),
+      tid_(tid),
+      start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+double PhaseTimer::elapsed_s() const {
+  if (stopped_) return stopped_elapsed_s_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double PhaseTimer::stop() {
+  if (stopped_) return stopped_elapsed_s_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  stopped_elapsed_s_ = std::chrono::duration<double>(end - start_).count();
+  if (kEnabled) {
+    if (TraceCollector* tc = trace()) {
+      TraceEvent e;
+      e.name = name_;
+      e.pid = pid_;
+      e.tid = tid_;
+      e.ts_us = to_us(start_ - tc->epoch());
+      e.dur_us = to_us(end - start_);
+      if (e.ts_us < 0.0) e.ts_us = 0.0;
+      tc->add(std::move(e));
+    }
+  }
+  return stopped_elapsed_s_;
+}
+
+}  // namespace eend::obs

@@ -1,0 +1,109 @@
+// Phase timers and Chrome trace_event emission.
+//
+// `PhaseTimer` is the tree's one sanctioned wall-clock: an RAII span that
+// always measures elapsed time (so `wall_time_s`-style metrics keep working
+// with telemetry compiled off) and, when a `TraceCollector` is installed,
+// emits a complete ("ph":"X") Chrome trace_event on stop. The resulting
+// file loads directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// pids/tids are LOGICAL lane ids, never OS thread ids, so identical runs
+// produce identical lane layouts: pid 0 is the engine/worker process row
+// (tid 0 = the phase lane, tid k = pool worker lane k), pid 1 is the
+// sampled sim-core row (tid = replication lane + 1), pid 2 is the per-cell
+// engine-phase row (tid = cell index + 1). Cell phases get their own pid
+// because a cell's lane is its *index* while a worker's lane is its
+// *thread* — on one pid the two would overlap mid-span. Timestamps are
+// wall-clock and vary run to run; everything else is deterministic.
+//
+// The collector install point is process-global (`set_trace`): spans are
+// coarse (phases, cells, event batches), so a mutex-protected vector is
+// plenty. Events are sorted on write so emission order is stable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace eend::obs {
+
+/// Logical trace process rows (see the header comment).
+inline constexpr std::uint32_t kPidEngine = 0;
+inline constexpr std::uint32_t kPidSim = 1;
+inline constexpr std::uint32_t kPidCell = 2;
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;   // microseconds since collector epoch
+  double dur_us = 0.0;  // span duration in microseconds
+};
+
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  void add(TraceEvent event);
+
+  /// Microseconds elapsed since this collector was constructed.
+  double now_us() const;
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Copy of the events, sorted by (pid, tid, ts, name).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Install (or clear, with nullptr) the process-global collector. The
+/// caller owns the collector and must clear it before destruction.
+void set_trace(TraceCollector* collector);
+TraceCollector* trace();
+bool tracing();
+
+/// Emit a complete span directly (used by the sampled sim-core batches,
+/// which cannot afford a PhaseTimer per event). No-op unless tracing.
+void emit_span(const char* name, double ts_us, double dur_us,
+               std::uint32_t pid, std::uint32_t tid);
+
+/// Microseconds since the installed collector's epoch; 0.0 when not tracing.
+double trace_now_us();
+
+/// RAII phase span. Always times (elapsed_s() is valid with the telemetry
+/// gate off); emits to the global collector only when one is installed at
+/// stop time and EEND_OBS_ENABLED is on.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string name, std::uint32_t pid = 0,
+                      std::uint32_t tid = 0);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Elapsed seconds so far, without stopping the span.
+  double elapsed_s() const;
+
+  /// Emit now (idempotent) and return elapsed seconds at the stop point.
+  double stop();
+
+ private:
+  std::string name_;
+  std::uint32_t pid_;
+  std::uint32_t tid_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double stopped_elapsed_s_ = 0.0;
+};
+
+}  // namespace eend::obs

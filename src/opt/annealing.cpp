@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
+#include "obs/counters.hpp"
 #include "util/rng.hpp"
 
 namespace eend::opt {
@@ -25,6 +27,7 @@ CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
   CandidateDesign best = start;
   const double t0 = schedule.initial_temp_frac * start.cost();
   double temp = t0;
+  std::uint64_t proposals = 0, accepted = 0, improved = 0;
 
   for (std::size_t it = 0; it < schedule.iterations;
        ++it, temp *= schedule.cooling) {
@@ -68,14 +71,27 @@ CandidateDesign simulated_annealing(const core::NetworkDesignProblem& problem,
 
     CandidateDesign cand = evaluate_design(problem, proposal, objective);
     if (!cand.feasible) continue;
+    ++proposals;
     const double delta = cand.cost() - cur.cost();
     const bool accept =
         delta <= 0.0 ||
         (temp > 0.0 && rng.uniform() < std::exp(-delta / temp));
     if (!accept) continue;
+    ++accepted;
+    // Acceptance curve: which schedule decile accepted moves land in (the
+    // histogram shape shows whether cooling freezes the walk too early).
+    obs::observe("opt.sa.accept_decile",
+                 schedule.iterations == 0 ? 0 : it * 10 / schedule.iterations);
     cur = std::move(cand);
-    if (cur.cost() < best.cost()) best = cur;
+    if (cur.cost() < best.cost()) {
+      best = cur;
+      ++improved;
+    }
   }
+  obs::count("opt.sa.calls");
+  obs::count("opt.sa.proposals", proposals);
+  obs::count("opt.sa.accepted", accepted);
+  obs::count("opt.sa.improved", improved);
   return best;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/counters.hpp"
+
 namespace eend::opt {
 
 namespace {
@@ -90,6 +92,9 @@ CandidateDesign local_search(const core::NetworkDesignProblem& problem,
     ++local.passes;
   }
   if (stats) *stats = local;
+  obs::count("opt.ls.calls");
+  obs::count("opt.ls.evaluations", local.evaluations);
+  obs::count("opt.ls.moves_accepted", local.passes);  // one move per pass
   return cur;
 }
 

@@ -90,6 +90,7 @@ PortfolioResult design_portfolio(const core::NetworkDesignProblem& problem,
   PortfolioResult result;
   result.starts.resize(n);
   core::ParallelRunner pool(options.jobs);
+  pool.set_span_label("portfolio.start");
   pool.for_each_index(n, [&](std::size_t i) {
     result.starts[i] = run_start(problem, options, i);
   });

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/shortest_path.hpp"
+#include "obs/counters.hpp"
 #include "opt/portfolio.hpp"
 #include "presolve/presolve.hpp"
 #include "util/check.hpp"
@@ -111,6 +112,9 @@ WarmStartResult warm_start_search(
   // goes through the RouteCache fast path against the incumbent's routes.
   if (cur.feasible && !touched_nodes.empty()) {
     const std::vector<char> region = repair_region(g, touched_nodes);
+    obs::observe("opt.warm.repair_region_size",
+                 static_cast<std::uint64_t>(
+                     std::count(region.begin(), region.end(), char{1})));
     for (std::size_t pass = 0; pass < options.max_repair_passes; ++pass) {
       const std::vector<char> in_cur = membership(g.node_count(), cur.nodes);
       CandidateDesign best;
@@ -213,6 +217,10 @@ WarmStartResult warm_start_search(
   }
   if (out_routes) *out_routes = std::move(final_cache);
   out.design = std::move(cur);
+  obs::count("opt.warm.calls");
+  obs::count("opt.warm.evaluations", out.evaluations);
+  obs::count("opt.warm.rerouted_demands", out.rerouted_demands);
+  if (out.fell_back) obs::count("opt.warm.fallbacks");
   return out;
 }
 

@@ -37,6 +37,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace eend::sim {
@@ -73,6 +74,19 @@ class LadderQueue {
 
   bool empty() const { return stored_ == 0; }
   std::size_t stored() const { return stored_; }
+
+  /// Structural telemetry (zero-cost with EEND_OBS off). Counts restructure
+  /// operations, not per-entry work: spawns/spills/promotions happen once
+  /// per O(kBottomMax) entries, so bumping them is off the per-event path.
+  struct Stats {
+    obs::HotCounter rung_spawns;        // child/seed rungs created
+    obs::HotCounter rung_spills;        // bottom tails spilled to top
+    obs::HotCounter bucket_promotions;  // rung buckets promoted to bottom
+    obs::HotCounter top_seeds;          // re-seeds from the overflow top
+    obs::HotCounter compactions;        // compact() sweeps
+    obs::HotGauge max_rung_depth;       // deepest rung ladder seen
+  };
+  const Stats& stats() const { return stats_; }
 
   /// Add an entry. `at` must be >= the `at` of the last popped entry and
   /// `seq` must exceed every seq ever pushed (the simulator guarantees
@@ -151,6 +165,7 @@ class LadderQueue {
         kept += sweep(r.buckets[b], gens);
     kept += sweep(top_, gens);
     stored_ = kept;
+    stats_.compactions.add();
   }
 
  private:
@@ -208,6 +223,7 @@ class LadderQueue {
                   bottom_.end());
       bottom_end_ = bottom_[keep].at;
       bottom_.resize(keep);
+      stats_.rung_spills.add();
       return;
     }
     // Rungs present: the bottom is the deepest rung's promoted bucket
@@ -239,6 +255,8 @@ class LadderQueue {
       child.buckets[static_cast<std::size_t>(idx)].push_back(bottom_[i]);
     }
     rungs_.push_back(std::move(child));
+    stats_.rung_spawns.add();
+    stats_.max_rung_depth.observe_max(rungs_.size());
     bottom_.clear();
     bottom_pos_ = 0;
     // bottom_end_ keeps its value: the new rung tiles [start, bottom_end_)
@@ -263,6 +281,7 @@ class LadderQueue {
     bottom_pos_ = 0;
     bottom_end_ = end;
     recycle_bucket(b);
+    stats_.bucket_promotions.add();
   }
 
   std::vector<QEntry> alloc_bucket() {
@@ -365,11 +384,14 @@ class LadderQueue {
     }
     recycle_bucket(b);
     rungs_.push_back(std::move(child));
+    stats_.rung_spawns.add();
+    stats_.max_rung_depth.observe_max(rungs_.size());
     return true;
   }
 
   /// Re-seed the rung structure from the far-future overflow.
   void seed_from_top() {
+    stats_.top_seeds.add();
     double lo = top_.front().at, hi = top_.front().at;
     for (const QEntry& e : top_) {
       lo = std::min(lo, e.at);
@@ -409,6 +431,8 @@ class LadderQueue {
     top_.clear();
     rungs_.clear();
     rungs_.push_back(std::move(r0));
+    stats_.rung_spawns.add();
+    stats_.max_rung_depth.observe_max(rungs_.size());
   }
 
   std::vector<QEntry> bottom_;  // sorted ascending (at, seq)
@@ -425,6 +449,7 @@ class LadderQueue {
   std::vector<QEntry> top_;    // far-future overflow, unsorted
   std::vector<std::vector<QEntry>> spare_;  // recycled bucket storage
   std::size_t stored_ = 0;
+  Stats stats_;
 };
 
 }  // namespace eend::sim

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace eend::sim {
 
 Simulator::~Simulator() {
@@ -75,6 +78,55 @@ void Simulator::fire(std::uint32_t si) {
     }
   } guard{destroy, ctx, block, block_bytes, &pool_};
   invoke(ctx);
+#if EEND_OBS_ENABLED
+  if (trace_every_ != 0 && ++batch_events_ >= trace_every_)
+    flush_batch_span();
+#endif
+}
+
+void Simulator::set_trace_sampling(std::uint64_t every_events,
+                                   std::uint32_t pid, std::uint32_t tid) {
+#if EEND_OBS_ENABLED
+  trace_every_ = every_events;
+  batch_events_ = 0;
+  batch_t0_us_ = obs::trace_now_us();
+  trace_pid_ = pid;
+  trace_tid_ = tid;
+#else
+  (void)every_events;
+  (void)pid;
+  (void)tid;
+#endif
+}
+
+void Simulator::flush_batch_span() {
+#if EEND_OBS_ENABLED
+  const double now_us = obs::trace_now_us();
+  obs::emit_span("sim.batch", batch_t0_us_, now_us - batch_t0_us_,
+                 trace_pid_, trace_tid_);
+  batch_t0_us_ = now_us;
+  batch_events_ = 0;
+#endif
+}
+
+void Simulator::publish_counters(obs::CounterRegistry& reg) const {
+  if constexpr (!obs::kEnabled) return;
+  reg.add("sim.events_fired", executed_);
+  reg.add("sim.events_scheduled", next_seq_);
+  reg.add("sim.events_cancelled", cancelled_.value());
+  reg.add("sim.slot_reuses", slot_reuses_.value());
+  reg.add("sim.closure_pool_spills", pooled_closures_.value());
+  reg.observe("sim.slot_high_water", slots_.size());
+  const LadderQueue::Stats& qs = queue_.stats();
+  reg.add("sim.ladder.rung_spawns", qs.rung_spawns.value());
+  reg.add("sim.ladder.rung_spills", qs.rung_spills.value());
+  reg.add("sim.ladder.bucket_promotions", qs.bucket_promotions.value());
+  reg.add("sim.ladder.top_seeds", qs.top_seeds.value());
+  reg.add("sim.ladder.compactions", qs.compactions.value());
+  reg.observe("sim.ladder.max_rung_depth", qs.max_rung_depth.value());
+  reg.add("pool.fresh_blocks", pool_.allocated_blocks());
+  reg.add("pool.reuse_hits", pool_.reuse_hits());
+  reg.add("pool.overflow_allocs", pool_.overflow_allocs());
 }
 
 bool Simulator::step() {

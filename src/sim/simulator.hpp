@@ -38,9 +38,14 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "sim/ladder_queue.hpp"
 #include "util/check.hpp"
 #include "util/pool.hpp"
+
+namespace eend::obs {
+class CounterRegistry;
+}  // namespace eend::obs
 
 namespace eend::sim {
 
@@ -107,6 +112,7 @@ class Simulator {
         kinds_[si] = kKindInlineAux;
       }
     } else {
+      pooled_closures_.add();
       void* block = pool_.allocate(sizeof(Fn));
       ::new (block) Fn(std::forward<F>(fn));
       const OverflowRec rec{
@@ -143,6 +149,7 @@ class Simulator {
     release_slot(si);
     --live_;
     ++stale_;  // the queue entry is now a tombstone
+    cancelled_.add();
     compact_if_stale();
     return true;
   }
@@ -183,6 +190,17 @@ class Simulator {
   /// mac::Packet payloads recycle through it. Single-threaded, like the
   /// simulator itself; it outlives every object the engine stores.
   util::MemoryPool& pool() { return pool_; }
+
+  /// Publish this simulation's telemetry (sim.*, sim.ladder.*, pool.*)
+  /// into `reg`. Totals derive only from simulated work, so they are a
+  /// pure function of the scenario and seed. No-op with EEND_OBS off.
+  void publish_counters(obs::CounterRegistry& reg) const;
+
+  /// Sampled sim-core trace spans: emit one "sim.batch" span per
+  /// `every_events` fired events on logical trace lane (pid, tid).
+  /// 0 disables (the default — the per-event cost is then one load+test).
+  void set_trace_sampling(std::uint64_t every_events, std::uint32_t pid,
+                          std::uint32_t tid);
 
  private:
   /// Destroy/relocate hooks for non-trivial inline closures, stored in the
@@ -230,6 +248,7 @@ class Simulator {
     if (!free_.empty()) {
       const std::uint32_t si = free_.back();
       free_.pop_back();
+      slot_reuses_.add();
       return si;
     }
     return grow_slots();
@@ -267,6 +286,7 @@ class Simulator {
   std::uint32_t grow_slots();
   void fire(std::uint32_t si);
   void compact_now();
+  void flush_batch_span();  // cold: emits the sampled sim-core span
 
   util::MemoryPool pool_;  // declared first: destroyed after the slots
   std::vector<Slot> slots_;
@@ -286,6 +306,18 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;   // pending handlers
   std::size_t stale_ = 0;  // queue entries whose handler is gone
+  obs::HotCounter slot_reuses_;
+  obs::HotCounter cancelled_;
+  obs::HotCounter pooled_closures_;
+#if EEND_OBS_ENABLED
+  // Sampled trace-span state; trace_every_ == 0 keeps fire() at one
+  // load+test of extra work. Compiled out entirely with the gate off.
+  std::uint64_t trace_every_ = 0;
+  std::uint64_t batch_events_ = 0;
+  double batch_t0_us_ = 0.0;
+  std::uint32_t trace_pid_ = 0;
+  std::uint32_t trace_tid_ = 0;
+#endif
 };
 
 /// A restartable one-shot timer — the idiom behind ODPM keep-alive timers,

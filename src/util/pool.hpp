@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace eend::util {
@@ -48,11 +50,15 @@ class MemoryPool {
   void* allocate(std::size_t bytes) {
     EEND_CHECK(bytes > 0);
     const std::size_t c = class_of(bytes);
-    if (c >= kClassCount) return ::operator new(bytes);
+    if (c >= kClassCount) {
+      overflow_allocs_.add();
+      return ::operator new(bytes);
+    }
     if (free_[c] != nullptr) {
       FreeNode* n = free_[c];
       free_[c] = n->next;
       --free_count_;
+      reuse_hits_.add();
       return static_cast<void*>(n);
     }
     ++allocated_blocks_;
@@ -80,6 +86,11 @@ class MemoryPool {
   /// Blocks currently parked on the free lists.
   std::size_t free_blocks() const { return free_count_; }
 
+  /// Telemetry (zero-cost with EEND_OBS off): free-list hits and requests
+  /// past kMaxPooled that fell through to plain operator new.
+  std::uint64_t reuse_hits() const { return reuse_hits_.value(); }
+  std::uint64_t overflow_allocs() const { return overflow_allocs_.value(); }
+
  private:
   struct FreeNode {
     FreeNode* next;
@@ -93,6 +104,8 @@ class MemoryPool {
   FreeNode* free_[kClassCount] = {};
   std::size_t allocated_blocks_ = 0;
   std::size_t free_count_ = 0;
+  obs::HotCounter reuse_hits_;
+  obs::HotCounter overflow_allocs_;
 };
 
 }  // namespace eend::util

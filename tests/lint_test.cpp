@@ -206,12 +206,57 @@ TEST(LintNondetSource, AllowedTwinIsSuppressed) {
 }
 
 TEST(LintNondetSource, SanctionedSourcesDoNotFire) {
+  // steady_clock is sanctioned for THIS rule (raw-timing governs where it
+  // may appear — asserted separately below).
   const std::string src = R"(#include <chrono>
 auto f() { return std::chrono::steady_clock::now(); }
 double g(eend::util::Rng& rng) { return rng.uniform(0.0, 1.0); }
 long h(double time_s) { return static_cast<long>(time_s); }
 void operand() {}
 )";
+  const auto fs = run(src);
+  EXPECT_EQ(count_rule(fs, lint::Rule::NondetSource), 0);
+}
+
+// ----------------------------------------------------------- raw-timing ---
+
+TEST(LintRawTiming, SteadyClockOutsideObsFires) {
+  const std::string src = R"(#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+)";
+  const auto fs = run(src);  // fixture.cpp: not an exempt path
+  ASSERT_EQ(count_rule(fs, lint::Rule::RawTiming), 1);
+  EXPECT_EQ(line_of_first(fs, lint::Rule::RawTiming), 2);
+  EXPECT_NE(fs[0].message.find("PhaseTimer"), std::string::npos);
+}
+
+TEST(LintRawTiming, AllowedTwinIsSuppressed) {
+  const std::string src =
+      "// eend-lint: allow(raw-timing) — bootstrap code, obs not linked\n"
+      "auto t0() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(run(src).empty());
+}
+
+TEST(LintRawTiming, ObsAndBenchPathsAreExempt) {
+  const std::string body =
+      "auto f() { return std::chrono::steady_clock::now(); }\n";
+  for (const char* path :
+       {"src/obs/trace.cpp", "bench/bench_micro_simcore.cpp",
+        "src/obs/nested/timer.hpp"}) {
+    const auto fs = lint::lint_source(lint::SourceFile{path, body});
+    EXPECT_EQ(count_rule(fs, lint::Rule::RawTiming), 0) << path;
+  }
+  // "observability.cpp" is not an "obs" path segment; still fires.
+  const auto fs =
+      lint::lint_source(lint::SourceFile{"src/observability/t.cpp", body});
+  EXPECT_EQ(count_rule(fs, lint::Rule::RawTiming), 1);
+}
+
+TEST(LintRawTiming, MentionsInCommentsAndStringsDoNotFire) {
+  const std::string src =
+      "// steady_clock is banned here\n"
+      "const char* why = \"use steady_clock via PhaseTimer\";\n"
+      "void f() { (void)why; }\n";
   EXPECT_TRUE(run(src).empty());
 }
 

@@ -19,12 +19,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment_engine.hpp"
 #include "core/manifest.hpp"
 #include "core/result_sink.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -44,6 +47,12 @@ options:
                     (default: <name>.csv in the current directory)
   --jsonl=PATH      JSON-lines destination, same conventions
                     (default: <name>.jsonl)
+  --counters=PATH   telemetry counters as JSON-lines, one object per counter
+                    or histogram per experiment; byte-identical for every
+                    --jobs value (default: not written)
+  --trace=PATH      Chrome trace_event JSON covering engine phases, worker
+                    spans and sampled sim batches — open in chrome://tracing
+                    or ui.perfetto.dev (default: not written)
   --no-table        suppress the pretty tables on stdout (implied when a
                     machine sink writes to '-')
   --list            list the manifest's experiments and exit
@@ -53,8 +62,9 @@ options:
 )";
 
 const std::vector<std::string> kKnownFlags = {
-    "manifest", "jobs", "quick", "runs", "seed", "only", "csv",
-    "jsonl", "no-table", "list", "print-manifest", "quiet", "help"};
+    "manifest", "jobs", "quick", "runs", "seed", "only", "csv", "jsonl",
+    "counters", "trace", "no-table", "list", "print-manifest", "quiet",
+    "help"};
 
 /// Strict integer flag parsing: Flags::get_int uses strtoll, which stops at
 /// the first non-digit — "--seed=1e6" would silently read as 1 and the
@@ -118,7 +128,8 @@ int main(int argc, char** argv) {
   }
   // The converse: a bare value-taking flag binds the string "true" and
   // would be used verbatim (e.g. a CSV file literally named "true").
-  for (const char* f : {"manifest", "csv", "jsonl", "only"}) {
+  for (const char* f :
+       {"manifest", "csv", "jsonl", "only", "counters", "trace"}) {
     if (flags.has(f) && flags.get(f, "") == "true") {
       std::cerr << "eend_run: --" << f << " needs a value (--" << f
                 << "=...)\n";
@@ -257,7 +268,6 @@ int main(int argc, char** argv) {
   // only after every sink finished cleanly, so a failed run (bad second
   // destination, engine exception, ENOSPC) never destroys the previous
   // results — including goldens regenerated per the README recipe.
-  core::ExperimentEngine engine(opts);
   struct OwnedFile {
     std::unique_ptr<std::ofstream> stream;
     std::string tmp_path;
@@ -278,6 +288,84 @@ int main(int argc, char** argv) {
     }
   } cleanup{&files};
 
+  /// Staged opener shared by sinks and telemetry outputs: writes to
+  /// "<dest>.tmp", renamed on commit. Returns nullptr on failure.
+  const auto open_staged = [&](const std::string& flag_name,
+                               const std::string& dest) -> std::ostream* {
+    const std::string tmp = dest + ".tmp";
+    auto f = std::make_unique<std::ofstream>(tmp, std::ios::binary);
+    if (!*f) {
+      std::cerr << "eend_run: cannot open --" << flag_name
+                << " destination \"" << tmp << "\" for writing\n";
+      return nullptr;
+    }
+    std::ostream* os = f.get();
+    files.push_back({std::move(f), tmp, dest});
+    return os;
+  };
+
+  // Two outputs writing the same destination — stdout or a file — would
+  // interleave and corrupt both streams. Compare lexically-normalized
+  // absolute paths (so "./out" == "out"), and also guard the ".tmp"
+  // staging names each file output renames from.
+  {
+    const std::string csv_dest = flags.get("csv", manifest.name + ".csv");
+    const std::string jsonl_dest =
+        flags.get("jsonl", manifest.name + ".jsonl");
+    if (csv_dest == "-" && jsonl_dest == "-") {
+      std::cerr << "eend_run: --csv=- and --jsonl=- cannot share stdout\n";
+      return 2;
+    }
+    std::vector<std::pair<std::string, std::string>> outs;  // flag, dest
+    if (csv_dest != "none" && csv_dest != "-")
+      outs.emplace_back("csv", csv_dest);
+    if (jsonl_dest != "none" && jsonl_dest != "-")
+      outs.emplace_back("jsonl", jsonl_dest);
+    if (flags.has("counters"))
+      outs.emplace_back("counters", flags.get("counters", ""));
+    if (flags.has("trace")) outs.emplace_back("trace", flags.get("trace", ""));
+    const auto norm = [](const std::string& p) {
+      return std::filesystem::absolute(std::filesystem::path(p))
+          .lexically_normal();
+    };
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      for (std::size_t j = i + 1; j < outs.size(); ++j)
+        if (norm(outs[i].second) == norm(outs[j].second) ||
+            norm(outs[i].second) == norm(outs[j].second + ".tmp") ||
+            norm(outs[j].second) == norm(outs[i].second + ".tmp")) {
+          std::cerr << "eend_run: --" << outs[i].first << " \""
+                    << outs[i].second << "\" and --" << outs[j].first
+                    << " \"" << outs[j].second
+                    << "\" collide (same file or its .tmp staging name)\n";
+          return 2;
+        }
+  }
+
+  // Telemetry outputs: counters stream JSONL after each experiment; trace
+  // spans collect in memory and serialize once after the run. Both stay
+  // outside the sink stream, so golden-pinned CSV/JSONL bytes are
+  // untouched. With EEND_OBS=OFF the files are still produced, just empty
+  // of counters/spans.
+  std::ostream* counters_os = nullptr;
+  std::optional<obs::TraceCollector> trace;
+  std::ostream* trace_os = nullptr;
+  for (const char* f : {"counters", "trace"}) {
+    if (!flags.has(f)) continue;
+    const std::string dest = flags.get(f, "");
+    if (dest == "-" || dest == "none") {
+      std::cerr << "eend_run: --" << f << " needs a file path\n";
+      return 2;
+    }
+    std::ostream* os = open_staged(f, dest);
+    if (!os) return 2;
+    if (std::string(f) == "counters") counters_os = os;
+    else trace_os = os;
+  }
+  opts.counters = counters_os;
+  if (trace_os) trace.emplace();
+
+  core::ExperimentEngine engine(opts);
+
   const auto open_sink = [&](const std::string& flag_name,
                              const std::string& default_path,
                              auto make_sink) -> bool {
@@ -287,50 +375,13 @@ int main(int argc, char** argv) {
     if (dest == "-") {
       os = &std::cout;
     } else {
-      const std::string tmp = dest + ".tmp";
-      auto f = std::make_unique<std::ofstream>(tmp, std::ios::binary);
-      if (!*f) {
-        std::cerr << "eend_run: cannot open --" << flag_name
-                  << " destination \"" << tmp << "\" for writing\n";
-        return false;
-      }
-      os = f.get();
-      files.push_back({std::move(f), tmp, dest});
+      os = open_staged(flag_name, dest);
+      if (!os) return false;
     }
     sinks.push_back(make_sink(*os));
     engine.add_sink(*sinks.back());
     return true;
   };
-
-  // Two sinks writing the same destination — stdout or a file — would
-  // interleave and corrupt both streams. Compare lexically-normalized
-  // absolute paths (so "./out" == "out"), and also guard the ".tmp"
-  // staging names each file sink renames from.
-  {
-    const std::string csv_dest = flags.get("csv", manifest.name + ".csv");
-    const std::string jsonl_dest =
-        flags.get("jsonl", manifest.name + ".jsonl");
-    if (csv_dest == "-" && jsonl_dest == "-") {
-      std::cerr << "eend_run: --csv=- and --jsonl=- cannot share stdout\n";
-      return 2;
-    }
-    const bool csv_is_file = csv_dest != "none" && csv_dest != "-";
-    const bool jsonl_is_file = jsonl_dest != "none" && jsonl_dest != "-";
-    if (csv_is_file && jsonl_is_file) {
-      const auto norm = [](const std::string& p) {
-        return std::filesystem::absolute(std::filesystem::path(p))
-            .lexically_normal();
-      };
-      if (norm(csv_dest) == norm(jsonl_dest) ||
-          norm(csv_dest) == norm(jsonl_dest + ".tmp") ||
-          norm(jsonl_dest) == norm(csv_dest + ".tmp")) {
-        std::cerr << "eend_run: --csv \"" << csv_dest << "\" and --jsonl \""
-                  << jsonl_dest
-                  << "\" collide (same file or its .tmp staging name)\n";
-        return 2;
-      }
-    }
-  }
   const bool stdout_is_machine = flags.get("csv", "") == "-" ||
                                  flags.get("jsonl", "") == "-";
   if (!flags.get_bool("no-table", false) && !stdout_is_machine) {
@@ -351,12 +402,16 @@ int main(int argc, char** argv) {
       }))
     return 2;
 
+  if (trace) obs::set_trace(&*trace);
   try {
     engine.run(manifest);
   } catch (const std::exception& e) {
+    obs::set_trace(nullptr);
     std::cerr << "eend_run: " << e.what() << "\n";
     return 1;
   }
+  obs::set_trace(nullptr);
+  if (trace_os) trace->write_json(*trace_os);
 
   // A full disk (ENOSPC) sets the stream's error state without throwing;
   // exiting 0 would bless a truncated CSV/JSONL — including regenerated
